@@ -1,0 +1,257 @@
+package es2_test
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// runs the corresponding experiment scenario set (with a shortened
+// measurement window so the full suite stays tractable) and reports
+// the headline quantities via b.ReportMetric:
+//
+//	go test -bench=. -benchmem
+//
+// For the full-length regeneration with the paper-style tables, use
+// cmd/es2bench instead.
+
+import (
+	"testing"
+	"time"
+
+	"es2"
+	"es2/experiments"
+)
+
+// trim shortens an experiment's scenarios for benchmarking.
+func trim(e experiments.Experiment) experiments.Experiment {
+	for i := range e.Specs {
+		e.Specs[i].Warmup = 200 * time.Millisecond
+		if e.Specs[i].Duration > 600*time.Millisecond {
+			e.Specs[i].Duration = 600 * time.Millisecond
+		}
+	}
+	return e
+}
+
+// runExperiment executes the experiment once per benchmark iteration
+// and returns the last iteration's results.
+func runExperiment(b *testing.B, e experiments.Experiment) []*es2.Result {
+	b.Helper()
+	var results []*es2.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		results, err = es2.RunMany(e.Specs, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return results
+}
+
+// find returns the first result whose scenario name contains the
+// substring; substrings that equal a configuration label ("Baseline",
+// "PI", "PI+H", "PI+H+R") match on the configuration name exactly.
+func find(b *testing.B, rs []*es2.Result, sub string) *es2.Result {
+	b.Helper()
+	switch sub {
+	case "Baseline", "PI", "PI+H", "PI+H+R":
+		for _, r := range rs {
+			if r.Config.Name() == sub {
+				return r
+			}
+		}
+	default:
+		for _, r := range rs {
+			if contains(r.Name, sub) {
+				return r
+			}
+		}
+	}
+	b.Fatalf("no result named *%s*", sub)
+	return nil
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// BenchmarkTableI regenerates Table I: the VM-exit-cause breakdown for
+// TCP sending, Baseline vs PI.
+func BenchmarkTableI(b *testing.B) {
+	rs := runExperiment(b, trim(experiments.TableI()))
+	base, pi := rs[0], rs[1]
+	b.ReportMetric(base.TotalExitRate, "base-exits/s")
+	b.ReportMetric(base.IOExitRate/base.TotalExitRate*100, "base-io-share-%")
+	b.ReportMetric(pi.IOExitRate, "pi-io-exits/s")
+	b.ReportMetric(pi.ExitRates["APICAccess"], "pi-apic-exits/s")
+}
+
+// BenchmarkFig4aQuotaUDP regenerates the UDP quota sweep.
+func BenchmarkFig4aQuotaUDP(b *testing.B) {
+	rs := runExperiment(b, trim(experiments.Fig4a()))
+	b.ReportMetric(find(b, rs, "size256/notification").IOExitRate, "io-exits-off/s")
+	b.ReportMetric(find(b, rs, "size256/quota32").IOExitRate, "io-exits-q32/s")
+	b.ReportMetric(find(b, rs, "size256/quota8").IOExitRate, "io-exits-q8/s")
+}
+
+// BenchmarkFig4bQuotaTCP regenerates the TCP quota sweep.
+func BenchmarkFig4bQuotaTCP(b *testing.B) {
+	rs := runExperiment(b, trim(experiments.Fig4b()))
+	b.ReportMetric(find(b, rs, "notification").IOExitRate, "io-exits-off/s")
+	b.ReportMetric(find(b, rs, "quota8").IOExitRate, "io-exits-q8/s")
+	b.ReportMetric(find(b, rs, "quota4").IOExitRate, "io-exits-q4/s")
+}
+
+// BenchmarkFig5aSendExits regenerates the send-side exit breakdown.
+func BenchmarkFig5aSendExits(b *testing.B) {
+	rs := runExperiment(b, trim(experiments.Fig5a()))
+	b.ReportMetric(100*find(b, rs, "TCP/Baseline").TIG, "tcp-base-tig-%")
+	b.ReportMetric(100*find(b, rs, "TCP/PI+H").TIG, "tcp-pih-tig-%")
+	b.ReportMetric(100*find(b, rs, "UDP/PI+H").TIG, "udp-pih-tig-%")
+}
+
+// BenchmarkFig5bReceiveExits regenerates the receive-side breakdown.
+func BenchmarkFig5bReceiveExits(b *testing.B) {
+	rs := runExperiment(b, trim(experiments.Fig5b()))
+	b.ReportMetric(100*find(b, rs, "TCP/Baseline").TIG, "tcp-base-tig-%")
+	b.ReportMetric(100*find(b, rs, "TCP/PI").TIG, "tcp-pi-tig-%")
+	b.ReportMetric(find(b, rs, "TCP/PI+H").IOExitRate, "tcp-pih-io/s")
+	b.ReportMetric(100*find(b, rs, "UDP/PI").TIG, "udp-pi-tig-%")
+}
+
+// BenchmarkFig6aThroughputSend regenerates the send throughput sweep
+// (1024B column).
+func BenchmarkFig6aThroughputSend(b *testing.B) {
+	e := trim(experiments.Fig6a())
+	// Keep only the 1024B column for benchmark time.
+	var specs []es2.ScenarioSpec
+	for _, s := range e.Specs {
+		if contains(s.Name, "size1024") {
+			specs = append(specs, s)
+		}
+	}
+	e.Specs = specs
+	rs := runExperiment(b, e)
+	base := find(b, rs, "Baseline")
+	full := find(b, rs, "PI+H+R")
+	b.ReportMetric(base.ThroughputMbps, "base-Mbps")
+	b.ReportMetric(full.ThroughputMbps, "full-Mbps")
+	b.ReportMetric(full.ThroughputMbps/base.ThroughputMbps, "speedup-x")
+}
+
+// BenchmarkFig6bThroughputReceive regenerates the receive throughput
+// sweep (1024B column).
+func BenchmarkFig6bThroughputReceive(b *testing.B) {
+	e := trim(experiments.Fig6b())
+	var specs []es2.ScenarioSpec
+	for _, s := range e.Specs {
+		if contains(s.Name, "size1024") {
+			specs = append(specs, s)
+		}
+	}
+	e.Specs = specs
+	rs := runExperiment(b, e)
+	pih := find(b, rs, "PI+H")
+	full := find(b, rs, "PI+H+R")
+	b.ReportMetric(pih.ThroughputMbps, "pih-Mbps")
+	b.ReportMetric(full.ThroughputMbps, "full-Mbps")
+	b.ReportMetric(full.ThroughputMbps/pih.ThroughputMbps, "redir-gain-x")
+}
+
+// BenchmarkFig7PingRTT regenerates the ping RTT comparison.
+func BenchmarkFig7PingRTT(b *testing.B) {
+	e := experiments.Fig7()
+	for i := range e.Specs {
+		e.Specs[i].Duration = 2 * time.Second
+		e.Specs[i].Workload.PingInterval = 25 * time.Millisecond
+	}
+	rs := runExperiment(b, e)
+	base := find(b, rs, "Baseline")
+	full := find(b, rs, "PI+H+R")
+	b.ReportMetric(float64(base.MeanLatency)/1e6, "base-rtt-ms")
+	b.ReportMetric(float64(base.MaxLatency)/1e6, "base-max-ms")
+	b.ReportMetric(float64(full.MeanLatency)/1e6, "full-rtt-ms")
+}
+
+// BenchmarkFig8aMemcached regenerates the Memcached comparison.
+func BenchmarkFig8aMemcached(b *testing.B) {
+	rs := runExperiment(b, trim(experiments.Fig8a()))
+	base := find(b, rs, "Baseline")
+	full := find(b, rs, "PI+H+R")
+	b.ReportMetric(base.OpsPerSec, "base-ops/s")
+	b.ReportMetric(full.OpsPerSec, "full-ops/s")
+	b.ReportMetric(full.OpsPerSec/base.OpsPerSec, "speedup-x")
+}
+
+// BenchmarkFig8bApache regenerates the Apache comparison.
+func BenchmarkFig8bApache(b *testing.B) {
+	rs := runExperiment(b, trim(experiments.Fig8b()))
+	base := find(b, rs, "Baseline")
+	full := find(b, rs, "PI+H+R")
+	b.ReportMetric(base.OpsPerSec, "base-req/s")
+	b.ReportMetric(full.OpsPerSec, "full-req/s")
+	b.ReportMetric(full.OpsPerSec/base.OpsPerSec, "speedup-x")
+}
+
+// BenchmarkFig9Httperf regenerates the connection-time crossover (the
+// 2200 conn/s column, where the baseline has collapsed and ES2 has
+// not).
+func BenchmarkFig9Httperf(b *testing.B) {
+	e := trim(experiments.Fig9())
+	var specs []es2.ScenarioSpec
+	for _, s := range e.Specs {
+		if contains(s.Name, "rate2200") {
+			specs = append(specs, s)
+		}
+	}
+	e.Specs = specs
+	rs := runExperiment(b, e)
+	base := find(b, rs, "Baseline")
+	full := find(b, rs, "PI+H+R")
+	b.ReportMetric(float64(base.MeanLatency)/1e6, "base-conn-ms")
+	b.ReportMetric(float64(full.MeanLatency)/1e6, "full-conn-ms")
+}
+
+// --- extension / ablation benchmarks (beyond the paper's figures) ---
+
+// BenchmarkSRIOV runs the Section VII extension: ES2 on direct device
+// assignment.
+func BenchmarkSRIOV(b *testing.B) {
+	rs := runExperiment(b, trim(experiments.SRIOV()))
+	b.ReportMetric(find(b, rs, "sriov/tcp/Baseline").ExitRates["APICAccess"], "base-eoi-exits/s")
+	b.ReportMetric(find(b, rs, "sriov/tcp/VT-d-PI").TotalExitRate, "vtdpi-exits/s")
+	b.ReportMetric(float64(find(b, rs, "sriov/ping/VT-d-PI+R").MeanLatency)/1e6, "redir-rtt-ms")
+}
+
+// BenchmarkRedirectPolicies compares the redirection target policies.
+func BenchmarkRedirectPolicies(b *testing.B) {
+	e := experiments.PolicyAblation()
+	for i := range e.Specs {
+		e.Specs[i].Warmup = 200 * time.Millisecond
+		e.Specs[i].Duration = time.Second
+	}
+	rs := runExperiment(b, e)
+	b.ReportMetric(float64(find(b, rs, "policy/least-loaded").MeanLatency)/1e6, "least-loaded-ms")
+	b.ReportMetric(float64(find(b, rs, "policy/offline-tail").MeanLatency)/1e6, "offline-tail-ms")
+}
+
+// BenchmarkModeration runs the Section II-C interrupt-moderation
+// trade-off.
+func BenchmarkModeration(b *testing.B) {
+	rs := runExperiment(b, trim(experiments.ModerationAblation()))
+	b.ReportMetric(float64(find(b, rs, "moderation/ping/coalesced").MeanLatency)/1e6, "coalesced-rtt-ms")
+	b.ReportMetric(find(b, rs, "moderation/send/coalesced").ThroughputMbps, "coalesced-Mbps")
+	b.ReportMetric(find(b, rs, "moderation/send/es2").ThroughputMbps, "es2-Mbps")
+}
+
+// BenchmarkStacking measures the no-online-sibling probability that
+// motivates the offline-list prediction.
+func BenchmarkStacking(b *testing.B) {
+	e := experiments.StackingStudy()
+	for i := range e.Specs {
+		e.Specs[i].Duration = time.Second
+	}
+	rs := runExperiment(b, e)
+	b.ReportMetric(100*rs[len(rs)-1].OfflinePredictRate, "4vm-no-online-%")
+}

@@ -1,0 +1,80 @@
+// Command es2bench regenerates every table and figure of the paper's
+// evaluation from the simulator.
+//
+// Usage:
+//
+//	es2bench [-exp all|table1|fig4a|fig4b|fig5a|fig5b|fig6a|fig6b|fig7|fig8a|fig8b|fig9]
+//	         [-parallel N] [-seed S] [-list]
+//
+// Each experiment prints the paper's claim followed by the regenerated
+// rows/series.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"es2"
+	"es2/experiments"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "experiment id or 'all'")
+	parallel := flag.Int("parallel", 0, "parallel scenario runs (0 = GOMAXPROCS)")
+	seed := flag.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		for _, e := range experiments.Extensions() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var exps []experiments.Experiment
+	if *expFlag == "all" {
+		exps = experiments.All()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, ok := experiments.ByIDWithExtensions(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "es2bench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	for _, e := range exps {
+		if *seed != 0 {
+			for i := range e.Specs {
+				e.Specs[i].Seed = *seed
+			}
+		}
+		start := time.Now()
+		results, err := es2.RunMany(e.Specs, *parallel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "es2bench: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s — %s\n", e.ID, e.Title)
+		fmt.Printf("    paper: %s\n\n", e.PaperClaim)
+		fmt.Println(indent(e.Render(results), "    "))
+		fmt.Printf("    (%d scenarios in %v wall time)\n\n", len(e.Specs), time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func indent(s, pre string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = pre + l
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,127 @@
+// Command es2sim runs a single simulated scenario described by flags
+// and prints its result as text or JSON. It is the exploratory
+// companion to es2bench: sweep any knob without writing code.
+//
+// Examples:
+//
+//	es2sim -workload netperf-tcp-send -config full -quota 4 -msg 1024
+//	es2sim -workload memcached -config baseline -vms 4 -vcpus 4 -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"es2"
+)
+
+func main() {
+	var (
+		name     = flag.String("name", "es2sim", "scenario name")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		cfgName  = flag.String("config", "full", "baseline|pi|pih|full")
+		quota    = flag.Int("quota", 0, "hybrid quota (0 = per-protocol default)")
+		workload = flag.String("workload", "netperf-tcp-send", "workload kind (see es2.WorkloadKind)")
+		msg      = flag.Int("msg", 1024, "netperf message size in bytes")
+		threads  = flag.Int("threads", 1, "concurrent netperf threads")
+		window   = flag.Int("window", 0, "TCP window in segments (0 = default)")
+		connRate = flag.Float64("connrate", 1000, "httperf connections per second")
+		conc     = flag.Int("concurrency", 0, "closed-loop concurrency (0 = default)")
+		vms      = flag.Int("vms", 1, "number of VMs")
+		vcpus    = flag.Int("vcpus", 1, "vCPUs per VM")
+		vmCores  = flag.Int("vmcores", 0, "cores shared by VMs (0 = vcpus)")
+		queues   = flag.Int("queues", 1, "virtio-net queue pairs per VM")
+		direct   = flag.Bool("direct", false, "SR-IOV direct assignment (exit-less doorbells)")
+		sidecore = flag.Bool("sidecore", false, "ELVIS-style dedicated-core polling back-end")
+		traceCap = flag.Int("trace", 0, "enable event tracing, retaining N events")
+		dur      = flag.Duration("duration", time.Second, "measurement window (simulated)")
+		warmup   = flag.Duration("warmup", 300*time.Millisecond, "warm-up (simulated)")
+		asJSON   = flag.Bool("json", false, "print the result as JSON")
+	)
+	flag.Parse()
+
+	var cfg es2.Config
+	switch *cfgName {
+	case "baseline":
+		cfg = es2.Baseline()
+	case "pi":
+		cfg = es2.PIOnly()
+	case "pih":
+		cfg = es2.PIH(*quota)
+	case "full":
+		cfg = es2.Full(*quota)
+	default:
+		fmt.Fprintf(os.Stderr, "es2sim: unknown config %q\n", *cfgName)
+		os.Exit(2)
+	}
+
+	kinds := map[string]es2.WorkloadKind{
+		"idle":             es2.IdleBurn,
+		"netperf-tcp-send": es2.NetperfTCPSend,
+		"netperf-tcp-recv": es2.NetperfTCPRecv,
+		"netperf-udp-send": es2.NetperfUDPSend,
+		"netperf-udp-recv": es2.NetperfUDPRecv,
+		"ping":             es2.Ping,
+		"memcached":        es2.Memcached,
+		"apache":           es2.Apache,
+		"httperf":          es2.Httperf,
+	}
+	kind, ok := kinds[*workload]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "es2sim: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	res, err := es2.Run(es2.ScenarioSpec{
+		Name: *name, Seed: *seed, Config: cfg,
+		Workload: es2.WorkloadSpec{
+			Kind: kind, MsgBytes: *msg, Threads: *threads, Window: *window,
+			ConnRate: *connRate, Concurrency: *conc,
+		},
+		VMs: *vms, VCPUs: *vcpus, VMCores: *vmCores, Queues: *queues,
+		DirectAssign: *direct, Sidecore: *sidecore, TraceCapacity: *traceCap,
+		Warmup: *warmup, Duration: *dur,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "es2sim: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "es2sim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("scenario   %s  (config %s, workload %s)\n", res.Name, res.Config, kind)
+	fmt.Printf("exits/s    total=%.0f  io=%.0f  extintr=%.0f  apic=%.0f  other=%.0f\n",
+		res.TotalExitRate, res.IOExitRate,
+		res.ExitRates["ExternalInterrupt"], res.ExitRates["APICAccess"], res.ExitRates["Other"])
+	fmt.Printf("TIG        %.1f%%\n", 100*res.TIG)
+	fmt.Printf("interrupts %.0f/s delivered, %.0f%% redirected\n", res.DevIRQRate, 100*res.RedirectRate)
+	if res.ThroughputMbps > 0 {
+		fmt.Printf("throughput %.1f Mbps (%.0f pkt/s)\n", res.ThroughputMbps, res.PktRate)
+	}
+	if res.OpsPerSec > 0 {
+		fmt.Printf("ops        %.0f/s\n", res.OpsPerSec)
+	}
+	if res.MeanLatency > 0 {
+		fmt.Printf("latency    mean=%v p99=%v max=%v\n", res.MeanLatency, res.P99Latency, res.MaxLatency)
+	}
+	if res.Drops > 0 {
+		fmt.Printf("drops      %d\n", res.Drops)
+	}
+	if res.VhostCPU > 0 {
+		fmt.Printf("vhost CPU  %.1f%%\n", 100*res.VhostCPU)
+	}
+	if res.TraceSummary != "" {
+		fmt.Print(res.TraceSummary)
+	}
+}

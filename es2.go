@@ -1,0 +1,289 @@
+// Package es2 is a deterministic discrete-event simulator of the
+// virtual I/O event path in a KVM-style virtualized host, built to
+// reproduce the ICPP 2017 paper "ES2: Aiming at an Optimal Virtual I/O
+// Event Path" (Hu, Zhang, Li, Ma, Wu, Guan).
+//
+// The simulator models the complete event path — physical cores
+// multiplexed by a CFS-style scheduler, VM exits with a calibrated
+// cost model, the software-emulated Local-APIC and the hardware
+// Posted-Interrupt facility, virtio virtqueues with both directions of
+// event suppression, the vhost-net back-end worker, and a guest OS
+// with NAPI and TCP/UDP transports. On top of this substrate, ES2
+// itself is implemented as published: the hybrid I/O handling scheme
+// (Algorithm 1) in the back-end and intelligent interrupt redirection
+// over the scheduler's online/offline vCPU lists.
+//
+// The public API is scenario-oriented:
+//
+//	res, err := es2.Run(es2.ScenarioSpec{
+//	    Name:     "quickstart",
+//	    Config:   es2.Full(8),
+//	    Workload: es2.WorkloadSpec{Kind: es2.NetperfUDPSend, MsgBytes: 256},
+//	})
+//
+// See the experiments package for ready-made scenario sets that
+// regenerate every table and figure of the paper.
+package es2
+
+import (
+	"time"
+
+	"es2/internal/core"
+)
+
+// Config selects the event-path configuration, mirroring the paper's
+// four evaluated setups (Baseline, PI, PI+H, PI+H+R).
+type Config = core.Config
+
+// Policy selects the redirection target policy (ablation knob).
+type Policy = core.Policy
+
+// Redirection policies.
+const (
+	PolicyLeastLoaded = core.PolicyLeastLoaded
+	PolicyRoundRobin  = core.PolicyRoundRobin
+	PolicyRandom      = core.PolicyRandom
+	PolicyOfflineTail = core.PolicyOfflineTail
+)
+
+// Baseline returns KVM with posted interrupts disabled.
+func Baseline() Config { return core.Baseline() }
+
+// PIOnly returns KVM with posted interrupts enabled.
+func PIOnly() Config { return core.PIOnly() }
+
+// PIH returns PI plus hybrid I/O handling with the given quota.
+func PIH(quota int) Config { return core.PIH(quota) }
+
+// Full returns the complete ES2 (PI + hybrid + redirection).
+func Full(quota int) Config { return core.Full(quota) }
+
+// WorkloadKind enumerates the paper's benchmark workloads.
+type WorkloadKind int
+
+const (
+	// IdleBurn runs only the CPU-burn fillers (no I/O).
+	IdleBurn WorkloadKind = iota
+	// NetperfTCPSend streams TCP from the tested VM to the peer.
+	NetperfTCPSend
+	// NetperfTCPRecv streams TCP from the peer to the tested VM.
+	NetperfTCPRecv
+	// NetperfUDPSend streams UDP from the tested VM to the peer.
+	NetperfUDPSend
+	// NetperfUDPRecv streams UDP from the peer to the tested VM.
+	NetperfUDPRecv
+	// Ping probes the tested VM at a fixed interval (Fig. 7).
+	Ping
+	// Memcached serves a memaslap-style closed loop (Fig. 8a).
+	Memcached
+	// Apache serves an ApacheBench-style closed loop (Fig. 8b).
+	Apache
+	// Httperf serves an open-loop connection-rate sweep (Fig. 9).
+	Httperf
+)
+
+// String names the workload.
+func (k WorkloadKind) String() string {
+	switch k {
+	case IdleBurn:
+		return "idle"
+	case NetperfTCPSend:
+		return "netperf-tcp-send"
+	case NetperfTCPRecv:
+		return "netperf-tcp-recv"
+	case NetperfUDPSend:
+		return "netperf-udp-send"
+	case NetperfUDPRecv:
+		return "netperf-udp-recv"
+	case Ping:
+		return "ping"
+	case Memcached:
+		return "memcached"
+	case Apache:
+		return "apache"
+	case Httperf:
+		return "httperf"
+	default:
+		return "unknown"
+	}
+}
+
+// WorkloadSpec parameterizes the workload on the tested VM. Zero
+// fields take kind-appropriate defaults.
+type WorkloadSpec struct {
+	Kind WorkloadKind
+
+	// MsgBytes is the netperf message size (default 1024).
+	MsgBytes int
+	// Threads is the number of concurrent netperf processes (default
+	// 1; the Fig. 6 experiments use 4 to load all four vCPUs).
+	Threads int
+	// Window is the TCP window in segments (default 64).
+	Window int
+	// UDPRatePPS is the peer's UDP send rate for receive tests
+	// (default 450_000).
+	UDPRatePPS float64
+	// PingInterval is the probe interval (default 100ms — denser than
+	// the paper's 1s to gather more samples per simulated second; each
+	// probe is independent, so the distribution is unchanged).
+	PingInterval time.Duration
+	// Concurrency is the closed-loop outstanding-request count
+	// (memaslap 256, ApacheBench 16).
+	Concurrency int
+	// Conns is the memaslap connection count (default 16).
+	Conns int
+	// PageBytes is the HTTP response size (Apache default 8192,
+	// Httperf default 1024).
+	PageBytes int
+	// ConnRate is the Httperf connection rate per second.
+	ConnRate float64
+	// SendRatePPS, when positive, paces the netperf UDP sender at a
+	// fixed offered rate instead of CPU speed (the low-load regime of
+	// the sidecore-polling comparison).
+	SendRatePPS float64
+	// ServiceCost overrides the server's per-request CPU cost.
+	ServiceCost time.Duration
+}
+
+// ScenarioSpec describes one simulated testbed run.
+type ScenarioSpec struct {
+	// Name labels the run in results.
+	Name string
+	// Seed drives all randomness; the same spec and seed reproduce
+	// bit-identical results.
+	Seed uint64
+
+	// Config is the event-path configuration under test.
+	Config Config
+	// Workload runs on the tested VM (VM 0).
+	Workload WorkloadSpec
+
+	// VMs is the number of virtual machines (default 1). All VMs run
+	// the CPU-burn fillers; only VM 0 runs the workload, following the
+	// paper's methodology.
+	VMs int
+	// VCPUs is the per-VM vCPU count (default 1).
+	VCPUs int
+	// VMCores is the number of physical cores the VMs time-share
+	// (default VCPUs, i.e. no multiplexing with a single VM).
+	VMCores int
+	// VhostCores is the number of cores for vhost workers (default:
+	// one per VM, at most 4 — the paper's testbed had 8 cores, 4 for
+	// VMs).
+	VhostCores int
+	// Queues is the number of virtio-net queue pairs per VM (default
+	// 1). Multiqueue gives each pair its own MSI-X vectors, NAPI
+	// context and vhost worker, with queue i affine to vCPU i — the
+	// scalability direction the paper's conclusion points at.
+	Queues int
+
+	// CoalesceCount / CoalesceTimer enable receive interrupt moderation
+	// in the back-end (the vIC-style alternative of Section II-C):
+	// the guest is interrupted only after CoalesceCount packets or
+	// CoalesceTimer, whichever first. Zero disables moderation. Used
+	// by the moderation ablation to demonstrate the latency cost the
+	// paper argues motivates retaining all interrupts.
+	CoalesceCount int
+	CoalesceTimer time.Duration
+
+	// DirectAssign models SR-IOV direct device assignment (the paper's
+	// Section VII): the guest's doorbell writes reach the assigned VF
+	// without VM exits, so I/O-request exits disappear by construction;
+	// interrupt delivery still follows Config (VT-d PI when Config.PI,
+	// redirection when Config.Redirect). Config.Hybrid is meaningless
+	// here and ignored.
+	DirectAssign bool
+
+	// Sidecore replaces the notification/hybrid back-end with
+	// ELVIS-style dedicated-core polling (Section II-C "Others"):
+	// exit-less I/O requests at the price of a busy worker core even
+	// when idle. Mutually exclusive with Config.Hybrid.
+	Sidecore bool
+
+	// TraceCapacity, when positive, enables perf-kvm-style event
+	// tracing on the tested host: the last TraceCapacity events are
+	// retained, and Result.TraceSummary/TraceEvents report them.
+	TraceCapacity int
+
+	// Warmup precedes measurement (default 300ms of simulated time);
+	// Duration is the measurement window (default 1s).
+	Warmup   time.Duration
+	Duration time.Duration
+}
+
+// TraceEvent is one recorded event-path event (see ScenarioSpec.
+// TraceCapacity).
+type TraceEvent struct {
+	// AtSeconds is the simulated timestamp.
+	AtSeconds float64
+	// Kind is the event kind name ("exit", "irq-deliver", "sched-in"...).
+	Kind string
+	// VM and VCPU identify the subject.
+	VM, VCPU int
+	// Detail is kind-specific (exit reason name, vector, core id).
+	Detail string
+}
+
+// RTTPoint is one ping sample of the Fig. 7 series.
+type RTTPoint struct {
+	// AtSeconds is the sample's simulated timestamp.
+	AtSeconds float64
+	// Millis is the round-trip time in milliseconds.
+	Millis float64
+}
+
+// Result carries everything the paper's evaluation reports, measured
+// over the scenario's measurement window on the tested VM.
+type Result struct {
+	Name   string
+	Config Config
+	// MeasuredSeconds is the measurement window length.
+	MeasuredSeconds float64
+
+	// ExitRates maps exit reason → exits per second; TotalExitRate and
+	// IOExitRate are the headline aggregates.
+	ExitRates     map[string]float64
+	TotalExitRate float64
+	IOExitRate    float64
+	// TIG is the time-in-guest fraction (0..1).
+	TIG float64
+	// VhostCPU is the fraction of the vhost worker cores' time spent
+	// busy over the window (1.0 = a fully burned core; the
+	// wasted-cycles metric of the sidecore-polling comparison).
+	VhostCPU float64
+
+	// DevIRQRate is delivered device interrupts per second;
+	// RedirectRate is the fraction of eligible interrupts that were
+	// redirected away from their affinity vCPU; OfflinePredictRate is
+	// the fraction of routed interrupts that found no online vCPU and
+	// fell back to the offline-list prediction (the vCPU-stacking
+	// statistic of Section IV-C).
+	DevIRQRate         float64
+	RedirectRate       float64
+	OfflinePredictRate float64
+
+	// ThroughputMbps is goodput for stream/HTTP workloads.
+	ThroughputMbps float64
+	// PktRate is packets per second at the measuring end.
+	PktRate float64
+	// OpsPerSec is request throughput for Memcached/Apache.
+	OpsPerSec float64
+
+	// Latency statistics: request latency (Memcached), connection time
+	// (Httperf/Apache) or RTT (Ping), depending on the workload.
+	MeanLatency time.Duration
+	P99Latency  time.Duration
+	MaxLatency  time.Duration
+
+	// RTTSeries is the per-probe trace for Ping workloads.
+	RTTSeries []RTTPoint
+
+	// TraceSummary and TraceEvents are filled when
+	// ScenarioSpec.TraceCapacity > 0.
+	TraceSummary string
+	TraceEvents  []TraceEvent
+
+	// Raw counters over the window (wire side of the tested VM).
+	TxPkts, RxPkts uint64
+	Drops          uint64
+}

@@ -1,0 +1,47 @@
+// Quickstart: simulate one netperf TCP sender in a single-vCPU VM and
+// compare the paper's four event-path configurations.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"es2"
+)
+
+func main() {
+	configs := []es2.Config{
+		es2.Baseline(), // KVM with posted interrupts disabled
+		es2.PIOnly(),   // + hardware posted interrupts
+		es2.PIH(4),     // + hybrid I/O handling (quota 4 for TCP)
+		es2.Full(4),    // + intelligent interrupt redirection = full ES2
+	}
+
+	fmt.Println("netperf TCP_STREAM send, 1024B messages, 1-vCPU VM")
+	fmt.Printf("%-10s %12s %12s %8s %14s\n", "Config", "Exits/s", "IOExits/s", "TIG", "Throughput")
+
+	for _, cfg := range configs {
+		res, err := es2.Run(es2.ScenarioSpec{
+			Name:   "quickstart/" + cfg.Name(),
+			Seed:   1,
+			Config: cfg,
+			Workload: es2.WorkloadSpec{
+				Kind:     es2.NetperfTCPSend,
+				MsgBytes: 1024,
+			},
+			Duration: time.Second,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %12.0f %12.0f %7.1f%% %11.1f Mb\n",
+			cfg.Name(), res.TotalExitRate, res.IOExitRate, 100*res.TIG, res.ThroughputMbps)
+	}
+
+	fmt.Println("\nPosted interrupts remove the interrupt-delivery and EOI exits;")
+	fmt.Println("the hybrid scheme removes the I/O-request exits; time-in-guest")
+	fmt.Println("climbs toward 100% as the event path sheds hypervisor interventions.")
+}

@@ -1,0 +1,45 @@
+// Quota tuning example: the paper's Section VI-B methodology. The
+// hybrid I/O handling scheme bounds each polling turn by a quota; this
+// walk-through sweeps it for a UDP stream and shows the mode-switch
+// trade-off the paper describes — too high and polling keeps falling
+// back to notifications, too low and handler switching overhead eats
+// the gain.
+//
+//	go run ./examples/quota
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"es2"
+)
+
+func main() {
+	fmt.Println("UDP_STREAM send, 256B messages, sweeping poll_quota")
+	fmt.Printf("%-14s %12s %8s %14s\n", "Quota", "IOExits/s", "TIG", "Throughput")
+
+	run := func(name string, cfg es2.Config) {
+		res, err := es2.Run(es2.ScenarioSpec{
+			Name: name, Seed: 11, Config: cfg,
+			Workload: es2.WorkloadSpec{Kind: es2.NetperfUDPSend, MsgBytes: 256},
+			Duration: time.Second,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %12.0f %7.1f%% %11.1f Mb\n",
+			name, res.IOExitRate, 100*res.TIG, res.ThroughputMbps)
+	}
+
+	run("notification", es2.PIOnly())
+	for _, q := range []int{64, 32, 16, 8, 4, 2} {
+		run(fmt.Sprintf("quota %d", q), es2.PIH(q))
+	}
+
+	fmt.Println("\nThe exit rate collapses once the quota is small enough that the")
+	fmt.Println("handler never observes an empty queue (sustained polling); pushing")
+	fmt.Println("further only adds handler-switch overhead and costs throughput.")
+	fmt.Println("The paper picks 8 for UDP and 4 for TCP by exactly this experiment.")
+}

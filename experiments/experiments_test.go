@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"es2"
+)
+
+func TestRegistryWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range append(All(), Extensions()...) {
+		if e.ID == "" || e.Title == "" || e.PaperClaim == "" {
+			t.Fatalf("experiment %q missing metadata", e.ID)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if len(e.Specs) == 0 {
+			t.Fatalf("experiment %q has no scenarios", e.ID)
+		}
+		if e.Render == nil {
+			t.Fatalf("experiment %q has no renderer", e.ID)
+		}
+		for _, s := range e.Specs {
+			if s.Name == "" {
+				t.Fatalf("experiment %q has an unnamed scenario", e.ID)
+			}
+			if s.Duration <= 0 && s.Warmup < 0 {
+				t.Fatalf("experiment %q scenario %q has bad timing", e.ID, s.Name)
+			}
+		}
+	}
+	if len(seen) != 11+6 {
+		t.Fatalf("expected 11 paper experiments + 6 extensions, got %d", len(seen))
+	}
+}
+
+func TestByID(t *testing.T) {
+	for _, id := range []string{"table1", "fig4a", "fig9"} {
+		if _, ok := ByID(id); !ok {
+			t.Fatalf("ByID(%q) failed", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID should reject unknown ids")
+	}
+	if _, ok := ByIDWithExtensions("sriov"); !ok {
+		t.Fatal("extensions must be addressable")
+	}
+	if _, ok := ByIDWithExtensions("table1"); !ok {
+		t.Fatal("paper experiments must be addressable via the extended lookup")
+	}
+}
+
+// shrink cuts an experiment down for a fast smoke test.
+func shrink(e Experiment, maxSpecs int) Experiment {
+	if len(e.Specs) > maxSpecs {
+		e.Specs = e.Specs[:maxSpecs]
+	}
+	for i := range e.Specs {
+		e.Specs[i].Warmup = 100 * time.Millisecond
+		e.Specs[i].Duration = 200 * time.Millisecond
+	}
+	return e
+}
+
+func TestTableIRunsAndRenders(t *testing.T) {
+	e := shrink(TableI(), 2)
+	rs, err := es2.RunMany(e.Specs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := e.Render(rs)
+	for _, want := range []string{"Baseline", "PI", "I/O Request"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestQuotaSweepRenders(t *testing.T) {
+	e := Fig4b()
+	// Only the first three specs (off, 64, 32) for speed; the renderer
+	// needs the full grid, so rebuild a tiny sweep instead.
+	tiny := quotaSweep("tiny", "t", "c", es2.NetperfUDPSend, []int{256})
+	tiny = shrink(tiny, len(tiny.Specs))
+	rs, err := es2.RunMany(tiny.Specs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tiny.Render(rs)
+	if !strings.Contains(out, "off") || !strings.Contains(out, "256") {
+		t.Fatalf("render malformed:\n%s", out)
+	}
+	_ = e
+}
+
+func TestReplicateSeedsDiffer(t *testing.T) {
+	base := upVM("x", es2.Baseline(), es2.WorkloadSpec{Kind: es2.IdleBurn})
+	reps := replicate(base)
+	if len(reps) != replicas {
+		t.Fatalf("got %d replicas", len(reps))
+	}
+	seen := map[uint64]bool{}
+	for _, r := range reps {
+		if seen[r.Seed] {
+			t.Fatal("replica seeds collide")
+		}
+		seen[r.Seed] = true
+	}
+}
+
+func TestMeanOf(t *testing.T) {
+	rs := []*es2.Result{{TIG: 0.5}, {TIG: 1.0}}
+	if got := meanOf(rs, func(r *es2.Result) float64 { return r.TIG }); got != 0.75 {
+		t.Fatalf("meanOf = %v", got)
+	}
+}
+
+func TestStackingStudyRuns(t *testing.T) {
+	e := StackingStudy()
+	// Just the 4-VM point, shortened.
+	e.Specs = e.Specs[len(e.Specs)-1:]
+	e.Specs[0].Duration = 500 * time.Millisecond
+	rs, err := es2.RunMany(e.Specs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rs[0]
+	// With 4 VMs on 4 cores, the no-online-sibling probability should
+	// be in the neighbourhood of (3/4)^4.
+	if r.OfflinePredictRate < 0.05 || r.OfflinePredictRate > 0.7 {
+		t.Fatalf("OfflinePredictRate = %.2f, want ~0.3", r.OfflinePredictRate)
+	}
+}

@@ -1,0 +1,3 @@
+module es2
+
+go 1.22

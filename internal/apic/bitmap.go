@@ -1,0 +1,82 @@
+// Package apic models the x86 interrupt-controller substrate the paper
+// builds on: the per-CPU Local-APIC register state (IRR/ISR/EOI with the
+// 16-level priority scheme), MSI/MSI-X messages with fixed and
+// lowest-priority delivery modes, and the Posted-Interrupt descriptor +
+// virtual-APIC page that provide exit-less virtual interrupt delivery.
+//
+// The package is pure state-machine code with no timing; the vmm package
+// drives it from the simulation clock.
+package apic
+
+import "math/bits"
+
+// Vector is an x86 interrupt vector (0-255). Vectors 0-31 are reserved
+// for exceptions; external interrupts use 32-255. The priority class of
+// a vector is vector>>4: higher class means higher priority.
+type Vector uint8
+
+// Class returns the vector's interrupt priority class (vector >> 4).
+func (v Vector) Class() int { return int(v >> 4) }
+
+// Bitmap256 is a 256-bit vector bitmap, the representation used by the
+// IRR, ISR and PIR registers.
+type Bitmap256 [4]uint64
+
+// Set sets bit v and reports whether it was previously clear.
+func (b *Bitmap256) Set(v Vector) bool {
+	w, m := v>>6, uint64(1)<<(v&63)
+	old := b[w]
+	b[w] = old | m
+	return old&m == 0
+}
+
+// Clear clears bit v and reports whether it was previously set.
+func (b *Bitmap256) Clear(v Vector) bool {
+	w, m := v>>6, uint64(1)<<(v&63)
+	old := b[w]
+	b[w] = old &^ m
+	return old&m != 0
+}
+
+// Test reports whether bit v is set.
+func (b *Bitmap256) Test(v Vector) bool {
+	return b[v>>6]&(uint64(1)<<(v&63)) != 0
+}
+
+// Highest returns the highest set bit and true, or 0 and false when the
+// bitmap is empty. The Local-APIC always services the highest pending
+// vector first.
+func (b *Bitmap256) Highest() (Vector, bool) {
+	for w := 3; w >= 0; w-- {
+		if b[w] != 0 {
+			return Vector(w*64 + 63 - bits.LeadingZeros64(b[w])), true
+		}
+	}
+	return 0, false
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap256) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether no bits are set.
+func (b *Bitmap256) Empty() bool { return b[0]|b[1]|b[2]|b[3] == 0 }
+
+// DrainInto moves every set bit of b into dst, clearing b. It returns
+// the number of bits that were newly set in dst. This is the hardware
+// PIR->virtual-IRR sync operation.
+func (b *Bitmap256) DrainInto(dst *Bitmap256) int {
+	moved := 0
+	for w := range b {
+		newBits := b[w] &^ dst[w]
+		moved += bits.OnesCount64(newBits)
+		dst[w] |= b[w]
+		b[w] = 0
+	}
+	return moved
+}

@@ -1,0 +1,225 @@
+package guest
+
+import (
+	"es2/internal/apic"
+	"es2/internal/netsim"
+	"es2/internal/sim"
+	"es2/internal/virtio"
+	"es2/internal/vmm"
+)
+
+// QueuePair is one TX/RX virtqueue pair of a (possibly multiqueue)
+// virtio-net device, with its own MSI-X vectors, interrupt affinity and
+// NAPI context — the virtio-net multiqueue model, where queue i is
+// affine to vCPU i so flows spread across vCPUs.
+type QueuePair struct {
+	Dev   *NetDev
+	Index int
+	TX    *virtio.Virtqueue
+	RX    *virtio.Virtqueue
+
+	// TXVector and RXVector are the queue's MSI-X vectors.
+	TXVector apic.Vector
+	RXVector apic.Vector
+	// Affinity is the guest's interrupt-affinity for this queue (the
+	// MSI destination vCPU). ES2's redirection overrides it at
+	// kvm_set_msi_irq time.
+	Affinity int
+
+	napi      *NAPI
+	txWaiters []func()
+}
+
+// NetDev is the guest's virtio-net front-end: one or more queue pairs
+// plus the device-level policy flags.
+type NetDev struct {
+	Kern  *Kernel
+	Pairs []*QueuePair
+
+	// TX and RX alias the first queue pair's rings for the common
+	// single-queue case.
+	TX *virtio.Virtqueue
+	RX *virtio.Virtqueue
+	// Affinity aliases the first pair's affinity setting.
+	Affinity int
+
+	// DoorbellNoExit models direct device assignment (SR-IOV,
+	// Section VII): the guest rings the VF's doorbell with a plain
+	// MMIO write to the assigned BAR, which the IOMMU lets through
+	// without a VM exit. Interrupt delivery is unchanged (and still
+	// benefits from VT-d PI and redirection).
+	DoorbellNoExit bool
+
+	// TxKickExits counts kicks that became I/O-instruction exits.
+	TxKickExits uint64
+	// LocalDrops counts packets dropped in the guest because the TX
+	// ring was full (UDP semantics: drop, don't block).
+	LocalDrops uint64
+}
+
+func newNetDev(k *Kernel, ringSize, queues int) *NetDev {
+	if queues <= 0 {
+		queues = 1
+	}
+	d := &NetDev{Kern: k}
+	for qi := 0; qi < queues; qi++ {
+		p := &QueuePair{
+			Dev:   d,
+			Index: qi,
+			TX:    virtio.New("tx", ringSize),
+			RX:    virtio.New("rx", ringSize),
+			// virtio-net multiqueue affinity: queue i <-> vCPU i.
+			Affinity: qi % len(k.VM.VCPUs),
+		}
+		p.napi = newNAPI(p, 64)
+
+		// Allocate MSI-X vectors and register the ISRs in the guest IDT.
+		p.RXVector = k.VM.AllocVector(vmm.ClassDevice, p.rxISR)
+		p.TXVector = k.VM.AllocVector(vmm.ClassDevice, p.txISR)
+
+		// Wire the device-side interrupt callbacks to KVM MSI injection.
+		pp := p
+		p.RX.OnInterrupt(func() {
+			k.VM.K.InjectMSI(k.VM, apic.MSIMessage{
+				Vector: pp.RXVector, Dest: pp.Affinity, Mode: apic.LowestPriority,
+			})
+		})
+		p.TX.OnInterrupt(func() {
+			k.VM.K.InjectMSI(k.VM, apic.MSIMessage{
+				Vector: pp.TXVector, Dest: pp.Affinity, Mode: apic.LowestPriority,
+			})
+		})
+
+		// The guest virtio-net driver normally runs with TX completion
+		// interrupts suppressed (buffers are reclaimed opportunistically);
+		// the interrupt is enabled only when the ring fills up.
+		p.TX.SetNoInterrupt(true)
+
+		// Pre-post the full RX ring.
+		for i := 0; i < ringSize; i++ {
+			p.RX.Add(virtio.Desc{})
+		}
+		d.Pairs = append(d.Pairs, p)
+	}
+	d.TX = d.Pairs[0].TX
+	d.RX = d.Pairs[0].RX
+	d.Affinity = d.Pairs[0].Affinity
+	return d
+}
+
+// PairFor returns the queue pair a flow hashes to (the driver's
+// select-queue function).
+func (d *NetDev) PairFor(flow int) *QueuePair {
+	if len(d.Pairs) == 1 {
+		return d.Pairs[0]
+	}
+	idx := flow % len(d.Pairs)
+	if idx < 0 {
+		idx += len(d.Pairs)
+	}
+	return d.Pairs[idx]
+}
+
+// rxISR is the RX queue's interrupt handler: mask further RX interrupts
+// and schedule this queue's NAPI on the vCPU that took the interrupt.
+func (p *QueuePair) rxISR(v *vmm.VCPU) (cost sim.Time, fn func()) {
+	return p.Dev.Kern.Costs.IRQHandler, func() {
+		p.RX.SetNoInterrupt(true)
+		p.napi.schedule(v)
+	}
+}
+
+// txISR handles the (rare) TX completion interrupt: reclaim and wake
+// blocked senders, then re-suppress.
+func (p *QueuePair) txISR(v *vmm.VCPU) (cost sim.Time, fn func()) {
+	return p.Dev.Kern.Costs.IRQHandler, func() {
+		p.TX.SetNoInterrupt(true)
+		p.ReclaimTX()
+		p.wakeTxWaiters()
+	}
+}
+
+// ReclaimTX frees completed TX descriptors. The (small) per-buffer cost
+// is folded into the caller's task, matching free_old_xmit running
+// inside ndo_start_xmit.
+func (p *QueuePair) ReclaimTX() int {
+	n := len(p.TX.CollectUsed(0))
+	if n > 0 {
+		p.wakeTxWaiters()
+	}
+	return n
+}
+
+// WaitTX registers fn to run once when this queue's TX ring has space.
+// The device requests a TX completion interrupt to guarantee progress.
+func (p *QueuePair) WaitTX(fn func()) {
+	p.txWaiters = append(p.txWaiters, fn)
+	p.TX.SetNoInterrupt(false)
+	// Double-check: completions may already be pending.
+	if p.TX.UsedLen() > 0 {
+		p.ReclaimTX()
+	}
+}
+
+func (p *QueuePair) wakeTxWaiters() {
+	if len(p.txWaiters) == 0 {
+		return
+	}
+	ws := p.txWaiters
+	p.txWaiters = nil
+	for _, fn := range ws {
+		fn()
+	}
+}
+
+// NAPI returns the pair's NAPI context.
+func (p *QueuePair) NAPI() *NAPI { return p.napi }
+
+// Transmit enqueues p on the flow's TX ring from guest context on vCPU
+// v and performs the virtio kick. In notification mode the kick traps
+// (one I/O-instruction exit); when the back-end has suppressed
+// notifications (actively servicing, ES2 polling mode) or the device is
+// directly assigned, the kick is exit-less. It reports false when the
+// ring is full (caller should WaitTX or drop).
+func (d *NetDev) Transmit(v *vmm.VCPU, pkt *netsim.Packet) bool {
+	p := d.PairFor(pkt.Flow)
+	p.ReclaimTX()
+	if !p.TX.Add(virtio.Desc{Len: pkt.Bytes, Payload: pkt}) {
+		p.TX.SetNoInterrupt(false) // need a completion interrupt to make progress
+		return false
+	}
+	if d.DoorbellNoExit || p.TX.KickSuppressed() {
+		p.TX.Kick() // direct doorbell or suppressed: no exit
+		return true
+	}
+	d.TxKickExits++
+	v.BeginExit(vmm.ExitIOInstruction, func() { p.TX.Kick() })
+	return true
+}
+
+// TransmitOrDrop is Transmit with UDP semantics: a full ring drops the
+// packet locally (qdisc overflow) instead of blocking.
+func (d *NetDev) TransmitOrDrop(v *vmm.VCPU, p *netsim.Packet) bool {
+	if d.Transmit(v, p) {
+		return true
+	}
+	d.LocalDrops++
+	return false
+}
+
+// WaitTXFlow registers fn on the queue pair the flow hashes to.
+func (d *NetDev) WaitTXFlow(flow int, fn func()) { d.PairFor(flow).WaitTX(fn) }
+
+// TXFullFor reports whether the flow's TX ring is full.
+func (d *NetDev) TXFullFor(flow int) bool { return d.PairFor(flow).TX.Full() }
+
+// ReclaimTX reclaims completed descriptors on the first pair
+// (single-queue convenience).
+func (d *NetDev) ReclaimTX() int { return d.Pairs[0].ReclaimTX() }
+
+// WaitTX registers fn on the first pair (single-queue convenience).
+func (d *NetDev) WaitTX(fn func()) { d.Pairs[0].WaitTX(fn) }
+
+// NAPI returns the first pair's NAPI context (single-queue
+// convenience).
+func (d *NetDev) NAPI() *NAPI { return d.Pairs[0].napi }

@@ -1,0 +1,193 @@
+package guest
+
+import (
+	"es2/internal/netsim"
+	"es2/internal/sim"
+	"es2/internal/vmm"
+)
+
+// TCPSender is the guest-side state of one outbound TCP stream: a
+// congestion window that opens on ACK clocking (slow start toward the
+// socket-buffer cap; the back-to-back testbed link never drops, so no
+// loss recovery is modeled — cwnd saturates at MaxWindow, exactly as on
+// the authors' 40GbE testbed).
+type TCPSender struct {
+	Kern     *Kernel
+	FlowID   int
+	SegBytes int
+	// MaxWindow caps the in-flight segments (min of socket buffer and
+	// the peer's advertised window).
+	MaxWindow int
+
+	cwnd      int
+	inFlight  int
+	nextSeq   int64
+	lastAcked int64
+
+	onWindowOpen func()
+
+	// SentSegs and AckedSegs count stream progress.
+	SentSegs  uint64
+	AckedSegs uint64
+}
+
+// NewTCPSender registers and returns a sender flow. The initial window
+// is 10 segments (IW10).
+func NewTCPSender(k *Kernel, flowID, segBytes, maxWindow int) *TCPSender {
+	f := &TCPSender{Kern: k, FlowID: flowID, SegBytes: segBytes, MaxWindow: maxWindow, cwnd: 10}
+	if f.cwnd > maxWindow {
+		f.cwnd = maxWindow
+	}
+	k.RegisterFlow(flowID, f)
+	return f
+}
+
+// Window returns the current effective window in segments.
+func (f *TCPSender) Window() int {
+	if f.cwnd < f.MaxWindow {
+		return f.cwnd
+	}
+	return f.MaxWindow
+}
+
+// CanSend reports whether the window admits another segment.
+func (f *TCPSender) CanSend() bool { return f.inFlight < f.Window() }
+
+// InFlight returns the number of unacknowledged segments.
+func (f *TCPSender) InFlight() int { return f.inFlight }
+
+// NextSegment builds the next data segment and accounts it in flight.
+// The caller transmits it via the NetDev.
+func (f *TCPSender) NextSegment() *netsim.Packet {
+	p := &netsim.Packet{Bytes: f.SegBytes, Kind: KindTCPData, Flow: f.FlowID, Seq: f.nextSeq}
+	f.nextSeq++
+	f.inFlight++
+	f.SentSegs++
+	return p
+}
+
+// WaitWindow registers a one-shot callback invoked when ACKs reopen the
+// window.
+func (f *TCPSender) WaitWindow(fn func()) { f.onWindowOpen = fn }
+
+// RXCost implements FlowHandler: incoming packets on a sender flow are
+// pure ACKs.
+func (f *TCPSender) RXCost(p *netsim.Packet) sim.Time { return f.Kern.Costs.AckRX }
+
+// HandleRX implements FlowHandler: cumulative ACK processing.
+func (f *TCPSender) HandleRX(p *netsim.Packet, v *vmm.VCPU) {
+	if p.Kind != KindTCPAck {
+		return
+	}
+	acked := p.Seq - f.lastAcked
+	if acked <= 0 {
+		return
+	}
+	f.lastAcked = p.Seq
+	f.inFlight -= int(acked)
+	if f.inFlight < 0 {
+		f.inFlight = 0
+	}
+	f.AckedSegs += uint64(acked)
+	// Slow-start growth toward the cap; the lossless link never
+	// triggers congestion avoidance.
+	f.cwnd += int(acked)
+	if f.cwnd > f.MaxWindow {
+		f.cwnd = f.MaxWindow
+	}
+	if f.onWindowOpen != nil && f.CanSend() {
+		fn := f.onWindowOpen
+		f.onWindowOpen = nil
+		fn()
+	}
+}
+
+// TCPReceiver is the guest-side state of one inbound TCP stream. The
+// receive path is two-stage, as in a real kernel: softirq does the
+// protocol work and generates one cumulative stretch ACK per NAPI poll
+// batch (GRO behaviour), while the copy to userspace is charged to a
+// process-context task that — like a wake-affine receiver process —
+// follows the vCPU the softirq ran on. The ACK transmissions are the
+// residual I/O-instruction exits the paper observes in the receive
+// direction ("ACK packets are sent only at a certain interval").
+type TCPReceiver struct {
+	Kern   *Kernel
+	FlowID int
+
+	lastSeq    int64
+	pendingAck int
+
+	appPendingPkts  int
+	appPendingBytes int
+	appBusy         bool
+
+	// BytesReceived and Segs count goodput (counted when the copy to
+	// the application completes).
+	BytesReceived uint64
+	Segs          uint64
+	// AcksSent counts outbound ACKs; AckDrops counts ACKs lost to a
+	// full TX ring (recovered by later cumulative ACKs).
+	AcksSent uint64
+	AckDrops uint64
+}
+
+// NewTCPReceiver registers and returns a receiver flow.
+func NewTCPReceiver(k *Kernel, flowID int) *TCPReceiver {
+	f := &TCPReceiver{Kern: k, FlowID: flowID}
+	k.RegisterFlow(flowID, f)
+	return f
+}
+
+// RXCost implements FlowHandler: softirq protocol work only; the copy
+// stage is charged to the receiver process.
+func (f *TCPReceiver) RXCost(p *netsim.Packet) sim.Time {
+	return f.Kern.Costs.RXProtocol
+}
+
+// HandleRX implements FlowHandler.
+func (f *TCPReceiver) HandleRX(p *netsim.Packet, v *vmm.VCPU) {
+	if p.Kind != KindTCPData {
+		return
+	}
+	if p.Seq > f.lastSeq {
+		f.lastSeq = p.Seq
+	}
+	f.pendingAck++
+	f.appPendingPkts++
+	f.appPendingBytes += p.Bytes
+}
+
+// BatchEnd implements BatchHandler: one cumulative ACK per poll batch
+// (its build cost rides on the batch's NAPI accounting), then wake the
+// receiver process on this vCPU.
+func (f *TCPReceiver) BatchEnd(v *vmm.VCPU) {
+	if f.pendingAck > 0 {
+		f.pendingAck = 0
+		ack := &netsim.Packet{Bytes: 66, Kind: KindTCPAck, Flow: f.FlowID, Seq: f.lastSeq + 1}
+		if f.Kern.Dev.Transmit(v, ack) {
+			f.AcksSent++
+		} else {
+			f.AckDrops++
+		}
+	}
+	f.runApp(v)
+}
+
+// runApp drains the pending copy work as a process-context task on v
+// (wake affinity: the receiver runs where it was woken).
+func (f *TCPReceiver) runApp(v *vmm.VCPU) {
+	if f.appBusy || f.appPendingPkts == 0 {
+		return
+	}
+	f.appBusy = true
+	pkts, bytes := f.appPendingPkts, f.appPendingBytes
+	f.appPendingPkts, f.appPendingBytes = 0, 0
+	c := f.Kern.Costs
+	cost := sim.Time(pkts)*c.RXCopyBase + sim.Time(c.RXCopyPerByte*float64(bytes))
+	v.EnqueueTask(vmm.NewTask("recv-copy", vmm.PrioTask, f.Kern.JitterCost(cost), func() {
+		f.BytesReceived += uint64(bytes)
+		f.Segs += uint64(pkts)
+		f.appBusy = false
+		f.runApp(v)
+	}))
+}

@@ -1,0 +1,120 @@
+// Package netsim provides the physical-network substrate: packets and
+// full-duplex point-to-point links with serialization and propagation
+// delay. It stands in for the testbed's back-to-back 40GbE NICs; the
+// protocol endpoints (guest network stack, external traffic generator)
+// live in the guest and workloads packages.
+package netsim
+
+import (
+	"es2/internal/sim"
+)
+
+// Packet is one frame on the wire. Protocol semantics are carried by
+// Kind/Flow/Payload and interpreted by the endpoints.
+type Packet struct {
+	// Bytes is the frame length used for serialization timing.
+	Bytes int
+	// Kind tags the protocol meaning (endpoint-defined).
+	Kind int
+	// Flow identifies the connection/stream the packet belongs to.
+	Flow int
+	// Seq is an endpoint-defined sequence number.
+	Seq int64
+	// Payload carries an arbitrary model object.
+	Payload any
+	// Sent records when the packet entered the wire (stamped by Port.Send).
+	Sent sim.Time
+}
+
+// Endpoint receives packets from a link.
+type Endpoint interface {
+	Receive(p *Packet)
+}
+
+// EndpointFunc adapts a function to the Endpoint interface.
+type EndpointFunc func(p *Packet)
+
+// Receive implements Endpoint.
+func (f EndpointFunc) Receive(p *Packet) { f(p) }
+
+// Link is a full-duplex point-to-point link: two independent directed
+// channels, each with a serialization rate and propagation delay.
+type Link struct {
+	eng *sim.Engine
+	a2b *Port
+	b2a *Port
+}
+
+// Port is one directed channel of a link; model code holds the Port for
+// its sending direction.
+type Port struct {
+	eng       *sim.Engine
+	rate      float64 // bytes per nanosecond
+	delay     sim.Time
+	busyUntil sim.Time
+	dst       Endpoint
+
+	// PacketsSent and BytesSent count traffic through this port.
+	PacketsSent uint64
+	BytesSent   uint64
+}
+
+// NewLink creates a link with the given rate in gigabits per second and
+// one-way propagation delay. Endpoints are attached with Attach.
+func NewLink(eng *sim.Engine, gbps float64, delay sim.Time) *Link {
+	if gbps <= 0 {
+		panic("netsim: rate must be positive")
+	}
+	bytesPerNs := gbps / 8.0 // Gbit/s == bit/ns; /8 for bytes
+	l := &Link{eng: eng}
+	l.a2b = &Port{eng: eng, rate: bytesPerNs, delay: delay}
+	l.b2a = &Port{eng: eng, rate: bytesPerNs, delay: delay}
+	return l
+}
+
+// Attach wires endpoint a to one side and b to the other. PortA sends
+// toward b; PortB sends toward a.
+func (l *Link) Attach(a, b Endpoint) {
+	l.a2b.dst = b
+	l.b2a.dst = a
+}
+
+// PortA returns the sending port of side A (delivers to B).
+func (l *Link) PortA() *Port { return l.a2b }
+
+// PortB returns the sending port of side B (delivers to A).
+func (l *Link) PortB() *Port { return l.b2a }
+
+// Send transmits p: it is serialized after any frames already queued on
+// this direction, then propagates, then is delivered to the remote
+// endpoint.
+func (p *Port) Send(pkt *Packet) {
+	if p.dst == nil {
+		panic("netsim: port has no attached endpoint")
+	}
+	now := p.eng.Now()
+	start := now
+	if p.busyUntil > start {
+		start = p.busyUntil
+	}
+	ser := sim.Time(float64(pkt.Bytes) / p.rate)
+	if ser < 1 {
+		ser = 1
+	}
+	done := start + ser
+	p.busyUntil = done
+	pkt.Sent = now
+	p.PacketsSent++
+	p.BytesSent += uint64(pkt.Bytes)
+	dst := p.dst
+	p.eng.At(done+p.delay, func() { dst.Receive(pkt) })
+}
+
+// QueueDelay reports how long a packet sent now would wait before its
+// serialization starts (backlog on this direction).
+func (p *Port) QueueDelay() sim.Time {
+	if d := p.busyUntil - p.eng.Now(); d > 0 {
+		return d
+	}
+	return 0
+}

@@ -1,0 +1,287 @@
+package sched
+
+import "es2/internal/sim"
+
+// core is one physical CPU with its private runqueue.
+type core struct {
+	id int
+	s  *Scheduler
+
+	// rq holds runnable threads (excluding cur) ordered by (vruntime,
+	// seq). It is small (a handful of threads), so a sorted slice beats
+	// a tree and is trivially deterministic.
+	rq []*Thread
+
+	cur         *Thread
+	chunkEvt    *sim.Handle
+	sliceEvt    *sim.Handle
+	runStart    sim.Time // when cur last started being charged
+	minVr       int64    // floor of vruntime on this core
+	dispatching bool
+	needResched bool
+}
+
+// minVruntime returns the smallest plausible vruntime on the core, used
+// for wakeup placement.
+func (c *core) minVruntime() int64 {
+	v := c.minVr
+	if c.cur != nil && c.cur.vruntime > v {
+		v = c.cur.vruntime
+	}
+	return v
+}
+
+func (c *core) enqueue(t *Thread) {
+	// Insertion sort by (vruntime, seq): stable and deterministic.
+	i := len(c.rq)
+	for i > 0 {
+		p := c.rq[i-1]
+		if p.vruntime < t.vruntime || (p.vruntime == t.vruntime && p.seq < t.seq) {
+			break
+		}
+		i--
+	}
+	c.rq = append(c.rq, nil)
+	copy(c.rq[i+1:], c.rq[i:])
+	c.rq[i] = t
+}
+
+func (c *core) dequeueLeftmost() *Thread {
+	t := c.rq[0]
+	copy(c.rq, c.rq[1:])
+	c.rq[len(c.rq)-1] = nil
+	c.rq = c.rq[:len(c.rq)-1]
+	return t
+}
+
+// kick starts dispatching when the core is idle. While the core is
+// inside its own scheduling logic, the pending queue is picked up
+// naturally, so kick does nothing; preemption decisions are made
+// exclusively by maybePreemptFor.
+func (c *core) kick() {
+	if c.dispatching {
+		return
+	}
+	if c.cur == nil && len(c.rq) > 0 {
+		c.dispatch()
+	}
+}
+
+// maybePreemptFor applies the CFS wakeup-preemption check for a newly
+// woken thread t against the currently running thread.
+func (c *core) maybePreemptFor(t *Thread) {
+	if c.cur == nil || c.cur == t {
+		return
+	}
+	gran := int64(c.s.params.WakeupGranularity) * NiceZeroWeight / c.cur.weight
+	if c.cur.vruntime-t.vruntime > gran {
+		if c.dispatching {
+			c.needResched = true
+			return
+		}
+		c.preemptCurrent()
+	}
+}
+
+// chargeCurrent accounts CPU time consumed by cur since runStart.
+func (c *core) chargeCurrent() {
+	t := c.cur
+	if t == nil {
+		return
+	}
+	now := c.s.eng.Now()
+	delta := now - c.runStart
+	c.runStart = now
+	if delta <= 0 {
+		return
+	}
+	t.sumExec += delta
+	t.vruntime += int64(delta) * NiceZeroWeight / t.weight
+	if t.vruntime > c.minVr {
+		c.minVr = t.vruntime
+	}
+	t.Source.Ran(delta)
+}
+
+// sliceLength computes the current timeslice for cur. The ±10% jitter
+// models the OS noise (interrupts, kernel threads, timer skew) that
+// keeps real cores' scheduling phases diffusing instead of freezing
+// into pathological alignments.
+func (c *core) sliceLength() sim.Time {
+	nr := len(c.rq) + 1
+	slice := c.s.params.Latency / sim.Time(nr)
+	if slice < c.s.params.MinGranularity {
+		slice = c.s.params.MinGranularity
+	}
+	return c.s.rng.Jitter(slice, 0.10)
+}
+
+// dispatch picks the next thread and starts it. Must not be re-entered.
+func (c *core) dispatch() {
+	c.dispatching = true
+	defer func() { c.dispatching = false }()
+
+	for {
+		c.needResched = false
+		if c.cur == nil {
+			if len(c.rq) == 0 {
+				return // idle
+			}
+			next := c.dequeueLeftmost()
+			next.state = Running
+			c.cur = next
+			c.runStart = c.s.eng.Now()
+			c.s.ContextSwitches++
+			if next.SchedIn != nil {
+				next.SchedIn(c.id)
+			}
+			c.armSlice()
+		}
+		// Ask the source for work. This may be a fresh chunk or the
+		// continuation after preemption/Requery.
+		chunk := c.cur.Source.NextChunk()
+		if chunk <= 0 {
+			// No work: the thread blocks.
+			c.stopCurrent(Sleeping)
+			continue
+		}
+		c.armChunk(chunk)
+		// If model code requested rescheduling while we were arming
+		// (shouldn't normally happen here), loop.
+		if !c.needResched {
+			return
+		}
+		c.preemptLocked()
+	}
+}
+
+func (c *core) armSlice() {
+	if c.sliceEvt != nil {
+		c.sliceEvt.Cancel()
+	}
+	c.sliceEvt = c.s.eng.After(c.sliceLength(), c.sliceExpired)
+}
+
+func (c *core) armChunk(chunk sim.Time) {
+	if c.chunkEvt != nil {
+		c.chunkEvt.Cancel()
+	}
+	c.chunkEvt = c.s.eng.After(chunk, c.chunkDone)
+}
+
+// stopCurrent charges cur, fires SchedOut, and transitions it to the
+// given state (Runnable re-enqueues it, Sleeping parks it).
+func (c *core) stopCurrent(to State) {
+	t := c.cur
+	c.chargeCurrent()
+	if c.chunkEvt != nil {
+		c.chunkEvt.Cancel()
+		c.chunkEvt = nil
+	}
+	if c.sliceEvt != nil {
+		c.sliceEvt.Cancel()
+		c.sliceEvt = nil
+	}
+	c.cur = nil
+	t.state = to
+	if to == Runnable {
+		t.seq = c.s.seq
+		c.s.seq++
+		c.enqueue(t)
+	}
+	if t.SchedOut != nil {
+		t.SchedOut()
+	}
+}
+
+// preemptCurrent forces the running thread off the CPU and dispatches.
+func (c *core) preemptCurrent() {
+	if c.cur == nil {
+		c.kick()
+		return
+	}
+	c.dispatching = true
+	c.preemptLocked()
+	c.dispatching = false
+	c.dispatch()
+}
+
+func (c *core) preemptLocked() {
+	if c.cur != nil {
+		c.stopCurrent(Runnable)
+	}
+}
+
+// chunkDone fires when the current chunk ran to completion.
+func (c *core) chunkDone() {
+	c.chunkEvt = nil
+	if c.cur == nil {
+		return
+	}
+	c.dispatching = true
+	c.chargeCurrent()
+	c.cur.Source.ChunkDone()
+	c.dispatching = false
+
+	if c.cur == nil {
+		// ChunkDone's side effects somehow cleared the CPU; dispatch.
+		c.dispatch()
+		return
+	}
+	// Honor any preemption requested during the callback, or by a
+	// lower-vruntime waiter if our slice also expired meanwhile.
+	if c.needResched {
+		c.needResched = false
+		c.preemptCurrent()
+		return
+	}
+	c.dispatch()
+}
+
+// sliceExpired fires at timeslice end: preempt if anyone is waiting.
+func (c *core) sliceExpired() {
+	c.sliceEvt = nil
+	if c.cur == nil {
+		return
+	}
+	if len(c.rq) == 0 {
+		// Nobody waiting: keep running, restart the slice clock.
+		c.chargeCurrent()
+		c.armSlice()
+		return
+	}
+	c.preemptCurrent()
+}
+
+// requeryCurrent cuts the in-flight chunk short and re-consults the
+// work source (used when new higher-priority work arrives for a running
+// thread, e.g. an interrupt posted to a running vCPU).
+func (c *core) requeryCurrent(t *Thread) {
+	if c.cur != t {
+		return
+	}
+	if c.dispatching {
+		// Already inside scheduling logic; NextChunk will be consulted
+		// before it finishes.
+		return
+	}
+	c.chargeCurrent()
+	if c.chunkEvt != nil {
+		c.chunkEvt.Cancel()
+		c.chunkEvt = nil
+	}
+	c.dispatching = true
+	chunk := t.Source.NextChunk()
+	if chunk > 0 {
+		c.armChunk(chunk)
+		c.dispatching = false
+		if c.needResched {
+			c.needResched = false
+			c.preemptCurrent()
+		}
+		return
+	}
+	c.stopCurrent(Sleeping)
+	c.dispatching = false
+	c.dispatch()
+}

@@ -1,0 +1,314 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1e9 {
+		t.Fatalf("Second = %d, want 1e9", int64(Second))
+	}
+	if DurationOf(2*time.Millisecond) != 2*Millisecond {
+		t.Fatalf("DurationOf mismatch")
+	}
+	if got := (1500 * Microsecond).Millis(); got != 1.5 {
+		t.Fatalf("Millis = %v, want 1.5", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500us"},
+		{2500 * Microsecond, "2.500ms"},
+		{3 * Second, "3.000000s"},
+		{-1500, "-1.500us"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.RunAll()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineTieBreakByInsertion(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order broken: order=%v", order)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	h := e.At(10, func() { fired = true })
+	if !h.Active() {
+		t.Fatal("handle should be active before firing")
+	}
+	h.Cancel()
+	e.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if h.Active() {
+		t.Fatal("cancelled handle still active")
+	}
+}
+
+func TestEngineRunHorizon(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	e.At(10, func() { fired = append(fired, 10) })
+	e.At(50, func() { fired = append(fired, 50) })
+	e.Run(30)
+	if len(fired) != 1 || fired[0] != 10 {
+		t.Fatalf("fired = %v, want [10]", fired)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v, want 30 (horizon)", e.Now())
+	}
+	e.Run(100)
+	if len(fired) != 2 {
+		t.Fatalf("second Run should fire the remaining event, fired=%v", fired)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now = %v, want 100", e.Now())
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			e.After(Microsecond, tick)
+		}
+	}
+	e.After(0, tick)
+	e.RunAll()
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+	if e.Now() != 99*Microsecond {
+		t.Fatalf("Now = %v, want 99us", e.Now())
+	}
+}
+
+func TestEnginePastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.RunAll()
+}
+
+func TestEngineNilFnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil fn did not panic")
+		}
+	}()
+	NewEngine(1).At(10, nil)
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	e.At(1, func() { n++; e.Stop() })
+	e.At(2, func() { n++ })
+	e.RunAll()
+	if n != 1 {
+		t.Fatalf("n = %d, want 1 (Stop should halt execution)", n)
+	}
+	if !e.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+}
+
+func TestEngineStepSkipsCancelled(t *testing.T) {
+	e := NewEngine(1)
+	h := e.At(1, func() {})
+	fired := false
+	e.At(2, func() { fired = true })
+	h.Cancel()
+	if !e.Step() {
+		t.Fatal("Step should execute the live event")
+	}
+	if !fired {
+		t.Fatal("live event did not fire")
+	}
+}
+
+func TestEngineEventsFired(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 5; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.RunAll()
+	if e.EventsFired() != 5 {
+		t.Fatalf("EventsFired = %d, want 5", e.EventsFired())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", e.Pending())
+	}
+}
+
+// Property: events fire in non-decreasing time order regardless of the
+// insertion order.
+func TestEngineMonotonicProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine(7)
+		var fireTimes []Time
+		for _, d := range delays {
+			e.At(Time(d), func() { fireTimes = append(fireTimes, e.Now()) })
+		}
+		e.RunAll()
+		if len(fireTimes) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fireTimes); i++ {
+			if fireTimes[i] < fireTimes[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a2 := NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		if v := r.ExpFloat64(); v < 0 {
+			t.Fatalf("ExpFloat64 negative: %v", v)
+		}
+	}
+}
+
+func TestRandIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestRandExpDurationMean(t *testing.T) {
+	r := NewRand(9)
+	const mean = 100 * Microsecond
+	var sum Time
+	const n = 200000
+	for i := 0; i < n; i++ {
+		d := r.ExpDuration(mean)
+		if d < 0 || d > 20*mean {
+			t.Fatalf("ExpDuration out of range: %v", d)
+		}
+		sum += d
+	}
+	got := float64(sum) / n
+	if got < 0.95*float64(mean) || got > 1.05*float64(mean) {
+		t.Fatalf("ExpDuration empirical mean %.0f, want ~%d", got, int64(mean))
+	}
+}
+
+func TestRandJitter(t *testing.T) {
+	r := NewRand(5)
+	base := 1000 * Nanosecond
+	for i := 0; i < 1000; i++ {
+		v := r.Jitter(base, 0.25)
+		if v < 750 || v > 1250 {
+			t.Fatalf("Jitter out of range: %v", v)
+		}
+	}
+	if r.Jitter(base, 0) != base {
+		t.Fatal("Jitter with f=0 must return base")
+	}
+}
+
+func TestRandPerm(t *testing.T) {
+	r := NewRand(3)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm invalid: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRandFork(t *testing.T) {
+	r := NewRand(11)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	if f1.Uint64() == f2.Uint64() {
+		t.Fatal("forked generators should differ")
+	}
+}

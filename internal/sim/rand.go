@@ -1,0 +1,94 @@
+package sim
+
+import "math"
+
+// Rand is a small, fast, deterministic pseudo-random generator based on
+// splitmix64. It intentionally does not implement math/rand.Source so
+// that model code cannot accidentally swap in a wall-clock-seeded source.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed. Two generators with the
+// same seed produce identical streams.
+func NewRand(seed uint64) *Rand {
+	// Avoid the all-zero fixed point by mixing in a constant.
+	return &Rand{state: seed + 0x9e3779b97f4a7c15}
+}
+
+// Uint64 returns the next value in the stream.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with mean 1.
+func (r *Rand) ExpFloat64() float64 {
+	u := r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -math.Log(1 - u)
+}
+
+// Duration returns a uniform virtual duration in [0, d). d must be > 0.
+func (r *Rand) Duration(d Time) Time { return Time(r.Int63n(int64(d))) }
+
+// ExpDuration returns an exponentially distributed duration with the
+// given mean, capped at 20x the mean to keep event horizons bounded.
+func (r *Rand) ExpDuration(mean Time) Time {
+	d := Time(float64(mean) * r.ExpFloat64())
+	if max := 20 * mean; d > max {
+		d = max
+	}
+	return d
+}
+
+// Jitter returns base perturbed by a uniform factor in [1-f, 1+f].
+// f must be in [0, 1).
+func (r *Rand) Jitter(base Time, f float64) Time {
+	if f <= 0 {
+		return base
+	}
+	scale := 1 - f + 2*f*r.Float64()
+	return Time(float64(base) * scale)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Fork derives an independent generator whose stream is a pure function
+// of the parent state, for subsystems that need private randomness.
+func (r *Rand) Fork() *Rand { return NewRand(r.Uint64()) }

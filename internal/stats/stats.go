@@ -1,0 +1,91 @@
+// Package stats provides the small-sample statistics used when
+// aggregating replicated experiment runs: mean, standard deviation,
+// and Student-t confidence intervals.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sample summarizes a set of observations.
+type Sample struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (Bessel-corrected)
+	Min    float64
+	Max    float64
+}
+
+// Describe computes summary statistics for xs. An empty slice yields a
+// zero Sample.
+func Describe(xs []float64) Sample {
+	s := Sample{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	sum := 0.0
+	s.Min, s.Max = xs[0], xs[0]
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// t95 holds two-sided 95% Student-t critical values by degrees of
+// freedom (1..30); beyond 30 the normal value is used.
+var t95 = []float64{
+	0, // df=0 unused
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// CI95 returns the half-width of the 95% confidence interval for the
+// mean (0 when fewer than two observations).
+func (s Sample) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	df := s.N - 1
+	t := 1.960
+	if df < len(t95) {
+		t = t95[df]
+	}
+	return t * s.StdDev / math.Sqrt(float64(s.N))
+}
+
+// String renders "mean ± ci95 [n=N]".
+func (s Sample) String() string {
+	if s.N == 0 {
+		return "n/a"
+	}
+	if s.N == 1 {
+		return fmt.Sprintf("%.4g", s.Mean)
+	}
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean, s.CI95(), s.N)
+}
+
+// RelSpread returns (max-min)/mean as a dimensionless dispersion
+// measure (0 for degenerate samples).
+func (s Sample) RelSpread() float64 {
+	if s.N == 0 || s.Mean == 0 {
+		return 0
+	}
+	return (s.Max - s.Min) / math.Abs(s.Mean)
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDescribeBasics(t *testing.T) {
+	s := Describe([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("N=%d mean=%v", s.N, s.Mean)
+	}
+	// Sample stddev of this classic set is ~2.138.
+	if math.Abs(s.StdDev-2.13809) > 1e-4 {
+		t.Fatalf("stddev = %v", s.StdDev)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestDescribeDegenerate(t *testing.T) {
+	if s := Describe(nil); s.N != 0 || s.CI95() != 0 || s.String() != "n/a" {
+		t.Fatal("empty sample mishandled")
+	}
+	s := Describe([]float64{3.5})
+	if s.Mean != 3.5 || s.StdDev != 0 || s.CI95() != 0 {
+		t.Fatalf("single sample: %+v", s)
+	}
+	if strings.Contains(s.String(), "±") {
+		t.Fatal("single sample should not render a CI")
+	}
+}
+
+func TestCI95KnownValue(t *testing.T) {
+	// n=3, stddev=1 → half-width = 4.303/sqrt(3) ≈ 2.484
+	s := Sample{N: 3, StdDev: 1}
+	if math.Abs(s.CI95()-4.303/math.Sqrt(3)) > 1e-9 {
+		t.Fatalf("CI95 = %v", s.CI95())
+	}
+	// Large n falls back to the normal value.
+	big := Sample{N: 100, StdDev: 1}
+	if math.Abs(big.CI95()-1.96/10) > 1e-9 {
+		t.Fatalf("CI95(large) = %v", big.CI95())
+	}
+}
+
+func TestStringWithCI(t *testing.T) {
+	s := Describe([]float64{1, 2, 3})
+	out := s.String()
+	if !strings.Contains(out, "±") || !strings.Contains(out, "n=3") {
+		t.Fatalf("String() = %q", out)
+	}
+}
+
+func TestRelSpread(t *testing.T) {
+	s := Describe([]float64{90, 100, 110})
+	if math.Abs(s.RelSpread()-0.2) > 1e-9 {
+		t.Fatalf("RelSpread = %v", s.RelSpread())
+	}
+	if (Sample{}).RelSpread() != 0 {
+		t.Fatal("degenerate RelSpread should be 0")
+	}
+}
+
+// Properties: mean within [min,max]; stddev non-negative; shifting the
+// data shifts the mean and preserves the stddev.
+func TestDescribeProperties(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Describe(xs)
+		if s.Mean < s.Min-1e-9 || s.Mean > s.Max+1e-9 || s.StdDev < 0 {
+			return false
+		}
+		shifted := make([]float64, len(xs))
+		for i := range xs {
+			shifted[i] = xs[i] + 1000
+		}
+		s2 := Describe(shifted)
+		return math.Abs(s2.Mean-(s.Mean+1000)) < 1e-6 && math.Abs(s2.StdDev-s.StdDev) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

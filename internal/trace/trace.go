@@ -1,0 +1,194 @@
+// Package trace provides a bounded event-trace facility in the spirit
+// of perf-kvm (the tool the paper uses to collect its exit statistics,
+// Section VI-C): model components record typed events into a per-run
+// ring buffer, and reports aggregate them into cause breakdowns or dump
+// them for inspection.
+//
+// Tracing is optional and zero-cost when no buffer is installed.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"es2/internal/sim"
+)
+
+// Kind tags a trace event.
+type Kind uint8
+
+const (
+	// KindExit is a VM exit; Arg carries the exit reason.
+	KindExit Kind = iota
+	// KindIRQDeliver is a virtual interrupt accepted by a vCPU; Arg is
+	// the vector.
+	KindIRQDeliver
+	// KindIRQEOI is an interrupt completion; Arg is the vector.
+	KindIRQEOI
+	// KindSchedIn / KindSchedOut are vCPU preemption-notifier events;
+	// Arg is the core id.
+	KindSchedIn
+	KindSchedOut
+	// KindKick is a delivered guest notification (ioeventfd).
+	KindKick
+	// KindSignal is a back-end interrupt signal (irqfd).
+	KindSignal
+	// KindRedirect is an ES2 routing decision; Arg is the chosen vCPU.
+	KindRedirect
+
+	numKinds = iota
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindExit:
+		return "exit"
+	case KindIRQDeliver:
+		return "irq-deliver"
+	case KindIRQEOI:
+		return "irq-eoi"
+	case KindSchedIn:
+		return "sched-in"
+	case KindSchedOut:
+		return "sched-out"
+	case KindKick:
+		return "kick"
+	case KindSignal:
+		return "signal"
+	case KindRedirect:
+		return "redirect"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one trace record.
+type Event struct {
+	T    sim.Time
+	Kind Kind
+	// VM and VCPU identify the subject (-1 when not applicable).
+	VM   int
+	VCPU int
+	// Arg is kind-specific (exit reason, vector, core...).
+	Arg int64
+}
+
+// String renders one record.
+func (e Event) String() string {
+	return fmt.Sprintf("%12v vm%d/vcpu%d %-12s arg=%d", e.T, e.VM, e.VCPU, e.Kind, e.Arg)
+}
+
+// Buffer is a bounded ring of events. The zero value is unusable; use
+// New. A nil *Buffer is safe to record into (no-op), so components can
+// hold one unconditionally.
+type Buffer struct {
+	ring []Event
+	next int // overwrite cursor once the ring is full
+
+	// Total counts all events ever recorded (the ring overwrites the
+	// oldest once full, so Len() may be smaller).
+	Total uint64
+
+	counts [numKinds]uint64
+}
+
+// New creates a buffer retaining the last capacity events.
+func New(capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = 1 << 14
+	}
+	return &Buffer{ring: make([]Event, 0, capacity)}
+}
+
+// Record appends an event (overwriting the oldest when full). Safe on
+// a nil receiver.
+func (b *Buffer) Record(t sim.Time, k Kind, vm, vcpu int, arg int64) {
+	if b == nil {
+		return
+	}
+	b.Total++
+	b.counts[k]++
+	e := Event{T: t, Kind: k, VM: vm, VCPU: vcpu, Arg: arg}
+	if len(b.ring) < cap(b.ring) {
+		b.ring = append(b.ring, e)
+		return
+	}
+	b.ring[b.next] = e
+	b.next++
+	if b.next == len(b.ring) {
+		b.next = 0
+	}
+}
+
+// Len returns the number of retained events.
+func (b *Buffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.ring)
+}
+
+// Count returns how many events of kind k were ever recorded.
+func (b *Buffer) Count(k Kind) uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.counts[k]
+}
+
+// Events returns the retained events in chronological order.
+func (b *Buffer) Events() []Event {
+	if b == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(b.ring))
+	if len(b.ring) == cap(b.ring) {
+		out = append(out, b.ring[b.next:]...)
+		out = append(out, b.ring[:b.next]...)
+	} else {
+		out = append(out, b.ring...)
+	}
+	return out
+}
+
+// Summary renders per-kind totals and, for exits, a cause breakdown
+// using the provided reason namer.
+func (b *Buffer) Summary(elapsed sim.Time, exitName func(int64) string) string {
+	if b == nil {
+		return "trace: disabled\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace: %d events recorded, %d retained\n", b.Total, b.Len())
+	for k := Kind(0); k < numKinds; k++ {
+		if b.counts[k] == 0 {
+			continue
+		}
+		rate := 0.0
+		if elapsed > 0 {
+			rate = float64(b.counts[k]) / elapsed.Seconds()
+		}
+		fmt.Fprintf(&sb, "  %-12s %10d  (%.0f/s)\n", k, b.counts[k], rate)
+	}
+	if exitName != nil {
+		byReason := map[int64]int{}
+		for _, e := range b.Events() {
+			if e.Kind == KindExit {
+				byReason[e.Arg]++
+			}
+		}
+		if len(byReason) > 0 {
+			var reasons []int64
+			for r := range byReason {
+				reasons = append(reasons, r)
+			}
+			sort.Slice(reasons, func(i, j int) bool { return byReason[reasons[i]] > byReason[reasons[j]] })
+			sb.WriteString("  retained exits by cause:\n")
+			for _, r := range reasons {
+				fmt.Fprintf(&sb, "    %-20s %8d\n", exitName(r), byReason[r])
+			}
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"es2/internal/sim"
+)
+
+func TestNilBufferIsNoop(t *testing.T) {
+	var b *Buffer
+	b.Record(1, KindExit, 0, 0, 2) // must not panic
+	if b.Len() != 0 || b.Count(KindExit) != 0 {
+		t.Fatal("nil buffer should report zeros")
+	}
+	if b.Events() != nil {
+		t.Fatal("nil buffer should return nil events")
+	}
+	if !strings.Contains(b.Summary(sim.Second, nil), "disabled") {
+		t.Fatal("nil buffer summary should say disabled")
+	}
+}
+
+func TestRecordAndCounts(t *testing.T) {
+	b := New(16)
+	b.Record(10, KindExit, 0, 1, 2)
+	b.Record(20, KindIRQDeliver, 0, 1, 0x41)
+	b.Record(30, KindExit, 1, 0, 0)
+	if b.Total != 3 || b.Len() != 3 {
+		t.Fatalf("total=%d len=%d", b.Total, b.Len())
+	}
+	if b.Count(KindExit) != 2 || b.Count(KindIRQDeliver) != 1 {
+		t.Fatal("per-kind counts wrong")
+	}
+	evs := b.Events()
+	if len(evs) != 3 || evs[0].T != 10 || evs[2].VM != 1 {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	b := New(4)
+	for i := 0; i < 10; i++ {
+		b.Record(sim.Time(i), KindExit, 0, 0, int64(i))
+	}
+	if b.Total != 10 {
+		t.Fatalf("Total = %d", b.Total)
+	}
+	evs := b.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	// Chronological order of the newest four: 6,7,8,9.
+	for i, e := range evs {
+		if e.Arg != int64(6+i) {
+			t.Fatalf("events out of order: %+v", evs)
+		}
+	}
+}
+
+func TestSummaryRendersExitBreakdown(t *testing.T) {
+	b := New(8)
+	b.Record(1, KindExit, 0, 0, 0)
+	b.Record(2, KindExit, 0, 0, 0)
+	b.Record(3, KindExit, 0, 0, 1)
+	b.Record(4, KindSchedIn, 0, 0, 2)
+	s := b.Summary(sim.Second, func(r int64) string {
+		if r == 0 {
+			return "ReasonZero"
+		}
+		return "ReasonOne"
+	})
+	for _, want := range []string{"ReasonZero", "ReasonOne", "exit", "sched-in", "4 events"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestKindAndEventStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	e := Event{T: 1500, Kind: KindKick, VM: 1, VCPU: 2, Arg: 3}
+	if !strings.Contains(e.String(), "kick") {
+		t.Fatal("event string missing kind")
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	b := New(0)
+	if cap(b.ring) != 1<<14 {
+		t.Fatalf("default capacity = %d", cap(b.ring))
+	}
+}
+
+// Property: the ring always retains the most recent min(total, cap)
+// events in chronological order.
+func TestRingRetentionProperty(t *testing.T) {
+	f := func(n uint16, capRaw uint8) bool {
+		capacity := int(capRaw)%32 + 1
+		b := New(capacity)
+		total := int(n) % 200
+		for i := 0; i < total; i++ {
+			b.Record(sim.Time(i), KindExit, 0, 0, int64(i))
+		}
+		evs := b.Events()
+		want := total
+		if want > capacity {
+			want = capacity
+		}
+		if len(evs) != want {
+			return false
+		}
+		for i, e := range evs {
+			if e.Arg != int64(total-want+i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

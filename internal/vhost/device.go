@@ -1,0 +1,317 @@
+package vhost
+
+import (
+	"es2/internal/netsim"
+	"es2/internal/sim"
+	"es2/internal/virtio"
+)
+
+// Device is one vhost-net instance: the in-kernel back-end of a guest's
+// paravirtual NIC, with a TX and an RX handler scheduled by the
+// device's I/O thread. It implements netsim.Endpoint for the host side
+// of the wire.
+type Device struct {
+	Name   string
+	IO     *IOThread
+	TXQ    *virtio.Virtqueue
+	RXQ    *virtio.Virtqueue
+	Port   *netsim.Port
+	Params Params
+
+	// Hybrid enables ES2's hybrid I/O handling (Algorithm 1) with the
+	// given Quota; otherwise the handlers run vanilla notification
+	// mode.
+	Hybrid bool
+	Quota  int
+
+	// Sidecore enables ELVIS-style dedicated-core polling (Har'El et
+	// al., ATC'13 — the paper's Section II-C "Others"): the TX handler
+	// never re-enables guest notifications and never sleeps, busy-
+	// polling the virtqueue instead. Guest I/O requests are exit-less,
+	// but the worker burns its core even when the queue is empty.
+	Sidecore bool
+
+	// CoalesceCount and CoalesceTimer enable receive interrupt
+	// moderation (the vIC-style alternative the paper's Section II-C
+	// argues against): the guest is signaled only after CoalesceCount
+	// packets have accumulated or CoalesceTimer has elapsed since the
+	// first unsignaled packet. Zero values disable moderation (signal
+	// per handler turn, the vhost default).
+	CoalesceCount int
+	CoalesceTimer sim.Time
+
+	coalesced   int
+	coalesceEvt *sim.Handle
+	// CoalesceFlushes counts timer-driven signals.
+	CoalesceFlushes uint64
+
+	tx  *txHandler
+	rx  *rxHandler
+	rng *sim.Rand
+
+	backlog []*netsim.Packet
+
+	// Wire-side statistics.
+	TxPkts, TxBytes uint64
+	RxPkts, RxBytes uint64
+	// RxRingStarved counts turns that found no guest RX buffer;
+	// BacklogDrops counts ingress packets dropped at the tap buffer.
+	RxRingStarved uint64
+	BacklogDrops  uint64
+}
+
+// rxBudget is the per-turn packet budget of the RX handler (vhost's
+// handle_rx weight).
+const rxBudget = 64
+
+// NewDevice wires a vhost device to its virtqueues, worker thread and
+// wire port. quota is only meaningful with hybrid=true; the paper's
+// poll_quota module parameter.
+func NewDevice(name string, io *IOThread, txq, rxq *virtio.Virtqueue, port *netsim.Port, hybrid bool, quota int) *Device {
+	if hybrid && quota <= 0 {
+		panic("vhost: hybrid mode requires a positive quota")
+	}
+	d := &Device{
+		Name: name, IO: io, TXQ: txq, RXQ: rxq, Port: port,
+		Params: io.params, Hybrid: hybrid, Quota: quota,
+		rng: io.s.Engine().Rand().Fork(),
+	}
+	d.tx = &txHandler{dev: d}
+	d.rx = &rxHandler{dev: d}
+	txq.OnKick(d.tx.kicked)
+	rxq.OnKick(d.rx.kicked)
+	// vhost keeps RX-refill notifications suppressed unless starved for
+	// guest buffers.
+	rxq.SetNoNotify(true)
+	return d
+}
+
+// Receive implements netsim.Endpoint: ingress from the wire lands in
+// the tap backlog and schedules the RX handler.
+func (d *Device) Receive(p *netsim.Packet) {
+	if len(d.backlog) >= d.Params.BacklogCap {
+		d.BacklogDrops++
+		return
+	}
+	d.backlog = append(d.backlog, p)
+	d.IO.enqueue(d.rx)
+}
+
+// Backlog returns the current ingress backlog length.
+func (d *Device) Backlog() int { return len(d.backlog) }
+
+// jitter perturbs a nominal handler cost by ±30% (copy-path and cache variance).
+func (d *Device) jitter(c sim.Time) sim.Time { return d.rng.Jitter(c, 0.30) }
+
+// moderated reports whether receive interrupt moderation is enabled.
+func (d *Device) moderated() bool { return d.CoalesceCount > 1 || d.CoalesceTimer > 0 }
+
+// noteRxPacket accumulates one packet toward the coalescing threshold
+// and arms the flush timer on the first unsignaled packet.
+func (d *Device) noteRxPacket() {
+	if !d.moderated() {
+		return
+	}
+	d.coalesced++
+	if d.coalesced == 1 && d.CoalesceTimer > 0 {
+		d.coalesceEvt = d.IO.s.Engine().After(d.CoalesceTimer, d.flushCoalesce)
+	}
+}
+
+// flushCoalesce is the moderation timer: signal whatever accumulated.
+func (d *Device) flushCoalesce() {
+	d.coalesceEvt = nil
+	if d.coalesced == 0 {
+		return
+	}
+	d.coalesced = 0
+	d.CoalesceFlushes++
+	d.RXQ.Signal()
+}
+
+// takeSignal decides whether the turn-end signal should be emitted now
+// under the active moderation policy (always true without moderation).
+func (d *Device) takeSignal() bool {
+	if !d.moderated() {
+		return true
+	}
+	if d.coalesced >= d.CoalesceCount && d.CoalesceCount > 0 {
+		d.coalesced = 0
+		if d.coalesceEvt != nil {
+			d.coalesceEvt.Cancel()
+			d.coalesceEvt = nil
+		}
+		return true
+	}
+	return false
+}
+
+// TXPolling reports whether the TX handler currently holds guest
+// notifications disabled (ES2 polling mode engaged or mid-service).
+func (d *Device) TXPolling() bool { return d.TXQ.KickSuppressed() }
+
+// EnableSidecore switches the device to ELVIS-style dedicated-core
+// polling: guest TX notifications are permanently suppressed and the
+// TX handler starts busy-polling immediately. Mutually exclusive with
+// the hybrid scheme.
+func (d *Device) EnableSidecore() {
+	if d.Hybrid {
+		panic("vhost: sidecore polling and the hybrid scheme are mutually exclusive")
+	}
+	d.Sidecore = true
+	d.TXQ.SetNoNotify(true)
+	d.IO.enqueue(d.tx)
+}
+
+// ResetStats zeroes the wire statistics.
+func (d *Device) ResetStats() {
+	d.TxPkts, d.TxBytes, d.RxPkts, d.RxBytes = 0, 0, 0, 0
+	d.RxRingStarved, d.BacklogDrops = 0, 0
+}
+
+// --- TX handler: Algorithm 1 ---
+
+type txHandler struct {
+	dev      *Device
+	workload int
+	requeued bool
+}
+
+// kicked is the ioeventfd callback: the guest's I/O request wakes the
+// handler.
+func (h *txHandler) kicked() { h.dev.IO.enqueue(h) }
+
+// turnStart is Algorithm 1 lines 8-11: disable guest notifications if
+// needed and reset the workload counter.
+func (h *txHandler) turnStart() {
+	h.workload = 0
+	h.requeued = false
+	if !h.dev.TXQ.KickSuppressed() {
+		h.dev.TXQ.SetNoNotify(true)
+	}
+}
+
+func (h *txHandler) plan() (sim.Time, func()) {
+	dev := h.dev
+	q := dev.TXQ
+	if h.requeued {
+		// Quota exhausted last step: the turn is over; we are already
+		// back on the work queue with notifications still disabled.
+		return 0, nil
+	}
+	desc, ok := q.Pop()
+	if !ok {
+		if dev.Sidecore {
+			// ELVIS-style polling never yields to notifications: pay
+			// an empty-poll round and stay scheduled. This is the
+			// wasted-cycles behaviour the paper contrasts the hybrid
+			// scheme against.
+			h.requeued = true
+			dev.IO.requeue(h)
+			return dev.Params.EmptyCheck, func() {}
+		}
+		// Queue drained before the quota: leave polling mode
+		// (Algorithm 1 line 19): re-enable notifications, with the
+		// standard race check against a concurrent guest add.
+		q.SetNoNotify(false)
+		if q.AvailLen() > 0 {
+			q.SetNoNotify(true)
+			return dev.Params.EmptyCheck, func() {}
+		}
+		return 0, nil
+	}
+	cost := dev.jitter(dev.Params.txCost(desc.Len))
+	return cost, func() {
+		if pkt, okP := desc.Payload.(*netsim.Packet); okP {
+			dev.Port.Send(pkt)
+			dev.TxPkts++
+			dev.TxBytes += uint64(pkt.Bytes)
+		}
+		q.PushUsed(desc)
+		q.Signal() // TX completion; normally suppressed by the guest
+		h.workload++
+		if dev.Hybrid && h.workload >= dev.Quota {
+			// Algorithm 1 line 16: wait for the next turn, keeping the
+			// guest's notifications disabled (polling mode persists).
+			h.requeued = true
+			dev.IO.requeue(h)
+		}
+	}
+}
+
+// --- RX handler ---
+
+type rxHandler struct {
+	dev           *Device
+	served        int
+	requeued      bool
+	pendingSignal bool
+}
+
+// kicked is the guest's RX-refill notification.
+func (h *rxHandler) kicked() { h.dev.IO.enqueue(h) }
+
+func (h *rxHandler) turnStart() {
+	h.served = 0
+	h.requeued = false
+	if !h.dev.RXQ.KickSuppressed() {
+		h.dev.RXQ.SetNoNotify(true)
+	}
+}
+
+func (h *rxHandler) plan() (sim.Time, func()) {
+	dev := h.dev
+	if h.requeued || len(dev.backlog) == 0 || dev.RXQ.AvailLen() == 0 {
+		// The turn is ending (quota, drained, or buffer-starved):
+		// signal the guest once for the whole batch, as
+		// vhost_signal does at the end of handle_rx — unless interrupt
+		// moderation is holding the signal back.
+		if h.pendingSignal {
+			h.pendingSignal = false
+			if dev.takeSignal() {
+				return dev.Params.SignalCost, func() { dev.RXQ.Signal() }
+			}
+		}
+		if h.requeued || len(dev.backlog) == 0 {
+			return 0, nil // wake on next Receive (or next turn)
+		}
+		// No guest buffers: ask the guest to kick us after refilling.
+		dev.RxRingStarved++
+		dev.RXQ.SetNoNotify(false)
+		if dev.RXQ.AvailLen() > 0 {
+			dev.RXQ.SetNoNotify(true)
+			return dev.Params.EmptyCheck, func() {}
+		}
+		return 0, nil
+	}
+	pkt := dev.backlog[0]
+	cost := dev.jitter(dev.Params.rxCost(pkt.Bytes))
+	return cost, func() {
+		if len(dev.backlog) == 0 || dev.backlog[0] != pkt {
+			return // raced with a drop; nothing to do
+		}
+		copy(dev.backlog, dev.backlog[1:])
+		dev.backlog[len(dev.backlog)-1] = nil
+		dev.backlog = dev.backlog[:len(dev.backlog)-1]
+		desc, ok := dev.RXQ.Pop()
+		if !ok {
+			dev.BacklogDrops++
+			return
+		}
+		desc.Len = pkt.Bytes
+		desc.Payload = pkt
+		dev.RXQ.PushUsed(desc)
+		h.pendingSignal = true
+		dev.noteRxPacket()
+		dev.RxPkts++
+		dev.RxBytes += uint64(pkt.Bytes)
+		h.served++
+		// The ES2 quota governs guest I/O-request polling (the TX
+		// virtqueue); wire ingress keeps vhost's own handle_rx budget
+		// so receive batching is unaffected by the hybrid scheme.
+		if h.served >= rxBudget && len(dev.backlog) > 0 {
+			h.requeued = true
+			dev.IO.requeue(h)
+		}
+	}
+}

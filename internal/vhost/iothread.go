@@ -1,0 +1,147 @@
+package vhost
+
+import (
+	"es2/internal/sched"
+	"es2/internal/sim"
+)
+
+// handler is the scheduling interface of a virtqueue handler as seen by
+// the I/O thread's work queue.
+type handler interface {
+	// turnStart is called when the handler's turn begins.
+	turnStart()
+	// plan returns the next unit of work for the current turn: a CPU
+	// cost and an effect to apply at its end. Returning a nil effect
+	// with zero cost ends the turn.
+	plan() (cost sim.Time, effect func())
+}
+
+// IOThread is the vhost worker: one host thread draining a FIFO work
+// queue of handlers, exactly one turn at a time.
+type IOThread struct {
+	Name string
+
+	s      *sched.Scheduler
+	Thread *sched.Thread
+	params Params
+
+	work []handler
+	// queued tracks membership in work (or the running slot) so a
+	// handler is never double-queued.
+	queued map[handler]bool
+
+	cur       handler
+	inSwitch  bool // the HandlerSwitch overhead chunk is in flight
+	curEffect func()
+	remaining sim.Time // remaining time of the in-flight chunk
+	needWake  bool
+
+	// Turns counts handler turns; Switches counts handler dispatches.
+	Turns uint64
+}
+
+// NewIOThread creates the worker pinned to the given core.
+func NewIOThread(name string, s *sched.Scheduler, core int, params Params) *IOThread {
+	t := &IOThread{Name: name, s: s, params: params, queued: make(map[handler]bool)}
+	t.Thread = s.NewThread(name, core, 0, t)
+	return t
+}
+
+// enqueue appends h to the work queue (idempotent) and wakes the
+// thread.
+func (t *IOThread) enqueue(h handler) {
+	if t.queued[h] {
+		return
+	}
+	t.queued[h] = true
+	t.work = append(t.work, h)
+	if t.Thread.State() == sched.Sleeping {
+		t.needWake = true
+		t.s.Wake(t.Thread)
+	} else {
+		t.s.Requery(t.Thread)
+	}
+}
+
+// NextChunk implements sched.WorkSource.
+func (t *IOThread) NextChunk() sim.Time {
+	for {
+		if t.curEffect != nil {
+			// An effect chunk is in flight (we were preempted or
+			// requeried): its remaining time is managed by Ran. Clamp
+			// to the minimum chunk when a preemption landed exactly on
+			// the boundary, so the effect still fires.
+			return clampChunk(t.remaining)
+		}
+		if t.inSwitch {
+			return clampChunk(t.remaining)
+		}
+		if t.cur != nil {
+			cost, effect := t.cur.plan()
+			if effect == nil {
+				// Turn over.
+				t.cur = nil
+				continue
+			}
+			t.curEffect = effect
+			t.remaining = cost
+			if t.remaining <= 0 {
+				t.remaining = 1 // effects always take nonzero time
+			}
+			return t.remaining
+		}
+		if len(t.work) == 0 {
+			return 0 // sleep
+		}
+		// Dispatch the next handler turn.
+		next := t.work[0]
+		copy(t.work, t.work[1:])
+		t.work[len(t.work)-1] = nil
+		t.work = t.work[:len(t.work)-1]
+		delete(t.queued, next)
+		t.cur = next
+		t.Turns++
+		t.inSwitch = true
+		t.remaining = t.params.HandlerSwitch
+		if t.needWake {
+			t.needWake = false
+			t.remaining += t.params.WakeCost
+		}
+		return t.remaining
+	}
+}
+
+// Ran implements sched.WorkSource.
+func (t *IOThread) Ran(d sim.Time) { t.remaining -= d }
+
+// ChunkDone implements sched.WorkSource.
+func (t *IOThread) ChunkDone() {
+	if t.inSwitch {
+		t.inSwitch = false
+		if t.cur != nil {
+			t.cur.turnStart()
+		}
+		return
+	}
+	if eff := t.curEffect; eff != nil {
+		t.curEffect = nil
+		eff()
+	}
+}
+
+// requeue puts the current handler back at the tail of the work queue
+// (Algorithm 1's "goto schedule").
+func (t *IOThread) requeue(h handler) {
+	if !t.queued[h] {
+		t.queued[h] = true
+		t.work = append(t.work, h)
+	}
+}
+
+// clampChunk guards a zero remainder after a boundary-exact preemption.
+func clampChunk(r sim.Time) sim.Time {
+	if r <= 0 {
+		return 1
+	}
+	return r
+}

@@ -1,0 +1,74 @@
+// Package vhost models the in-kernel virtio back-end (vhost-net): one
+// I/O worker thread per device scheduling per-virtqueue handlers from a
+// FIFO work queue.
+//
+// Two handler disciplines are provided:
+//
+//   - notification mode (vanilla vhost): a handler sleeps until the
+//     guest's kick (a VM exit) wakes it, disables further notifications
+//     while servicing, drains the queue, re-enables notifications and
+//     sleeps;
+//   - hybrid mode (ES2, Algorithm 1): on wake-up the handler enters a
+//     polling mode that persists across handler turns — it processes up
+//     to quota packets per turn and requeues itself with notifications
+//     still disabled, falling back to notification mode only when it
+//     observes an empty queue before exhausting its quota.
+package vhost
+
+import "es2/internal/sim"
+
+// Params are the host-side back-end costs (calibrated; see
+// EXPERIMENTS.md).
+type Params struct {
+	// PerPacketTX is the base cost of moving one guest TX packet to
+	// the wire (descriptor translation, copy, tap sendmsg).
+	PerPacketTX sim.Time
+	// PerByteTX adds the copy cost, per byte (nanoseconds per byte).
+	PerByteTX float64
+	// PerPacketRX is the base cost of moving one wire packet into the
+	// guest RX ring.
+	PerPacketRX sim.Time
+	// PerByteRX adds the RX copy cost, per byte.
+	PerByteRX float64
+	// HandlerSwitch is the per-turn overhead of dispatching a handler
+	// from the work queue (dequeue, state reload, cache effects). The
+	// paper's quota trade-off — "smaller quota also means higher
+	// frequency of switching among the handlers" — is priced here.
+	HandlerSwitch sim.Time
+	// WakeCost is the extra latency of waking the sleeping I/O thread
+	// (wakeup IPI + context switch on its core).
+	WakeCost sim.Time
+	// SignalCost is the cost of raising a guest interrupt (irqfd write
+	// plus delivery bookkeeping).
+	SignalCost sim.Time
+	// EmptyCheck is the cost of one empty-queue poll.
+	EmptyCheck sim.Time
+	// BacklogCap bounds the ingress backlog (the tap socket buffer);
+	// packets beyond it are dropped.
+	BacklogCap int
+}
+
+// DefaultParams returns the calibrated back-end cost parameters.
+func DefaultParams() Params {
+	return Params{
+		PerPacketTX:   1740 * sim.Nanosecond,
+		PerByteTX:     0.20,
+		PerPacketRX:   800 * sim.Nanosecond,
+		PerByteRX:     0.50,
+		HandlerSwitch: 1900 * sim.Nanosecond,
+		WakeCost:      1200 * sim.Nanosecond,
+		SignalCost:    300 * sim.Nanosecond,
+		EmptyCheck:    500 * sim.Nanosecond,
+		BacklogCap:    1024,
+	}
+}
+
+// txCost returns the full TX cost for a packet of the given size.
+func (p Params) txCost(bytes int) sim.Time {
+	return p.PerPacketTX + sim.Time(p.PerByteTX*float64(bytes))
+}
+
+// rxCost returns the full RX cost for a packet of the given size.
+func (p Params) rxCost(bytes int) sim.Time {
+	return p.PerPacketRX + sim.Time(p.PerByteRX*float64(bytes))
+}

@@ -1,0 +1,198 @@
+// Package virtio models the paravirtual I/O transport of the virtio
+// standard: split virtqueues shared between a guest front-end driver
+// and a host back-end device, with both directions of event
+// suppression:
+//
+//   - the device suppresses guest kicks (VRING_USED_F_NO_NOTIFY /
+//     avail_event): this is the mechanism ES2's polling mode uses to
+//     "permanently disable the notification mechanism" and eliminate
+//     I/O-instruction exits;
+//   - the driver suppresses device interrupts (VRING_AVAIL_F_NO_INTERRUPT
+//     / used_event): this is what guest NAPI uses to mask interrupts
+//     while polling.
+//
+// The queue carries abstract descriptors; timing and exits live in the
+// guest/vhost/vmm layers that own the two ends.
+package virtio
+
+import "fmt"
+
+// Desc is one descriptor chain posted to a virtqueue — for virtio-net,
+// one packet.
+type Desc struct {
+	// Len is the buffer length in bytes.
+	Len int
+	// Payload carries the model object (e.g. a *netsim.Packet).
+	Payload any
+}
+
+// Virtqueue is one split virtqueue.
+type Virtqueue struct {
+	name string
+	size int
+
+	avail    []Desc // posted by the driver, not yet consumed by the device
+	used     []Desc // completed by the device, not yet reclaimed by the driver
+	inflight int    // popped by the device, not yet pushed used
+
+	noNotify    bool // device->driver: suppress guest kicks
+	noInterrupt bool // driver->device: suppress device interrupts
+
+	kick      func() // ioeventfd: invoked on allowed guest kicks
+	interrupt func() // irqfd: invoked on allowed device signals
+
+	// Statistics.
+	Kicks             uint64 // kicks actually delivered (each is a VM exit)
+	SuppressedKicks   uint64 // kicks elided by NO_NOTIFY
+	Signals           uint64 // interrupts actually raised
+	SuppressedSignals uint64 // interrupts elided by NO_INTERRUPT
+	Added             uint64 // descriptors posted by the driver
+	Popped            uint64 // descriptors consumed by the device
+}
+
+// New creates a virtqueue with the given ring size (power of two by
+// virtio convention, 256 for virtio-net).
+func New(name string, size int) *Virtqueue {
+	if size <= 0 {
+		panic("virtio: queue size must be positive")
+	}
+	return &Virtqueue{name: name, size: size}
+}
+
+// Name returns the queue's name (e.g. "tx", "rx").
+func (q *Virtqueue) Name() string { return q.name }
+
+// Size returns the ring capacity.
+func (q *Virtqueue) Size() int { return q.size }
+
+// OnKick installs the host-side kick callback (the ioeventfd handler).
+func (q *Virtqueue) OnKick(fn func()) { q.kick = fn }
+
+// OnInterrupt installs the guest-side interrupt callback (the irqfd
+// that raises the device MSI).
+func (q *Virtqueue) OnInterrupt(fn func()) { q.interrupt = fn }
+
+// outstanding is the number of descriptors the driver cannot reuse yet:
+// still available, held by the device, or completed but unreclaimed.
+func (q *Virtqueue) outstanding() int { return len(q.avail) + q.inflight + len(q.used) }
+
+// Full reports whether the ring has no free descriptor.
+func (q *Virtqueue) Full() bool { return q.outstanding() >= q.size }
+
+// Free returns the number of descriptors the driver may still post.
+func (q *Virtqueue) Free() int { return q.size - q.outstanding() }
+
+// AvailLen returns the number of descriptors awaiting the device.
+func (q *Virtqueue) AvailLen() int { return len(q.avail) }
+
+// UsedLen returns the number of completed descriptors awaiting the
+// driver.
+func (q *Virtqueue) UsedLen() int { return len(q.used) }
+
+// --- driver (guest front-end) side ---
+
+// Add posts a descriptor. It reports false when the ring is full (the
+// guest must stop its queue and wait for used-buffer reclamation).
+func (q *Virtqueue) Add(d Desc) bool {
+	if q.Full() {
+		return false
+	}
+	q.avail = append(q.avail, d)
+	q.Added++
+	return true
+}
+
+// Kick notifies the device of new available descriptors. It reports
+// whether a notification was actually delivered: when the device has
+// suppressed notifications (NO_NOTIFY — vhost servicing the queue, or
+// ES2 polling mode), the kick is elided and costs the guest nothing.
+// The caller models the VM exit when true is returned.
+func (q *Virtqueue) Kick() bool {
+	if q.noNotify {
+		q.SuppressedKicks++
+		return false
+	}
+	q.Kicks++
+	if q.kick != nil {
+		q.kick()
+	}
+	return true
+}
+
+// KickSuppressed reports whether guest notifications are currently
+// suppressed by the device.
+func (q *Virtqueue) KickSuppressed() bool { return q.noNotify }
+
+// CollectUsed reclaims up to max completed descriptors (max <= 0 means
+// all).
+func (q *Virtqueue) CollectUsed(max int) []Desc {
+	n := len(q.used)
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]Desc, n)
+	copy(out, q.used[:n])
+	rest := copy(q.used, q.used[n:])
+	for i := rest; i < len(q.used); i++ {
+		q.used[i] = Desc{}
+	}
+	q.used = q.used[:rest]
+	return out
+}
+
+// SetNoInterrupt lets the driver suppress (true) or re-enable (false)
+// device interrupts for this queue (NAPI mask/unmask).
+func (q *Virtqueue) SetNoInterrupt(no bool) { q.noInterrupt = no }
+
+// InterruptSuppressed reports the driver-side suppression flag.
+func (q *Virtqueue) InterruptSuppressed() bool { return q.noInterrupt }
+
+// --- device (host back-end) side ---
+
+// Pop consumes the next available descriptor.
+func (q *Virtqueue) Pop() (Desc, bool) {
+	if len(q.avail) == 0 {
+		return Desc{}, false
+	}
+	d := q.avail[0]
+	rest := copy(q.avail, q.avail[1:])
+	q.avail[rest] = Desc{}
+	q.avail = q.avail[:rest]
+	q.inflight++
+	q.Popped++
+	return d, true
+}
+
+// PushUsed returns a completed descriptor to the driver.
+func (q *Virtqueue) PushUsed(d Desc) {
+	if q.inflight <= 0 {
+		panic("virtio: PushUsed without matching Pop")
+	}
+	q.inflight--
+	q.used = append(q.used, d)
+}
+
+// Signal raises the queue's interrupt toward the guest. It reports
+// whether the interrupt was actually delivered (false when the driver
+// suppressed it).
+func (q *Virtqueue) Signal() bool {
+	if q.noInterrupt {
+		q.SuppressedSignals++
+		return false
+	}
+	q.Signals++
+	if q.interrupt != nil {
+		q.interrupt()
+	}
+	return true
+}
+
+// SetNoNotify lets the device suppress (true) or re-enable (false)
+// guest kicks for this queue. vhost sets it while actively servicing
+// the queue; ES2's polling mode holds it set across handler turns.
+func (q *Virtqueue) SetNoNotify(no bool) { q.noNotify = no }
+
+// String summarizes the queue state.
+func (q *Virtqueue) String() string {
+	return fmt.Sprintf("vq(%s: avail=%d used=%d free=%d)", q.name, len(q.avail), len(q.used), q.Free())
+}

@@ -1,0 +1,136 @@
+package vmm
+
+import (
+	"es2/internal/apic"
+	"es2/internal/sched"
+	"es2/internal/sim"
+	"es2/internal/trace"
+)
+
+// MSIRouter intercepts device-interrupt routing, the kvm_set_msi_irq
+// hook that ES2's intelligent interrupt redirection plugs into.
+// Returning nil keeps the affinity-selected destination.
+type MSIRouter interface {
+	Route(vm *VM, msi apic.MSIMessage) *VCPU
+}
+
+// KVM is the hypervisor: it owns the host scheduler and delivers
+// virtual interrupts by one of two paths, software-emulated APIC
+// injection (baseline) or hardware posted interrupts (UsePI).
+type KVM struct {
+	Eng   *sim.Engine
+	Sched *sched.Scheduler
+	Cost  CostModel
+	// UsePI selects the posted-interrupt delivery path (exit-less
+	// delivery and completion).
+	UsePI bool
+	// Router, when non-nil, intercepts MSI routing (ES2 redirection).
+	Router MSIRouter
+	// Trace, when non-nil, records event-path activity (perf-kvm
+	// style). A nil buffer costs nothing.
+	Trace *trace.Buffer
+
+	rng *sim.Rand
+	vms []*VM
+
+	// IPIsSent counts kick IPIs (baseline) and PI notification IPIs.
+	IPIsSent uint64
+}
+
+// NewKVM creates the hypervisor on the given engine and scheduler.
+func NewKVM(eng *sim.Engine, s *sched.Scheduler, cost CostModel) *KVM {
+	return &KVM{Eng: eng, Sched: s, Cost: cost, rng: eng.Rand().Fork()}
+}
+
+// VMs returns all created VMs.
+func (k *KVM) VMs() []*VM { return k.vms }
+
+func (k *KVM) exitCost(r ExitReason) sim.Time {
+	switch r {
+	case ExitIOInstruction:
+		return k.Cost.IOInstrExit
+	case ExitExternalInterrupt:
+		return k.Cost.ExtIntrExit
+	case ExitAPICAccess:
+		return k.Cost.APICAccessExit
+	default:
+		return k.Cost.OtherExit
+	}
+}
+
+// InjectMSI delivers a device MSI to a VM, applying interrupt routing
+// (guest affinity or the installed Router) and then the configured
+// delivery path. This is the entry point back-end devices use to raise
+// virtual interrupts.
+func (k *KVM) InjectMSI(vm *VM, msi apic.MSIMessage) {
+	target := vm.VCPUs[msi.Dest]
+	if k.Router != nil {
+		if t := k.Router.Route(vm, msi); t != nil {
+			target = t
+		}
+	}
+	k.DeliverLocal(target, msi.Vector)
+}
+
+// DeliverLocal delivers vector vec directly to the given vCPU without
+// routing (used for per-vCPU interrupts such as the local timer, and by
+// InjectMSI after routing).
+func (k *KVM) DeliverLocal(v *VCPU, vec apic.Vector) {
+	if k.UsePI {
+		k.postInterrupt(v, vec)
+	} else {
+		k.injectEmulated(v, vec)
+	}
+}
+
+// postInterrupt implements the PI path: post to the PIR; when the
+// target is executing guest code, a notification IPI triggers the
+// hardware sync + exit-less delivery. Otherwise the PIR is synced at
+// the next VM entry.
+func (k *KVM) postInterrupt(v *VCPU, vec apic.Vector) {
+	notify := v.PID.Post(vec)
+	if notify {
+		k.IPIsSent++
+		k.Eng.After(k.Cost.PINotifyLatency, func() {
+			if v.InGuestMode() {
+				v.PID.Sync(&v.VAPIC)
+				v.poke()
+			}
+			// Not in guest mode: the posted bits stay in the PIR and
+			// are synchronized at the next VM entry.
+		})
+	}
+	if v.Thread.State() == sched.Sleeping {
+		k.Sched.Wake(v.Thread)
+	}
+}
+
+// injectEmulated implements the baseline path through the
+// software-emulated Local-APIC: latch the IRR; if the target is in
+// guest mode it must be kicked out with an IPI (an External Interrupt
+// exit) so the interrupt can be injected at the following VM entry.
+// The guest handler's EOI will then trap (APIC Access exit).
+func (k *KVM) injectEmulated(v *VCPU, vec apic.Vector) {
+	v.VAPIC.RequestIRQ(vec)
+	switch {
+	case v.InGuestMode():
+		k.IPIsSent++
+		k.Eng.After(k.Cost.IPILatency, func() {
+			// The kick only causes an exit if the vCPU is still in
+			// guest mode when the IPI lands; it may have exited for
+			// another reason meanwhile (then injection piggybacks on
+			// that exit's VM entry, costing nothing extra).
+			if v.InGuestMode() {
+				v.BeginExit(ExitExternalInterrupt, nil)
+				v.poke()
+			}
+		})
+	case v.Thread.State() == sched.Sleeping:
+		k.Sched.Wake(v.Thread)
+	default:
+		// Runnable (descheduled) or already handling an exit: the
+		// pending interrupt is injected at the next VM entry with no
+		// dedicated exit — this is why the paper's Table I shows fewer
+		// delivery exits than completion exits.
+	}
+}

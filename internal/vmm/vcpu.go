@@ -1,0 +1,354 @@
+package vmm
+
+import (
+	"fmt"
+
+	"es2/internal/apic"
+	"es2/internal/sched"
+	"es2/internal/sim"
+	"es2/internal/trace"
+)
+
+// chunkKind distinguishes what a vCPU's thread is executing.
+type chunkKind uint8
+
+const (
+	kindNone  chunkKind = iota
+	kindGuest           // non-root mode: guest code
+	kindHost            // root mode: hypervisor handling a VM exit
+)
+
+// hostInterval is one queued VM-exit handling span.
+type hostInterval struct {
+	reason    ExitReason
+	remaining sim.Time
+	onDone    func()
+}
+
+// VCPU is a virtual CPU: a host schedulable thread that alternates
+// between guest-mode work (its Task queues) and host-mode work (VM exit
+// handling intervals). It implements sched.WorkSource.
+type VCPU struct {
+	VM *VM
+	ID int
+	// Thread is the host thread backing this vCPU.
+	Thread *sched.Thread
+
+	// VAPIC is the virtual APIC state: the software-emulated Local-APIC
+	// in the baseline, the hardware vAPIC page under posted interrupts.
+	VAPIC apic.LocalAPIC
+	// PID is the posted-interrupt descriptor (used when the KVM has
+	// UsePI set).
+	PID apic.PIDescriptor
+
+	hostCur *hostInterval
+	hostQ   []*hostInterval
+	tasks   [numPrios][]*Task
+	curTask *Task
+	mode    chunkKind
+
+	// GuestTime and HostTime accumulate non-root and root mode CPU
+	// consumption; TIG = GuestTime / (GuestTime + HostTime).
+	GuestTime sim.Time
+	HostTime  sim.Time
+
+	// IRQAccepted counts virtual interrupts delivered to this vCPU
+	// (ES2's redirection balances on this). IRQCompleted counts EOIs.
+	IRQAccepted  uint64
+	IRQCompleted uint64
+
+	schedInHooks  []func(coreID int)
+	schedOutHooks []func()
+
+	// needEntrySync marks that the next transition to guest execution
+	// is a genuine VM entry (after a sched-in or after exit handling),
+	// where pending PIR bits must be synchronized. Mid-guest task
+	// boundaries are not VM entries: there, only the notification IPI
+	// can sync.
+	needEntrySync bool
+
+	otherExitEvt *sim.Handle
+}
+
+// newVCPU wires a vCPU to its host thread on the given core.
+func newVCPU(vm *VM, id, coreID int) *VCPU {
+	v := &VCPU{VM: vm, ID: id, needEntrySync: true}
+	v.Thread = vm.K.Sched.NewThread(fmt.Sprintf("%s/vcpu%d", vm.Name, id), coreID, 0, v)
+	v.Thread.SchedIn = v.schedIn
+	v.Thread.SchedOut = v.schedOut
+	v.PID.NotificationVector = PINotificationVector
+	return v
+}
+
+// PINotificationVector is the host vector reserved for posted-interrupt
+// notifications (Linux's POSTED_INTR_VECTOR).
+const PINotificationVector apic.Vector = 0xF2
+
+// AddSchedInHook registers fn to run whenever the vCPU thread is
+// scheduled onto a core (the kvm_sched_in preemption notifier).
+func (v *VCPU) AddSchedInHook(fn func(coreID int)) {
+	v.schedInHooks = append(v.schedInHooks, fn)
+}
+
+// AddSchedOutHook registers fn to run whenever the vCPU thread is
+// descheduled (the kvm_sched_out preemption notifier).
+func (v *VCPU) AddSchedOutHook(fn func()) {
+	v.schedOutHooks = append(v.schedOutHooks, fn)
+}
+
+func (v *VCPU) schedIn(coreID int) {
+	// VM entry housekeeping: posted interrupts pending in the PIR will
+	// be synced by the next NextChunk; clear suppress-notification.
+	v.PID.SetSuppress(false)
+	v.needEntrySync = true
+	v.VM.K.Trace.Record(v.VM.K.Eng.Now(), trace.KindSchedIn, v.VM.Index, v.ID, int64(coreID))
+	for _, fn := range v.schedInHooks {
+		fn(coreID)
+	}
+}
+
+func (v *VCPU) schedOut() {
+	v.PID.SetSuppress(true)
+	v.VM.K.Trace.Record(v.VM.K.Eng.Now(), trace.KindSchedOut, v.VM.Index, v.ID, int64(v.Thread.Core()))
+	for _, fn := range v.schedOutHooks {
+		fn()
+	}
+}
+
+// Online reports whether the vCPU thread currently owns a core.
+func (v *VCPU) Online() bool { return v.Thread.State() == sched.Running }
+
+// InGuestMode reports whether the vCPU is, right now, executing guest
+// code in non-root mode on a core.
+func (v *VCPU) InGuestMode() bool {
+	return v.Thread.State() == sched.Running && v.mode == kindGuest
+}
+
+// EnqueueTask adds guest work to the vCPU and pokes the scheduler so
+// higher-priority work preempts promptly.
+func (v *VCPU) EnqueueTask(t *Task) {
+	v.tasks[t.Prio] = append(v.tasks[t.Prio], t)
+	v.poke()
+}
+
+// enqueueTaskFront pushes guest work at the head of its priority queue
+// (used for interrupt handlers, which nest LIFO).
+func (v *VCPU) enqueueTaskFront(t *Task) {
+	q := v.tasks[t.Prio]
+	q = append(q, nil)
+	copy(q[1:], q)
+	q[0] = t
+	v.tasks[t.Prio] = q
+}
+
+// QueuedTasks returns the number of queued guest tasks at prio
+// (including a partially executed head task).
+func (v *VCPU) QueuedTasks(p Prio) int { return len(v.tasks[p]) }
+
+// BeginExit queues a VM exit of the given reason on this vCPU: the
+// thread will spend the cost-model-defined interval in root mode before
+// returning to guest execution. onDone (optional) runs when the
+// hypervisor finishes handling the exit — e.g. signaling an ioeventfd.
+//
+// BeginExit must be called from this vCPU's own execution (guest code
+// in task callbacks) or from KVM delivery paths that immediately poke.
+func (v *VCPU) BeginExit(reason ExitReason, onDone func()) {
+	cost := v.VM.K.exitCost(reason)
+	v.hostQ = append(v.hostQ, &hostInterval{reason: reason, remaining: cost, onDone: onDone})
+	v.VM.recordExit(v, reason)
+}
+
+// poke makes the scheduler re-evaluate this vCPU: wake it if sleeping,
+// requery its work if running.
+func (v *VCPU) poke() {
+	switch v.Thread.State() {
+	case sched.Sleeping:
+		v.VM.K.Sched.Wake(v.Thread)
+	case sched.Running:
+		v.VM.K.Sched.Requery(v.Thread)
+	}
+}
+
+// NextChunk implements sched.WorkSource. Priority order mirrors real
+// execution: in-flight exit handling, queued exits, interrupt delivery
+// at VM entry, then guest work by priority.
+func (v *VCPU) NextChunk() sim.Time {
+	for {
+		if v.hostCur != nil {
+			v.mode = kindHost
+			return clampChunk(v.hostCur.remaining)
+		}
+		if len(v.hostQ) > 0 {
+			v.hostCur = v.hostQ[0]
+			copy(v.hostQ, v.hostQ[1:])
+			v.hostQ[len(v.hostQ)-1] = nil
+			v.hostQ = v.hostQ[:len(v.hostQ)-1]
+			continue
+		}
+		// VM entry: sync any posted interrupts into the vAPIC page.
+		// Only genuine entries sync — ordinary guest task boundaries
+		// stay in non-root mode, where only the notification IPI can
+		// trigger the hardware sync.
+		if v.needEntrySync {
+			v.needEntrySync = false
+			if v.VM.K.UsePI && v.PID.HasPending() {
+				v.PID.Sync(&v.VAPIC)
+			}
+		}
+		// Deliver the highest-priority pending virtual interrupt.
+		if vec, ok := v.VAPIC.PendingIRQ(); ok {
+			v.startHandler(vec)
+			continue
+		}
+		for p := 0; p < numPrios; p++ {
+			if len(v.tasks[p]) > 0 {
+				v.curTask = v.tasks[p][0]
+				v.mode = kindGuest
+				return clampChunk(v.curTask.Remaining)
+			}
+		}
+		v.mode = kindNone
+		v.curTask = nil
+		return 0
+	}
+}
+
+// clampChunk guards against a zero remainder: a preemption landing
+// exactly on a chunk boundary charges the work to completion without
+// running its ChunkDone; returning the minimum chunk lets the
+// completion fire instead of being mistaken for "no work: block".
+func clampChunk(r sim.Time) sim.Time {
+	if r <= 0 {
+		return 1
+	}
+	return r
+}
+
+// startHandler accepts vector vec and queues its guest interrupt
+// handler at PrioIRQ.
+func (v *VCPU) startHandler(vec apic.Vector) {
+	v.VAPIC.Accept(vec)
+	v.IRQAccepted++
+	v.VM.noteAccepted(v, vec)
+	h := v.VM.idt[vec]
+	var cost sim.Time
+	var fn func()
+	if h != nil {
+		cost, fn = h(v)
+	}
+	total := v.VM.K.Cost.IRQEntryExit + cost
+	v.enqueueTaskFront(&Task{
+		Name:      fmt.Sprintf("irq%#x", vec),
+		Prio:      PrioIRQ,
+		Remaining: total,
+		OnComplete: func() {
+			if fn != nil {
+				fn()
+			}
+			v.completeIRQ()
+		},
+	})
+}
+
+// completeIRQ performs the EOI write at handler exit. Without posted
+// interrupts this is the trap-and-emulate APIC access — the paper's
+// "interrupt completion" exit.
+func (v *VCPU) completeIRQ() {
+	vec := v.VAPIC.EOI()
+	v.IRQCompleted++
+	v.VM.noteCompleted(v, vec)
+	if !v.VM.K.UsePI {
+		v.BeginExit(ExitAPICAccess, nil)
+	}
+}
+
+// Ran implements sched.WorkSource: charge consumed CPU to the mode and
+// to the in-flight work item.
+func (v *VCPU) Ran(d sim.Time) {
+	switch v.mode {
+	case kindHost:
+		v.HostTime += d
+		if v.hostCur != nil {
+			v.hostCur.remaining -= d
+		}
+	case kindGuest:
+		v.GuestTime += d
+		if v.curTask != nil {
+			v.curTask.Remaining -= d
+		}
+	}
+}
+
+// ChunkDone implements sched.WorkSource.
+func (v *VCPU) ChunkDone() {
+	switch v.mode {
+	case kindHost:
+		hi := v.hostCur
+		v.hostCur = nil
+		v.mode = kindNone
+		v.needEntrySync = true // exit handling done: next guest run is a VM entry
+		if hi != nil && hi.onDone != nil {
+			hi.onDone()
+		}
+	case kindGuest:
+		t := v.curTask
+		v.curTask = nil
+		v.mode = kindNone
+		if t == nil {
+			return
+		}
+		q := v.tasks[t.Prio]
+		if len(q) == 0 || q[0] != t {
+			panic("vmm: completed task is not at its queue head")
+		}
+		copy(q, q[1:])
+		q[len(q)-1] = nil
+		v.tasks[t.Prio] = q[:len(q)-1]
+		if t.OnComplete != nil {
+			t.OnComplete()
+		}
+	}
+}
+
+// TIG returns this vCPU's time-in-guest fraction (1 when it never ran).
+func (v *VCPU) TIG() float64 {
+	total := v.GuestTime + v.HostTime
+	if total == 0 {
+		return 1
+	}
+	return float64(v.GuestTime) / float64(total)
+}
+
+// ResetStats zeroes the accumulated time and interrupt counters.
+func (v *VCPU) ResetStats() {
+	v.GuestTime, v.HostTime = 0, 0
+	v.IRQAccepted, v.IRQCompleted = 0, 0
+}
+
+// startBackgroundExits arms the Poisson background of miscellaneous
+// exits (EPT violations etc.) defined by the cost model.
+func (v *VCPU) startBackgroundExits() {
+	k := v.VM.K
+	period := k.Cost.OtherExitPeriod
+	if period == 0 {
+		return
+	}
+	if k.UsePI {
+		period *= 2 // APICv removes interrupt-window/TPR background exits
+	}
+	var arm func()
+	arm = func() {
+		d := k.rng.ExpDuration(period)
+		if d < sim.Microsecond {
+			d = sim.Microsecond
+		}
+		v.otherExitEvt = k.Eng.After(d, func() {
+			if v.InGuestMode() {
+				v.BeginExit(ExitOther, nil)
+				v.poke()
+			}
+			arm()
+		})
+	}
+	arm()
+}

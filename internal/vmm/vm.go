@@ -1,0 +1,177 @@
+package vmm
+
+import (
+	"fmt"
+
+	"es2/internal/apic"
+	"es2/internal/metrics"
+	"es2/internal/sim"
+	"es2/internal/trace"
+)
+
+// IRQHandler is a guest interrupt handler registered in the IDT: it
+// returns the CPU cost of the handler body and a completion callback
+// that runs in guest context just before the EOI.
+type IRQHandler func(v *VCPU) (cost sim.Time, fn func())
+
+// VectorClass categorizes guest vectors for redirection validity: only
+// device interrupts may be redirected; per-vCPU vectors (timer,
+// reschedule IPIs...) must reach exactly their destination or the guest
+// would crash (Section V-C).
+type VectorClass uint8
+
+const (
+	// ClassLocal marks per-vCPU vectors that must never be redirected.
+	ClassLocal VectorClass = iota
+	// ClassDevice marks external device vectors, eligible for
+	// redirection under the lowest-priority delivery mode.
+	ClassDevice
+)
+
+// TimerVector is the guest local-APIC timer vector (Linux's
+// LOCAL_TIMER_VECTOR).
+const TimerVector apic.Vector = 0xEF
+
+// VM is one guest virtual machine.
+type VM struct {
+	Name  string
+	Index int
+	K     *KVM
+	VCPUs []*VCPU
+
+	idt     map[apic.Vector]IRQHandler
+	vclass  map[apic.Vector]VectorClass
+	nextVec apic.Vector
+
+	// Exits tallies VM exits by reason across all vCPUs.
+	Exits *metrics.Breakdown
+	// DevIRQDelivered / DevIRQCompleted count device-vector interrupt
+	// deliveries and EOIs.
+	DevIRQDelivered metrics.Counter
+	DevIRQCompleted metrics.Counter
+
+	timerEvts []*sim.Handle
+}
+
+// NewVM creates a VM with nvcpus vCPUs pinned to cores[i]. len(cores)
+// must equal nvcpus.
+func (k *KVM) NewVM(name string, cores []int) *VM {
+	vm := &VM{
+		Name:    name,
+		Index:   len(k.vms),
+		K:       k,
+		idt:     make(map[apic.Vector]IRQHandler),
+		vclass:  make(map[apic.Vector]VectorClass),
+		nextVec: 0x31, // Linux external vectors start above 0x30
+		Exits:   metrics.NewBreakdown(ExitLabels()...),
+	}
+	for i, c := range cores {
+		vm.VCPUs = append(vm.VCPUs, newVCPU(vm, i, c))
+	}
+	k.vms = append(k.vms, vm)
+	return vm
+}
+
+// NumVCPUs returns the vCPU count.
+func (vm *VM) NumVCPUs() int { return len(vm.VCPUs) }
+
+// AllocVector allocates a fresh guest vector of the given class and
+// registers its handler, mirroring Linux's strict vector allocation
+// that lets ES2 distinguish device interrupts from local ones.
+func (vm *VM) AllocVector(class VectorClass, h IRQHandler) apic.Vector {
+	vec := vm.nextVec
+	if vec >= TimerVector {
+		panic("vmm: guest vector space exhausted")
+	}
+	vm.nextVec++
+	vm.idt[vec] = h
+	vm.vclass[vec] = class
+	return vec
+}
+
+// RegisterIDT installs a handler for a specific vector (used for the
+// timer vector and tests).
+func (vm *VM) RegisterIDT(vec apic.Vector, class VectorClass, h IRQHandler) {
+	vm.idt[vec] = h
+	vm.vclass[vec] = class
+}
+
+// IsDeviceVector reports whether vec is a redirectable device vector.
+func (vm *VM) IsDeviceVector(vec apic.Vector) bool {
+	return vm.vclass[vec] == ClassDevice
+}
+
+// Start arms per-vCPU background machinery: guest timer ticks and the
+// miscellaneous-exit background. Call once after guest setup.
+func (vm *VM) Start() {
+	if _, ok := vm.idt[TimerVector]; !ok {
+		vm.RegisterIDT(TimerVector, ClassLocal, func(*VCPU) (sim.Time, func()) {
+			return 1200 * sim.Nanosecond, nil
+		})
+	}
+	period := vm.K.Cost.TimerTickPeriod
+	for i, v := range vm.VCPUs {
+		v.startBackgroundExits()
+		if period > 0 {
+			vm.startTimer(v, period, sim.Time(i)*period/sim.Time(len(vm.VCPUs)))
+		}
+	}
+}
+
+func (vm *VM) startTimer(v *VCPU, period, phase sim.Time) {
+	var tick func()
+	tick = func() {
+		vm.K.DeliverLocal(v, TimerVector)
+		vm.timerEvts[v.ID] = vm.K.Eng.After(period, tick)
+	}
+	if len(vm.timerEvts) < len(vm.VCPUs) {
+		vm.timerEvts = make([]*sim.Handle, len(vm.VCPUs))
+	}
+	vm.timerEvts[v.ID] = vm.K.Eng.After(period+phase, tick)
+}
+
+func (vm *VM) recordExit(v *VCPU, r ExitReason) {
+	vm.Exits.Inc(int(r))
+	vm.K.Trace.Record(vm.K.Eng.Now(), trace.KindExit, vm.Index, v.ID, int64(r))
+}
+
+func (vm *VM) noteAccepted(v *VCPU, vec apic.Vector) {
+	if vm.IsDeviceVector(vec) {
+		vm.DevIRQDelivered.Inc()
+	}
+	vm.K.Trace.Record(vm.K.Eng.Now(), trace.KindIRQDeliver, vm.Index, v.ID, int64(vec))
+}
+
+func (vm *VM) noteCompleted(v *VCPU, vec apic.Vector) {
+	if vm.IsDeviceVector(vec) {
+		vm.DevIRQCompleted.Inc()
+	}
+	vm.K.Trace.Record(vm.K.Eng.Now(), trace.KindIRQEOI, vm.Index, v.ID, int64(vec))
+}
+
+// TIG returns the VM-wide time-in-guest fraction.
+func (vm *VM) TIG() float64 {
+	var g, h sim.Time
+	for _, v := range vm.VCPUs {
+		g += v.GuestTime
+		h += v.HostTime
+	}
+	if g+h == 0 {
+		return 1
+	}
+	return float64(g) / float64(g+h)
+}
+
+// ResetStats zeroes exit and interrupt statistics (used at the end of
+// the measurement warm-up).
+func (vm *VM) ResetStats() {
+	vm.Exits.Reset()
+	vm.DevIRQDelivered.Reset()
+	vm.DevIRQCompleted.Reset()
+	for _, v := range vm.VCPUs {
+		v.ResetStats()
+	}
+}
+
+// String identifies the VM.
+func (vm *VM) String() string { return fmt.Sprintf("VM(%s,%d vCPUs)", vm.Name, len(vm.VCPUs)) }

@@ -1,0 +1,278 @@
+package workloads
+
+import (
+	"es2/internal/guest"
+	"es2/internal/metrics"
+	"es2/internal/netsim"
+	"es2/internal/sim"
+)
+
+// Memaslap reproduces the paper's Memcached load: a closed-loop
+// generator keeping a fixed number of requests outstanding over a pool
+// of pre-established connections, with a get/set ratio of 9:1
+// (Section VI-E: 256 concurrent requests from 16 threads).
+type Memaslap struct {
+	peer  *Peer
+	conns []int
+	seq   int64
+	count int64
+
+	// Completed counts responses; Lat aggregates request latencies.
+	Completed uint64
+	Lat       *metrics.Histogram
+
+	started map[int64]sim.Time
+
+	// Request/response sizes (memaslap defaults: 64B keys, 1KB values).
+	GetReqBytes, GetRespBytes int
+	SetReqBytes, SetRespBytes int
+	// GetEvery is the get:set cycle length (10 → 9 gets, 1 set).
+	GetEvery int
+}
+
+// StartMemaslap opens conns pre-established connections and keeps
+// concurrency requests outstanding.
+func StartMemaslap(pe *Peer, ids *FlowIDs, conns, concurrency int) *Memaslap {
+	m := &Memaslap{
+		peer: pe, Lat: metrics.NewHistogram(0), started: make(map[int64]sim.Time),
+		GetReqBytes: 105, GetRespBytes: 1088,
+		SetReqBytes: 1130, SetRespBytes: 71,
+		GetEvery: 10,
+	}
+	for i := 0; i < conns; i++ {
+		fid := ids.Next()
+		m.conns = append(m.conns, fid)
+		pe.Register(fid, m)
+	}
+	for i := 0; i < concurrency; i++ {
+		m.sendNext(m.conns[i%len(m.conns)])
+	}
+	return m
+}
+
+func (m *Memaslap) sendNext(flow int) {
+	m.count++
+	isSet := m.count%int64(m.GetEvery) == 0
+	reqBytes, respBytes := m.GetReqBytes, m.GetRespBytes
+	if isSet {
+		reqBytes, respBytes = m.SetReqBytes, m.SetRespBytes
+	}
+	id := m.seq
+	m.seq++
+	m.started[id] = m.peer.Eng.Now()
+	m.peer.Send(&netsim.Packet{
+		Bytes: reqBytes, Kind: guest.KindRequest, Flow: flow,
+		Payload: &Req{ID: id, RespBytes: respBytes},
+	})
+}
+
+// PeerReceive implements PeerFlow: a response completes one request and
+// immediately issues the next on the same connection (closed loop).
+func (m *Memaslap) PeerReceive(p *netsim.Packet) {
+	if p.Kind != guest.KindResponse {
+		return
+	}
+	r, _ := p.Payload.(*Resp)
+	if r == nil || r.Seg != r.Segs-1 {
+		return // wait for the last segment
+	}
+	if t0, ok := m.started[r.ReqID]; ok {
+		delete(m.started, r.ReqID)
+		m.Lat.Observe(m.peer.Eng.Now() - t0)
+		m.Completed++
+		m.sendNext(p.Flow)
+	}
+}
+
+// ApacheBench reproduces the paper's Apache load: N concurrent workers
+// each looping connect → GET → full 8KB response → next (Section VI-E:
+// 16 concurrent threads, 8KB static pages).
+type ApacheBench struct {
+	peer *Peer
+
+	// Completed counts full responses; BytesReceived counts payload.
+	Completed     uint64
+	BytesReceived uint64
+	ConnTime      *metrics.Histogram
+
+	PageBytes   int
+	ReqBytes    int
+	SYNTimeout  sim.Time
+	seq         int64
+	workerState []*abWorker
+}
+
+type abWorker struct {
+	ab        *ApacheBench
+	flow      int
+	connSeq   int64
+	reqID     int64
+	synSent   sim.Time
+	gotBytes  int
+	state     int // 0 idle, 1 awaiting SYNACK, 2 awaiting response
+	retxTimer *sim.Handle
+}
+
+// StartApacheBench launches the load generator with the given
+// concurrency.
+func StartApacheBench(pe *Peer, ids *FlowIDs, concurrency, pageBytes int) *ApacheBench {
+	ab := &ApacheBench{
+		peer: pe, PageBytes: pageBytes, ReqBytes: 120,
+		SYNTimeout: 1 * sim.Second, ConnTime: metrics.NewHistogram(0),
+	}
+	for i := 0; i < concurrency; i++ {
+		w := &abWorker{ab: ab, flow: ids.Next()}
+		ab.workerState = append(ab.workerState, w)
+		pe.Register(w.flow, w)
+		w.connect()
+	}
+	return ab
+}
+
+func (w *abWorker) connect() {
+	w.state = 1
+	w.gotBytes = 0
+	w.connSeq++
+	w.synSent = w.ab.peer.Eng.Now()
+	w.sendSYN()
+}
+
+func (w *abWorker) sendSYN() {
+	seq := w.connSeq
+	w.ab.peer.Port.Send(&netsim.Packet{Bytes: 74, Kind: guest.KindSYN, Flow: w.flow, Seq: seq})
+	w.retxTimer = w.ab.peer.Eng.After(w.ab.SYNTimeout, func() {
+		if w.state == 1 && w.connSeq == seq {
+			w.sendSYN() // SYN lost or unanswered: retransmit
+		}
+	})
+}
+
+// PeerReceive implements PeerFlow.
+func (w *abWorker) PeerReceive(p *netsim.Packet) {
+	switch p.Kind {
+	case guest.KindSYNACK:
+		if w.state != 1 || p.Seq != w.connSeq {
+			return
+		}
+		w.state = 2
+		if w.retxTimer != nil {
+			w.retxTimer.Cancel()
+		}
+		w.ab.ConnTime.Observe(w.ab.peer.Eng.Now() - w.synSent)
+		w.reqID = w.ab.seq
+		w.ab.seq++
+		w.ab.peer.Send(&netsim.Packet{
+			Bytes: w.ab.ReqBytes, Kind: guest.KindRequest, Flow: w.flow,
+			Payload: &Req{ID: w.reqID, RespBytes: w.ab.PageBytes},
+		})
+	case guest.KindResponse:
+		if w.state != 2 {
+			return
+		}
+		r, _ := p.Payload.(*Resp)
+		if r == nil || r.ReqID != w.reqID {
+			return
+		}
+		w.gotBytes += p.Bytes
+		w.ab.BytesReceived += uint64(p.Bytes)
+		if r.Seg == r.Segs-1 {
+			w.ab.Completed++
+			w.connect() // next request, new connection (ab default)
+		}
+	}
+}
+
+// Httperf reproduces the Fig. 9 experiment: connections initiated
+// open-loop at a fixed rate; the connection time (SYN to SYN/ACK,
+// including any retransmission delays) is the metric.
+type Httperf struct {
+	peer *Peer
+
+	Rate       float64 // connections per second
+	PageBytes  int
+	SYNTimeout sim.Time
+
+	// ConnTime aggregates per-connection establishment times.
+	ConnTime *metrics.Histogram
+	// Initiated and Established count connections.
+	Initiated   uint64
+	Established uint64
+	Responses   uint64
+
+	ids     *FlowIDs
+	stopped bool
+	seq     int64
+}
+
+type httperfConn struct {
+	h       *Httperf
+	flow    int
+	synSent sim.Time
+	state   int
+	reqID   int64
+}
+
+// StartHttperf begins initiating connections at rate per second.
+func StartHttperf(pe *Peer, ids *FlowIDs, rate float64, pageBytes int) *Httperf {
+	h := &Httperf{
+		peer: pe, Rate: rate, PageBytes: pageBytes,
+		SYNTimeout: 1 * sim.Second, ConnTime: metrics.NewHistogram(0), ids: ids,
+	}
+	interval := sim.Time(1e9 / rate)
+	var tick func()
+	tick = func() {
+		if h.stopped {
+			return
+		}
+		h.initiate()
+		pe.Eng.After(interval, tick)
+	}
+	pe.Eng.After(interval, tick)
+	return h
+}
+
+// Stop halts new connection initiation.
+func (h *Httperf) Stop() { h.stopped = true }
+
+func (h *Httperf) initiate() {
+	c := &httperfConn{h: h, flow: h.ids.Next(), state: 1, synSent: h.peer.Eng.Now()}
+	h.peer.Register(c.flow, c)
+	h.Initiated++
+	c.sendSYN()
+}
+
+func (c *httperfConn) sendSYN() {
+	c.h.peer.Port.Send(&netsim.Packet{Bytes: 74, Kind: guest.KindSYN, Flow: c.flow, Seq: 1})
+	c.h.peer.Eng.After(c.h.SYNTimeout, func() {
+		if c.state == 1 {
+			c.sendSYN()
+		}
+	})
+}
+
+// PeerReceive implements PeerFlow.
+func (c *httperfConn) PeerReceive(p *netsim.Packet) {
+	switch p.Kind {
+	case guest.KindSYNACK:
+		if c.state != 1 {
+			return
+		}
+		c.state = 2
+		c.h.Established++
+		c.h.ConnTime.Observe(c.h.peer.Eng.Now() - c.synSent)
+		c.reqID = c.h.seq
+		c.h.seq++
+		c.h.peer.Send(&netsim.Packet{
+			Bytes: 110, Kind: guest.KindRequest, Flow: c.flow,
+			Payload: &Req{ID: c.reqID, RespBytes: c.h.PageBytes},
+		})
+	case guest.KindResponse:
+		if c.state != 2 {
+			return
+		}
+		if r, _ := p.Payload.(*Resp); r != nil && r.ReqID == c.reqID && r.Seg == r.Segs-1 {
+			c.state = 3
+			c.h.Responses++
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package workloads
+
+import (
+	"es2/internal/guest"
+	"es2/internal/netsim"
+	"es2/internal/sim"
+	"es2/internal/vmm"
+)
+
+// Netperf reproduces the netperf micro-benchmark: TCP_STREAM and
+// UDP_STREAM in both directions with configurable message sizes.
+
+// NetperfSendTCP runs a netperf TCP_STREAM sender as a guest process on
+// vCPU v, streaming toward the external peer. It returns the guest flow
+// (for progress stats) and the peer sink (for goodput).
+func NetperfSendTCP(kern *guest.Kernel, v *vmm.VCPU, pe *Peer, flowID, msgBytes, window int) (*guest.TCPSender, *TCPSink) {
+	f := guest.NewTCPSender(kern, flowID, msgBytes, window)
+	sink := &TCPSink{peer: pe, flowID: flowID, ackEvery: 4}
+	pe.Register(flowID, sink)
+
+	dev := kern.Dev
+	prep := kern.Costs.TXCost(msgBytes, true)
+	var pending *netsim.Packet
+	var loop func()
+	loop = func() {
+		if pending != nil {
+			if !dev.Transmit(v, pending) {
+				dev.WaitTX(loop)
+				return
+			}
+			pending = nil
+		}
+		if !f.CanSend() {
+			f.WaitWindow(loop) // netperf blocks in send(): window closed
+			return
+		}
+		if dev.TX.Full() {
+			dev.WaitTX(loop)
+			return
+		}
+		v.EnqueueTask(vmm.NewTask("netperf-tcp-tx", vmm.PrioTask, kern.JitterCost(prep), func() {
+			seg := f.NextSegment()
+			if !dev.Transmit(v, seg) {
+				pending = seg
+				dev.WaitTX(loop)
+				return
+			}
+			loop()
+		}))
+	}
+	loop()
+	return f, sink
+}
+
+// NetperfSendUDP runs a netperf UDP_STREAM sender as a guest process on
+// vCPU v. UDP never blocks: a full ring drops locally, as a full qdisc
+// would.
+func NetperfSendUDP(kern *guest.Kernel, v *vmm.VCPU, pe *Peer, flowID, msgBytes int) (*guest.UDPSender, *UDPSink) {
+	f := guest.NewUDPSender(kern, flowID, msgBytes)
+	sink := &UDPSink{}
+	pe.Register(flowID, sink)
+
+	dev := kern.Dev
+	prep := kern.Costs.TXCost(msgBytes, false)
+	var loop func()
+	loop = func() {
+		v.EnqueueTask(vmm.NewTask("netperf-udp-tx", vmm.PrioTask, kern.JitterCost(prep), func() {
+			dev.TransmitOrDrop(v, f.NextPacket())
+			loop()
+		}))
+	}
+	loop()
+	return f, sink
+}
+
+// NetperfSendUDPPaced is NetperfSendUDP at a fixed offered rate instead
+// of CPU speed — the "low I/O load" regime where the paper argues
+// dedicated-core polling wastes cycles and notification mode is
+// preferable.
+func NetperfSendUDPPaced(kern *guest.Kernel, v *vmm.VCPU, pe *Peer, flowID, msgBytes int, pps float64) (*guest.UDPSender, *UDPSink) {
+	f := guest.NewUDPSender(kern, flowID, msgBytes)
+	sink := &UDPSink{}
+	pe.Register(flowID, sink)
+
+	dev := kern.Dev
+	prep := kern.Costs.TXCost(msgBytes, false)
+	interval := sim.Time(1e9 / pps)
+	eng := kern.Engine()
+	var tick func()
+	tick = func() {
+		v.EnqueueTask(vmm.NewTask("netperf-udp-paced", vmm.PrioTask, kern.JitterCost(prep), func() {
+			dev.TransmitOrDrop(v, f.NextPacket())
+		}))
+		eng.After(interval, tick)
+	}
+	eng.After(interval, tick)
+	return f, sink
+}
+
+// TCPSink is the peer-side terminator of a guest-to-peer TCP stream: it
+// counts goodput and generates one cumulative stretch ACK per ackEvery
+// segments (a GRO-enabled receiver NIC acknowledges coalesced chunks).
+type TCPSink struct {
+	peer     *Peer
+	flowID   int
+	ackEvery int
+
+	pending int
+	lastSeq int64
+
+	// Bytes and Segs are receiver-side goodput (what netperf reports).
+	Bytes uint64
+	Segs  uint64
+}
+
+// PeerReceive implements PeerFlow.
+func (s *TCPSink) PeerReceive(p *netsim.Packet) {
+	if p.Kind != guest.KindTCPData {
+		return
+	}
+	s.Bytes += uint64(p.Bytes)
+	s.Segs++
+	if p.Seq > s.lastSeq {
+		s.lastSeq = p.Seq
+	}
+	s.pending++
+	if s.pending >= s.ackEvery {
+		s.pending = 0
+		s.peer.Send(&netsim.Packet{Bytes: 66, Kind: guest.KindTCPAck, Flow: s.flowID, Seq: s.lastSeq + 1})
+	}
+}
+
+// UDPSink counts a guest-to-peer UDP stream at the receiver.
+type UDPSink struct {
+	Bytes uint64
+	Pkts  uint64
+}
+
+// PeerReceive implements PeerFlow.
+func (s *UDPSink) PeerReceive(p *netsim.Packet) {
+	if p.Kind != guest.KindUDP {
+		return
+	}
+	s.Bytes += uint64(p.Bytes)
+	s.Pkts++
+}
+
+// NetperfRecvTCP runs a netperf TCP_STREAM receive test: the peer
+// streams toward the guest with the given in-flight window, clocked by
+// the guest's delayed ACKs. It returns the guest receiver (goodput is
+// counted there, as netperf does).
+func NetperfRecvTCP(kern *guest.Kernel, pe *Peer, flowID, msgBytes, window int) (*guest.TCPReceiver, *TCPSource) {
+	r := guest.NewTCPReceiver(kern, flowID)
+	src := &TCPSource{peer: pe, flowID: flowID, segBytes: msgBytes, window: window}
+	pe.Register(flowID, src)
+	src.pump()
+	return r, src
+}
+
+// TCPSource is the peer-side sender of a peer-to-guest TCP stream.
+type TCPSource struct {
+	peer     *Peer
+	flowID   int
+	segBytes int
+	window   int
+
+	nextSeq  int64
+	acked    int64
+	inFlight int
+
+	// SentSegs counts transmitted segments.
+	SentSegs uint64
+}
+
+// pump sends while the window admits.
+func (s *TCPSource) pump() {
+	for s.inFlight < s.window {
+		s.peer.Send(&netsim.Packet{Bytes: s.segBytes, Kind: guest.KindTCPData, Flow: s.flowID, Seq: s.nextSeq})
+		s.nextSeq++
+		s.inFlight++
+		s.SentSegs++
+	}
+}
+
+// PeerReceive implements PeerFlow: guest ACKs open the window.
+func (s *TCPSource) PeerReceive(p *netsim.Packet) {
+	if p.Kind != guest.KindTCPAck {
+		return
+	}
+	if p.Seq <= s.acked {
+		return
+	}
+	s.inFlight -= int(p.Seq - s.acked)
+	if s.inFlight < 0 {
+		s.inFlight = 0
+	}
+	s.acked = p.Seq
+	s.pump()
+}
+
+// NetperfRecvUDP runs a netperf UDP_STREAM receive test: the peer
+// blasts datagrams at the given packet rate (an unloaded sender is wire
+// or CPU bound; the rate parameter stands for its capability).
+func NetperfRecvUDP(kern *guest.Kernel, pe *Peer, flowID, msgBytes int, pps float64) (*guest.UDPReceiver, *UDPSource) {
+	r := guest.NewUDPReceiver(kern, flowID)
+	src := &UDPSource{peer: pe, flowID: flowID, pktBytes: msgBytes, interval: sim.Time(1e9 / pps)}
+	pe.Register(flowID, src)
+	src.start()
+	return r, src
+}
+
+// UDPSource sends a constant-rate UDP stream from the peer.
+type UDPSource struct {
+	peer     *Peer
+	flowID   int
+	pktBytes int
+	interval sim.Time
+	nextSeq  int64
+	stopped  bool
+
+	SentPkts uint64
+}
+
+func (s *UDPSource) start() {
+	var tick func()
+	tick = func() {
+		if s.stopped {
+			return
+		}
+		s.peer.Port.Send(&netsim.Packet{Bytes: s.pktBytes, Kind: guest.KindUDP, Flow: s.flowID, Seq: s.nextSeq})
+		s.nextSeq++
+		s.SentPkts++
+		s.peer.Eng.After(s.interval, tick)
+	}
+	s.peer.Eng.After(s.interval, tick)
+}
+
+// Stop halts the source.
+func (s *UDPSource) Stop() { s.stopped = true }
+
+// PeerReceive implements PeerFlow (nothing flows back on UDP).
+func (s *UDPSource) PeerReceive(p *netsim.Packet) {}

@@ -1,0 +1,69 @@
+// Package workloads implements the benchmark applications of the
+// paper's evaluation on both sides of the wire: the guest-side
+// processes (netperf send loops, Memcached/Apache-style servers) and
+// the external traffic generator/terminator that the second testbed
+// server ran (netperf peers, ping, memaslap, ApacheBench, Httperf).
+//
+// The external peer is not under test: it models an unloaded machine
+// whose per-action latency is a small constant, while all guest-side
+// work is charged to vCPUs through the vmm task model.
+package workloads
+
+import (
+	"es2/internal/netsim"
+	"es2/internal/sim"
+)
+
+// Peer is the external server: the far endpoint of the testbed link.
+// It dispatches incoming packets to per-flow protocol engines.
+type Peer struct {
+	Eng *sim.Engine
+	// Port sends toward the guest host.
+	Port *netsim.Port
+	// Delay is the peer's per-action processing latency (stack +
+	// application on an unloaded machine).
+	Delay sim.Time
+
+	flows map[int]PeerFlow
+
+	// Unclaimed counts packets for unknown flows.
+	Unclaimed uint64
+}
+
+// PeerFlow is the peer-side protocol engine of one flow.
+type PeerFlow interface {
+	PeerReceive(p *netsim.Packet)
+}
+
+// NewPeer creates the external endpoint. Attach it to the link's far
+// side and set Port to the direction toward the host under test.
+func NewPeer(eng *sim.Engine, port *netsim.Port, delay sim.Time) *Peer {
+	return &Peer{Eng: eng, Port: port, Delay: delay, flows: make(map[int]PeerFlow)}
+}
+
+// Register binds a flow id to its peer-side engine.
+func (pe *Peer) Register(id int, f PeerFlow) { pe.flows[id] = f }
+
+// Receive implements netsim.Endpoint.
+func (pe *Peer) Receive(p *netsim.Packet) {
+	if f, ok := pe.flows[p.Flow]; ok {
+		f.PeerReceive(p)
+		return
+	}
+	pe.Unclaimed++
+}
+
+// Send transmits a packet toward the guest after the peer's processing
+// delay.
+func (pe *Peer) Send(p *netsim.Packet) {
+	pe.Eng.After(pe.Delay, func() { pe.Port.Send(p) })
+}
+
+// FlowIDs hands out unique flow identifiers within a scenario.
+type FlowIDs struct{ next int }
+
+// Next returns a fresh flow id.
+func (f *FlowIDs) Next() int {
+	f.next++
+	return f.next
+}

@@ -1,0 +1,236 @@
+package workloads
+
+import (
+	"testing"
+
+	"es2/internal/guest"
+	"es2/internal/netsim"
+	"es2/internal/sched"
+	"es2/internal/sim"
+	"es2/internal/vhost"
+	"es2/internal/vmm"
+)
+
+// rig is a complete single-VM testbed: guest kernel + vhost device +
+// link + peer, with the vCPU on core 0 and the vhost worker on core 1.
+type rig struct {
+	eng  *sim.Engine
+	k    *vmm.KVM
+	vm   *vmm.VM
+	kern *guest.Kernel
+	dev  *vhost.Device
+	peer *Peer
+	ids  FlowIDs
+}
+
+func newRig(t *testing.T, usePI bool, vcpus int) *rig {
+	t.Helper()
+	eng := sim.NewEngine(9)
+	s := sched.New(eng, vcpus+1, sched.DefaultParams())
+	k := vmm.NewKVM(eng, s, vmm.DefaultCosts())
+	k.UsePI = usePI
+	cores := make([]int, vcpus)
+	for i := range cores {
+		cores[i] = i
+	}
+	vm := k.NewVM("vm", cores)
+	kern := guest.NewKernel(vm, guest.DefaultCosts(), 1024)
+	kern.StartBurnAll()
+
+	link := netsim.NewLink(eng, 40, 2*sim.Microsecond)
+	peer := NewPeer(eng, link.PortB(), 2*sim.Microsecond)
+	io := vhost.NewIOThread("io", s, vcpus, vhost.DefaultParams())
+	dev := vhost.NewDevice("dev", io, kern.Dev.TX, kern.Dev.RX, link.PortA(), false, 0)
+	link.Attach(dev, peer)
+	vm.Start()
+	return &rig{eng: eng, k: k, vm: vm, kern: kern, dev: dev, peer: peer}
+}
+
+func TestNetperfTCPSendEndToEnd(t *testing.T) {
+	r := newRig(t, true, 1)
+	flow, sink := NetperfSendTCP(r.kern, r.vm.VCPUs[0], r.peer, r.ids.Next(), 1024, 64)
+	r.eng.Run(200 * sim.Millisecond)
+	if sink.Segs < 1000 {
+		t.Fatalf("peer received %d segments, want >1000", sink.Segs)
+	}
+	if sink.Bytes != sink.Segs*1024 {
+		t.Fatalf("byte accounting wrong: %d bytes for %d segs", sink.Bytes, sink.Segs)
+	}
+	if flow.InFlight() > flow.Window() {
+		t.Fatalf("in-flight %d exceeds window %d", flow.InFlight(), flow.Window())
+	}
+	if flow.AckedSegs == 0 {
+		t.Fatal("ACK clock never ticked")
+	}
+}
+
+func TestNetperfUDPSendEndToEnd(t *testing.T) {
+	r := newRig(t, true, 1)
+	_, sink := NetperfSendUDP(r.kern, r.vm.VCPUs[0], r.peer, r.ids.Next(), 256)
+	r.eng.Run(100 * sim.Millisecond)
+	if sink.Pkts < 5000 {
+		t.Fatalf("peer received %d packets, want >5000", sink.Pkts)
+	}
+}
+
+func TestNetperfTCPRecvEndToEnd(t *testing.T) {
+	r := newRig(t, true, 1)
+	recv, src := NetperfRecvTCP(r.kern, r.peer, r.ids.Next(), 1024, 64)
+	r.eng.Run(200 * sim.Millisecond)
+	if recv.Segs < 1000 {
+		t.Fatalf("guest received %d segments, want >1000", recv.Segs)
+	}
+	if src.SentSegs < recv.Segs {
+		t.Fatal("peer sent fewer segments than guest received")
+	}
+	if recv.AcksSent == 0 {
+		t.Fatal("guest never ACKed")
+	}
+}
+
+func TestNetperfUDPRecvEndToEnd(t *testing.T) {
+	r := newRig(t, true, 1)
+	recv, src := NetperfRecvUDP(r.kern, r.peer, r.ids.Next(), 1024, 100_000)
+	r.eng.Run(100 * sim.Millisecond)
+	if recv.Pkts < 5000 {
+		t.Fatalf("guest received %d packets, want ~10000", recv.Pkts)
+	}
+	src.Stop()
+	at := recv.Pkts
+	r.eng.Run(120 * sim.Millisecond)
+	if recv.Pkts-at > 100 {
+		t.Fatal("source kept sending after Stop")
+	}
+}
+
+func TestPingEndToEnd(t *testing.T) {
+	r := newRig(t, true, 1)
+	p := StartPing(r.kern, r.peer, r.ids.Next(), 5*sim.Millisecond)
+	r.eng.Run(200 * sim.Millisecond)
+	if p.Hist.Count() < 30 {
+		t.Fatalf("only %d replies", p.Hist.Count())
+	}
+	if p.Outstanding() > 2 {
+		t.Fatalf("%d probes unanswered on an idle VM", p.Outstanding())
+	}
+	// A dedicated, mostly idle vCPU answers in tens of microseconds.
+	if mean := p.Hist.Mean(); mean > sim.Millisecond {
+		t.Fatalf("mean RTT %v too high for a dedicated vCPU", mean)
+	}
+	p.Stop()
+	n := p.Sent
+	r.eng.Run(50 * sim.Millisecond)
+	if p.Sent != n {
+		t.Fatal("pinger kept probing after Stop")
+	}
+}
+
+func TestMemcachedClosedLoop(t *testing.T) {
+	r := newRig(t, true, 2)
+	srv := StartServer(r.kern, DefaultServerConfig())
+	m := StartMemaslap(r.peer, &r.ids, 4, 32)
+	r.eng.Run(300 * sim.Millisecond)
+	if m.Completed < 1000 {
+		t.Fatalf("completed %d ops, want >1000", m.Completed)
+	}
+	if srv.Served < m.Completed {
+		t.Fatal("server served fewer than client completed")
+	}
+	if m.Lat.Count() != m.Completed {
+		t.Fatal("latency histogram count mismatch")
+	}
+	// Closed loop: outstanding never exceeds concurrency.
+	if len(m.started) > 32 {
+		t.Fatalf("%d outstanding, concurrency 32", len(m.started))
+	}
+}
+
+func TestMemaslapGetSetMix(t *testing.T) {
+	r := newRig(t, true, 1)
+	StartServer(r.kern, DefaultServerConfig())
+	m := StartMemaslap(r.peer, &r.ids, 2, 8)
+	r.eng.Run(200 * sim.Millisecond)
+	// 9:1 get/set — the cycle counter guarantees the ratio exactly.
+	if m.count < 100 {
+		t.Fatal("too few requests to check the mix")
+	}
+}
+
+func TestApacheBenchEndToEnd(t *testing.T) {
+	r := newRig(t, true, 2)
+	StartServer(r.kern, DefaultServerConfig())
+	ab := StartApacheBench(r.peer, &r.ids, 8, 8192)
+	r.eng.Run(400 * sim.Millisecond)
+	if ab.Completed < 200 {
+		t.Fatalf("completed %d requests, want >200", ab.Completed)
+	}
+	if ab.BytesReceived < ab.Completed*8192 {
+		t.Fatalf("bytes %d < completed %d x 8192", ab.BytesReceived, ab.Completed)
+	}
+	if ab.ConnTime.Count() == 0 {
+		t.Fatal("no connection times recorded")
+	}
+}
+
+func TestHttperfOpenLoop(t *testing.T) {
+	r := newRig(t, true, 2)
+	srv := StartServer(r.kern, DefaultServerConfig())
+	h := StartHttperf(r.peer, &r.ids, 2000, 1024)
+	r.eng.Run(500 * sim.Millisecond)
+	if h.Initiated < 900 {
+		t.Fatalf("initiated %d connections, want ~1000", h.Initiated)
+	}
+	if h.Established < h.Initiated*8/10 {
+		t.Fatalf("established %d of %d", h.Established, h.Initiated)
+	}
+	if h.Responses == 0 {
+		t.Fatal("no responses")
+	}
+	_ = srv
+	h.Stop()
+	n := h.Initiated
+	r.eng.Run(100 * sim.Millisecond)
+	if h.Initiated != n {
+		t.Fatal("httperf kept initiating after Stop")
+	}
+}
+
+func TestServerBacklogOverflowTriggersRetransmits(t *testing.T) {
+	r := newRig(t, true, 1)
+	cfg := DefaultServerConfig()
+	cfg.Backlog = 2
+	cfg.ServiceCost = 3 * sim.Millisecond // slow accept drain
+	srv := StartServer(r.kern, cfg)
+	h := StartHttperf(r.peer, &r.ids, 3000, 256)
+	r.eng.Run(400 * sim.Millisecond)
+	if srv.SYNDrops == 0 {
+		t.Fatal("expected SYN drops with backlog 2 under 3000 conn/s")
+	}
+	// Retransmission recovery must still establish some connections.
+	if h.Established == 0 {
+		t.Fatal("no connections established at all")
+	}
+	_ = h
+}
+
+func TestPeerUnclaimedPackets(t *testing.T) {
+	eng := sim.NewEngine(1)
+	link := netsim.NewLink(eng, 40, 0)
+	pe := NewPeer(eng, link.PortB(), 0)
+	pe.Receive(&netsim.Packet{Flow: 999})
+	if pe.Unclaimed != 1 {
+		t.Fatal("unclaimed packet not counted")
+	}
+}
+
+func TestFlowIDsUnique(t *testing.T) {
+	var ids FlowIDs
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		id := ids.Next()
+		if seen[id] {
+			t.Fatal("duplicate flow id")
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,540 @@
+package es2
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"es2/internal/core"
+	"es2/internal/guest"
+	"es2/internal/netsim"
+	"es2/internal/sched"
+	"es2/internal/sim"
+	"es2/internal/trace"
+	"es2/internal/vhost"
+	"es2/internal/vmm"
+	"es2/internal/workloads"
+)
+
+// withDefaults fills zero fields with kind-appropriate defaults.
+func (s ScenarioSpec) withDefaults() ScenarioSpec {
+	if s.VMs <= 0 {
+		s.VMs = 1
+	}
+	if s.VCPUs <= 0 {
+		s.VCPUs = 1
+	}
+	if s.VMCores <= 0 {
+		s.VMCores = s.VCPUs
+	}
+	if s.VhostCores <= 0 {
+		s.VhostCores = s.VMs
+		if s.VhostCores > 4 {
+			s.VhostCores = 4
+		}
+	}
+	if s.Warmup <= 0 {
+		s.Warmup = 300 * time.Millisecond
+	}
+	if s.Duration <= 0 {
+		s.Duration = time.Second
+	}
+	if s.Queues <= 0 {
+		s.Queues = 1
+	}
+	w := &s.Workload
+	if w.MsgBytes <= 0 {
+		w.MsgBytes = 1024
+	}
+	if w.Threads <= 0 {
+		w.Threads = 1
+	}
+	if w.Window <= 0 {
+		w.Window = 128
+	}
+	if w.UDPRatePPS <= 0 {
+		w.UDPRatePPS = 450_000
+	}
+	if w.PingInterval <= 0 {
+		w.PingInterval = 100 * time.Millisecond
+	}
+	if w.Concurrency <= 0 {
+		switch w.Kind {
+		case Memcached:
+			w.Concurrency = 256
+		default:
+			w.Concurrency = 16
+		}
+	}
+	if w.Conns <= 0 {
+		w.Conns = 16
+	}
+	if w.PageBytes <= 0 {
+		if w.Kind == Httperf {
+			w.PageBytes = 1024
+		} else {
+			w.PageBytes = 8192
+		}
+	}
+	if w.ConnRate <= 0 {
+		w.ConnRate = 1000
+	}
+	if w.ServiceCost <= 0 {
+		switch w.Kind {
+		case Memcached:
+			w.ServiceCost = 6 * time.Microsecond
+		case Apache:
+			w.ServiceCost = 15 * time.Microsecond
+		default:
+			w.ServiceCost = 10 * time.Microsecond
+		}
+	}
+	// The paper selects quota 4 for TCP streams and 8 for UDP streams
+	// (Section VI-B); default accordingly when hybrid is on.
+	if s.Config.Hybrid && s.Config.Quota <= 0 {
+		switch w.Kind {
+		case NetperfUDPSend, NetperfUDPRecv:
+			s.Config.Quota = 8
+		default:
+			s.Config.Quota = 4
+		}
+	}
+	return s
+}
+
+// testbed is one fully wired simulated host pair.
+type testbed struct {
+	spec     ScenarioSpec
+	eng      *sim.Engine
+	sch      *sched.Scheduler
+	k        *vmm.KVM
+	es       *core.ES2
+	vms      []*vmm.VM
+	kerns    []*guest.Kernel
+	devs     []*vhost.Device // all devices; devsByVM groups them
+	devsByVM [][]*vhost.Device
+	ios      []*vhost.IOThread
+	peers    []*workloads.Peer
+	ids      workloads.FlowIDs
+}
+
+// rxDemux fans wire ingress out to the per-queue vhost devices by flow
+// hash, standing in for the NIC's receive-side scaling.
+type rxDemux struct{ devs []*vhost.Device }
+
+// Receive implements netsim.Endpoint.
+func (d rxDemux) Receive(p *netsim.Packet) {
+	idx := p.Flow % len(d.devs)
+	if idx < 0 {
+		idx += len(d.devs)
+	}
+	d.devs[idx].Receive(p)
+}
+
+// collector gathers workload-specific measurements.
+type collector struct {
+	onWarmupEnd func()
+	fill        func(r *Result, window sim.Time)
+}
+
+// Run executes one scenario to completion and returns its result.
+func Run(spec ScenarioSpec) (*Result, error) {
+	spec = spec.withDefaults()
+	tb, err := build(spec)
+	if err != nil {
+		return nil, err
+	}
+	col, err := tb.startWorkload()
+	if err != nil {
+		return nil, err
+	}
+
+	warmup := sim.DurationOf(spec.Warmup)
+	window := sim.DurationOf(spec.Duration)
+	tb.eng.Run(warmup)
+	for _, vm := range tb.vms {
+		vm.ResetStats()
+	}
+	for _, d := range tb.devs {
+		d.ResetStats()
+	}
+	var vhostBusy0 sim.Time
+	for _, io := range tb.ios {
+		vhostBusy0 += io.Thread.SumExec()
+	}
+	var redirBase, filterBase, onlineBase, offlineBase uint64
+	if tb.es.Redirector != nil {
+		redirBase = tb.es.Redirector.Redirected
+		filterBase = tb.es.Redirector.KeptAffinity
+		onlineBase = tb.es.Redirector.OnlineHits
+		offlineBase = tb.es.Redirector.OfflinePredicts
+	}
+	if col.onWarmupEnd != nil {
+		col.onWarmupEnd()
+	}
+	tb.eng.Run(warmup + window)
+
+	var vhostBusy sim.Time
+	for _, io := range tb.ios {
+		vhostBusy += io.Thread.SumExec()
+	}
+
+	vm := tb.vms[0]
+	var txPkts, rxPkts, drops uint64
+	for _, d := range tb.devsByVM[0] {
+		txPkts += d.TxPkts
+		rxPkts += d.RxPkts
+		drops += d.BacklogDrops
+	}
+	r := &Result{
+		Name:            spec.Name,
+		Config:          spec.Config,
+		MeasuredSeconds: window.Seconds(),
+		ExitRates:       make(map[string]float64),
+		TIG:             vm.TIG(),
+		TxPkts:          txPkts,
+		RxPkts:          rxPkts,
+		Drops:           drops + tb.kerns[0].Dev.LocalDrops,
+	}
+	for i := 0; i < vmm.NumExitReasons; i++ {
+		r.ExitRates[vmm.ExitReason(i).String()] = vm.Exits.Rate(i, window)
+	}
+	if spec.VhostCores > 0 && window > 0 {
+		r.VhostCPU = float64(vhostBusy-vhostBusy0) / (float64(window) * float64(spec.VhostCores))
+	}
+	r.TotalExitRate = vm.Exits.TotalRate(window)
+	r.IOExitRate = vm.Exits.Rate(int(vmm.ExitIOInstruction), window)
+	r.DevIRQRate = vm.DevIRQDelivered.Rate(window)
+	if tb.es.Redirector != nil {
+		red := tb.es.Redirector.Redirected - redirBase
+		kept := tb.es.Redirector.KeptAffinity - filterBase
+		if red+kept > 0 {
+			r.RedirectRate = float64(red) / float64(red+kept)
+		}
+		online := tb.es.Redirector.OnlineHits - onlineBase
+		offline := tb.es.Redirector.OfflinePredicts - offlineBase
+		if online+offline > 0 {
+			r.OfflinePredictRate = float64(offline) / float64(online+offline)
+		}
+	}
+	if tb.k.Trace != nil {
+		r.TraceSummary = tb.k.Trace.Summary(warmup+window, func(reason int64) string {
+			return vmm.ExitReason(reason).String()
+		})
+		for _, e := range tb.k.Trace.Events() {
+			detail := fmt.Sprintf("%d", e.Arg)
+			if e.Kind == trace.KindExit {
+				detail = vmm.ExitReason(e.Arg).String()
+			}
+			r.TraceEvents = append(r.TraceEvents, TraceEvent{
+				AtSeconds: e.T.Seconds(), Kind: e.Kind.String(),
+				VM: e.VM, VCPU: e.VCPU, Detail: detail,
+			})
+		}
+	}
+	col.fill(r, window)
+	return r, nil
+}
+
+// RunMany executes scenarios concurrently (parallelism <= 0 selects
+// GOMAXPROCS), preserving order. Each scenario runs on its own engine,
+// so results are identical to sequential runs.
+func RunMany(specs []ScenarioSpec, parallelism int) ([]*Result, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	results := make([]*Result, len(specs))
+	errs := make([]error, len(specs))
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i, s := range specs {
+		i, s := i, s
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = Run(s)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// build wires the simulated testbed.
+func build(spec ScenarioSpec) (*testbed, error) {
+	if spec.VCPUs > spec.VMCores*4 {
+		return nil, fmt.Errorf("es2: %d vCPUs over %d cores exceeds supported multiplexing", spec.VCPUs, spec.VMCores)
+	}
+	if spec.Sidecore && spec.Config.Hybrid {
+		return nil, fmt.Errorf("es2: sidecore polling and the hybrid scheme are mutually exclusive")
+	}
+	eng := sim.NewEngine(spec.Seed)
+	totalCores := spec.VMCores + spec.VhostCores
+	sch := sched.New(eng, totalCores, sched.DefaultParams())
+	k := vmm.NewKVM(eng, sch, vmm.DefaultCosts())
+	if spec.TraceCapacity > 0 {
+		k.Trace = trace.New(spec.TraceCapacity)
+	}
+	es := core.Install(k, spec.Config)
+
+	tb := &testbed{spec: spec, eng: eng, sch: sch, k: k, es: es}
+	gcosts := guest.DefaultCosts()
+	vparams := vhost.DefaultParams()
+
+	for i := 0; i < spec.VMs; i++ {
+		cores := make([]int, spec.VCPUs)
+		for j := range cores {
+			cores[j] = (i + j) % spec.VMCores
+		}
+		vm := k.NewVM(fmt.Sprintf("vm%d", i), cores)
+		// 1024 descriptors models the effective egress capacity of the
+		// virtio ring plus the qdisc in front of it: a sender blocks
+		// only when both are exhausted, as in a real guest.
+		kern := guest.NewKernelQueues(vm, gcosts, 1024, spec.Queues)
+		kern.Dev.DoorbellNoExit = spec.DirectAssign
+		kern.StartBurnAll()
+		es.AttachVM(vm)
+
+		link := netsim.NewLink(eng, 40, 2*sim.Microsecond)
+		peer := workloads.NewPeer(eng, link.PortB(), 2*sim.Microsecond)
+		// Under direct assignment the back-end stands in for the VF's
+		// DMA engine; the hybrid kick-polling machinery is meaningless
+		// there (there are no kick exits to eliminate).
+		hybrid := spec.Config.Hybrid && !spec.DirectAssign
+		var vmDevs []*vhost.Device
+		for qi, pair := range kern.Dev.Pairs {
+			name := fmt.Sprintf("vhost-%d.%d", i, qi)
+			io := vhost.NewIOThread(name, sch, spec.VMCores+((i+qi)%spec.VhostCores), vparams)
+			dev := vhost.NewDevice(name, io, pair.TX, pair.RX, link.PortA(), hybrid, spec.Config.Quota)
+			dev.CoalesceCount = spec.CoalesceCount
+			dev.CoalesceTimer = sim.DurationOf(spec.CoalesceTimer)
+			if spec.Sidecore {
+				dev.EnableSidecore()
+			}
+			vmDevs = append(vmDevs, dev)
+			tb.devs = append(tb.devs, dev)
+			tb.ios = append(tb.ios, io)
+		}
+		link.Attach(rxDemux{devs: vmDevs}, peer)
+
+		vm.Start()
+		tb.vms = append(tb.vms, vm)
+		tb.kerns = append(tb.kerns, kern)
+		tb.devsByVM = append(tb.devsByVM, vmDevs)
+		tb.peers = append(tb.peers, peer)
+	}
+	return tb, nil
+}
+
+// startWorkload attaches the requested workload to the tested VM and
+// returns its measurement collector.
+func (tb *testbed) startWorkload() (collector, error) {
+	spec := tb.spec
+	w := spec.Workload
+	kern := tb.kerns[0]
+	vm := tb.vms[0]
+	peer := tb.peers[0]
+
+	switch w.Kind {
+	case IdleBurn:
+		return collector{fill: func(r *Result, win sim.Time) {}}, nil
+
+	case NetperfTCPSend:
+		var sinks []*workloads.TCPSink
+		for t := 0; t < w.Threads; t++ {
+			v := vm.VCPUs[t%len(vm.VCPUs)]
+			_, sink := workloads.NetperfSendTCP(kern, v, peer, tb.ids.Next(), w.MsgBytes, w.Window)
+			sinks = append(sinks, sink)
+		}
+		var bytes0, segs0 uint64
+		return collector{
+			onWarmupEnd: func() {
+				for _, s := range sinks {
+					bytes0 += s.Bytes
+					segs0 += s.Segs
+				}
+			},
+			fill: func(r *Result, win sim.Time) {
+				var bytes, segs uint64
+				for _, s := range sinks {
+					bytes += s.Bytes
+					segs += s.Segs
+				}
+				r.ThroughputMbps = mbps(bytes-bytes0, win)
+				r.PktRate = rate(segs-segs0, win)
+			},
+		}, nil
+
+	case NetperfUDPSend:
+		var sinks []*workloads.UDPSink
+		for t := 0; t < w.Threads; t++ {
+			v := vm.VCPUs[t%len(vm.VCPUs)]
+			var sink *workloads.UDPSink
+			if w.SendRatePPS > 0 {
+				_, sink = workloads.NetperfSendUDPPaced(kern, v, peer, tb.ids.Next(), w.MsgBytes, w.SendRatePPS/float64(w.Threads))
+			} else {
+				_, sink = workloads.NetperfSendUDP(kern, v, peer, tb.ids.Next(), w.MsgBytes)
+			}
+			sinks = append(sinks, sink)
+		}
+		var bytes0, pkts0 uint64
+		return collector{
+			onWarmupEnd: func() {
+				for _, s := range sinks {
+					bytes0 += s.Bytes
+					pkts0 += s.Pkts
+				}
+			},
+			fill: func(r *Result, win sim.Time) {
+				var bytes, pkts uint64
+				for _, s := range sinks {
+					bytes += s.Bytes
+					pkts += s.Pkts
+				}
+				r.ThroughputMbps = mbps(bytes-bytes0, win)
+				r.PktRate = rate(pkts-pkts0, win)
+			},
+		}, nil
+
+	case NetperfTCPRecv:
+		var recvs []*guest.TCPReceiver
+		for t := 0; t < w.Threads; t++ {
+			recv, _ := workloads.NetperfRecvTCP(kern, peer, tb.ids.Next(), w.MsgBytes, w.Window)
+			recvs = append(recvs, recv)
+		}
+		var bytes0, segs0 uint64
+		return collector{
+			onWarmupEnd: func() {
+				for _, rv := range recvs {
+					bytes0 += rv.BytesReceived
+					segs0 += rv.Segs
+				}
+			},
+			fill: func(r *Result, win sim.Time) {
+				var bytes, segs uint64
+				for _, rv := range recvs {
+					bytes += rv.BytesReceived
+					segs += rv.Segs
+				}
+				r.ThroughputMbps = mbps(bytes-bytes0, win)
+				r.PktRate = rate(segs-segs0, win)
+			},
+		}, nil
+
+	case NetperfUDPRecv:
+		var recvs []*guest.UDPReceiver
+		for t := 0; t < w.Threads; t++ {
+			recv, _ := workloads.NetperfRecvUDP(kern, peer, tb.ids.Next(), w.MsgBytes, w.UDPRatePPS/float64(w.Threads))
+			recvs = append(recvs, recv)
+		}
+		var bytes0, pkts0 uint64
+		return collector{
+			onWarmupEnd: func() {
+				for _, rv := range recvs {
+					bytes0 += rv.BytesReceived
+					pkts0 += rv.Pkts
+				}
+			},
+			fill: func(r *Result, win sim.Time) {
+				var bytes, pkts uint64
+				for _, rv := range recvs {
+					bytes += rv.BytesReceived
+					pkts += rv.Pkts
+				}
+				r.ThroughputMbps = mbps(bytes-bytes0, win)
+				r.PktRate = rate(pkts-pkts0, win)
+			},
+		}, nil
+
+	case Ping:
+		p := workloads.StartPing(kern, peer, tb.ids.Next(), sim.DurationOf(w.PingInterval))
+		seriesStart := 0
+		return collector{
+			onWarmupEnd: func() {
+				p.Hist.Reset()
+				seriesStart = p.RTTs.Len()
+			},
+			fill: func(r *Result, win sim.Time) {
+				for _, pt := range p.RTTs.Points[seriesStart:] {
+					r.RTTSeries = append(r.RTTSeries, RTTPoint{AtSeconds: pt.T.Seconds(), Millis: pt.V})
+				}
+				fillLatency(r, p.Hist)
+			},
+		}, nil
+
+	case Memcached:
+		cfg := workloads.DefaultServerConfig()
+		cfg.ServiceCost = sim.DurationOf(w.ServiceCost)
+		workloads.StartServer(kern, cfg)
+		m := workloads.StartMemaslap(peer, &tb.ids, w.Conns, w.Concurrency)
+		var done0 uint64
+		return collector{
+			onWarmupEnd: func() { done0 = m.Completed; m.Lat.Reset() },
+			fill: func(r *Result, win sim.Time) {
+				r.OpsPerSec = rate(m.Completed-done0, win)
+				fillLatency(r, m.Lat)
+			},
+		}, nil
+
+	case Apache:
+		cfg := workloads.DefaultServerConfig()
+		cfg.ServiceCost = sim.DurationOf(w.ServiceCost)
+		workloads.StartServer(kern, cfg)
+		ab := workloads.StartApacheBench(peer, &tb.ids, w.Concurrency, w.PageBytes)
+		var done0, bytes0 uint64
+		return collector{
+			onWarmupEnd: func() { done0, bytes0 = ab.Completed, ab.BytesReceived; ab.ConnTime.Reset() },
+			fill: func(r *Result, win sim.Time) {
+				r.OpsPerSec = rate(ab.Completed-done0, win)
+				r.ThroughputMbps = mbps(ab.BytesReceived-bytes0, win)
+				fillLatency(r, ab.ConnTime)
+			},
+		}, nil
+
+	case Httperf:
+		cfg := workloads.DefaultServerConfig()
+		cfg.ServiceCost = sim.DurationOf(w.ServiceCost)
+		workloads.StartServer(kern, cfg)
+		h := workloads.StartHttperf(peer, &tb.ids, w.ConnRate, w.PageBytes)
+		var est0 uint64
+		return collector{
+			onWarmupEnd: func() { est0 = h.Established; h.ConnTime.Reset() },
+			fill: func(r *Result, win sim.Time) {
+				r.OpsPerSec = rate(h.Established-est0, win)
+				fillLatency(r, h.ConnTime)
+			},
+		}, nil
+	}
+	return collector{}, fmt.Errorf("es2: unknown workload kind %d", w.Kind)
+}
+
+func mbps(bytes uint64, win sim.Time) float64 {
+	if win <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / 1e6 / win.Seconds()
+}
+
+func rate(n uint64, win sim.Time) float64 {
+	if win <= 0 {
+		return 0
+	}
+	return float64(n) / win.Seconds()
+}
+
+func fillLatency(r *Result, h interface {
+	Mean() sim.Time
+	Quantile(float64) sim.Time
+	Max() sim.Time
+}) {
+	r.MeanLatency = time.Duration(h.Mean())
+	r.P99Latency = time.Duration(h.Quantile(0.99))
+	r.MaxLatency = time.Duration(h.Max())
+}
