@@ -255,3 +255,34 @@ func BenchmarkStacking(b *testing.B) {
 	rs := runExperiment(b, e)
 	b.ReportMetric(100*rs[len(rs)-1].OfflinePredictRate, "4vm-no-online-%")
 }
+
+// BenchmarkPathTraceOff / BenchmarkPathTraceOn measure the wall-clock
+// cost of the event-path span tracer on the same scenario. The Off
+// variant establishes that a disabled tracer is free (every hook is a
+// nil-receiver no-op); compare:
+//
+//	go test -bench=PathTrace -benchtime=5x
+func benchPathTrace(b *testing.B, on bool) {
+	spec := es2.ScenarioSpec{
+		Name: "bench", Seed: 7, Config: es2.Full(0),
+		Workload: es2.WorkloadSpec{Kind: es2.NetperfUDPSend, MsgBytes: 1024},
+		Warmup:   200 * time.Millisecond, Duration: 600 * time.Millisecond,
+		PathTrace: on,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := es2.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if on && len(r.PathBreakdown) == 0 {
+			b.Fatal("tracer on but no breakdown")
+		}
+		if !on && len(r.PathBreakdown) != 0 {
+			b.Fatal("tracer off but breakdown filled")
+		}
+	}
+}
+
+func BenchmarkPathTraceOff(b *testing.B) { benchPathTrace(b, false) }
+func BenchmarkPathTraceOn(b *testing.B)  { benchPathTrace(b, true) }

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -25,6 +26,7 @@ func main() {
 	expFlag := flag.String("exp", "all", "experiment id or 'all'")
 	parallel := flag.Int("parallel", 0, "parallel scenario runs (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
+	timelineDir := flag.String("timeline-dir", "", "write one Perfetto/Chrome-trace JSON timeline per scenario into DIR")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -52,10 +54,22 @@ func main() {
 		}
 	}
 
+	if *timelineDir != "" {
+		if err := os.MkdirAll(*timelineDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "es2bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	for _, e := range exps {
 		if *seed != 0 {
 			for i := range e.Specs {
 				e.Specs[i].Seed = *seed
+			}
+		}
+		if *timelineDir != "" {
+			for i := range e.Specs {
+				e.Specs[i].Timeline = true
 			}
 		}
 		start := time.Now()
@@ -64,11 +78,44 @@ func main() {
 			fmt.Fprintf(os.Stderr, "es2bench: %s failed: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		if *timelineDir != "" {
+			for i, r := range results {
+				name := fmt.Sprintf("%s-%02d-%s.json", e.ID, i, sanitize(r.Name))
+				if err := writeTimeline(filepath.Join(*timelineDir, name), r); err != nil {
+					fmt.Fprintf(os.Stderr, "es2bench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
 		fmt.Printf("=== %s — %s\n", e.ID, e.Title)
 		fmt.Printf("    paper: %s\n\n", e.PaperClaim)
 		fmt.Println(indent(e.Render(results), "    "))
 		fmt.Printf("    (%d scenarios in %v wall time)\n\n", len(e.Specs), time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// sanitize maps a scenario name to a safe file-name fragment.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+func writeTimeline(path string, r *es2.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = r.Timeline.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func indent(s, pre string) string {

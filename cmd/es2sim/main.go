@@ -37,6 +37,13 @@ func main() {
 		direct   = flag.Bool("direct", false, "SR-IOV direct assignment (exit-less doorbells)")
 		sidecore = flag.Bool("sidecore", false, "ELVIS-style dedicated-core polling back-end")
 		traceCap = flag.Int("trace", 0, "enable event tracing, retaining N events")
+		pathOn   = flag.Bool("path", false, "enable event-path span tracing (per-stage latency breakdown)")
+		timeline = flag.String("timeline", "", "write a Perfetto/Chrome-trace JSON timeline to FILE (implies -path)")
+		coalCnt  = flag.Int("coalesce-count", 0, "RX interrupt moderation: signal after N packets (0 = off)")
+		coalTim  = flag.Duration("coalesce-timer", 0, "RX interrupt moderation: flush timer (0 = off)")
+		sendRate = flag.Float64("sendrate", 0, "pace the UDP sender at N pkts/s (0 = CPU speed)")
+		pingIvl  = flag.Duration("ping-interval", 0, "ping probe interval (0 = default)")
+		svcCost  = flag.Duration("service-cost", 0, "server per-request CPU cost (0 = default)")
 		dur      = flag.Duration("duration", time.Second, "measurement window (simulated)")
 		warmup   = flag.Duration("warmup", 300*time.Millisecond, "warm-up (simulated)")
 		asJSON   = flag.Bool("json", false, "print the result as JSON")
@@ -80,14 +87,31 @@ func main() {
 		Workload: es2.WorkloadSpec{
 			Kind: kind, MsgBytes: *msg, Threads: *threads, Window: *window,
 			ConnRate: *connRate, Concurrency: *conc,
+			SendRatePPS: *sendRate, PingInterval: *pingIvl, ServiceCost: *svcCost,
 		},
 		VMs: *vms, VCPUs: *vcpus, VMCores: *vmCores, Queues: *queues,
+		CoalesceCount: *coalCnt, CoalesceTimer: *coalTim,
 		DirectAssign: *direct, Sidecore: *sidecore, TraceCapacity: *traceCap,
+		PathTrace: *pathOn, Timeline: *timeline != "",
 		Warmup: *warmup, Duration: *dur,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "es2sim: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *timeline != "" {
+		f, ferr := os.Create(*timeline)
+		if ferr == nil {
+			ferr = res.Timeline.WriteJSON(f)
+			if cerr := f.Close(); ferr == nil {
+				ferr = cerr
+			}
+		}
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "es2sim: writing timeline: %v\n", ferr)
+			os.Exit(1)
+		}
 	}
 
 	if *asJSON {
@@ -121,7 +145,18 @@ func main() {
 	if res.VhostCPU > 0 {
 		fmt.Printf("vhost CPU  %.1f%%\n", 100*res.VhostCPU)
 	}
+	if len(res.PathBreakdown) > 0 {
+		fmt.Printf("event path stage breakdown:\n")
+		fmt.Printf("  %-12s %-10s %10s %12s %12s %12s\n", "stage", "mech", "count", "mean", "p50", "p99")
+		for _, st := range res.PathBreakdown {
+			fmt.Printf("  %-12s %-10s %10d %12v %12v %12v\n",
+				st.Stage, st.Mechanism, st.Count, st.Mean, st.P50, st.P99)
+		}
+	}
 	if res.TraceSummary != "" {
 		fmt.Print(res.TraceSummary)
+	}
+	if *timeline != "" {
+		fmt.Printf("timeline   %s (%d events; open in ui.perfetto.dev)\n", *timeline, res.Timeline.Len())
 	}
 }

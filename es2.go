@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"es2/internal/core"
+	"es2/internal/trace"
 )
 
 // Config selects the event-path configuration, mirroring the paper's
@@ -205,6 +206,23 @@ type ScenarioSpec struct {
 	// retained, and Result.TraceSummary/TraceEvents report them.
 	TraceCapacity int
 
+	// PathTrace enables event-path span tracing: every notification
+	// unit's stage transitions (notify, back-end service, signal,
+	// pi-wait, sched-in, ring-wait, deliver) are timed over the
+	// measurement window and reported as Result.PathBreakdown, split by
+	// traversal mechanism. Periodic state probes (queue depths, backlog,
+	// online/offline list lengths, runqueue lengths) are sampled into
+	// Result.Probes. Off by default; when off, the instrumentation
+	// compiles to nil-receiver no-ops and costs nothing.
+	PathTrace bool
+
+	// Timeline additionally records an execution timeline — one track
+	// per physical core, vCPU and vhost worker — exported as
+	// Chrome-trace JSON via Result.Timeline.WriteJSON (loadable in
+	// Perfetto). Implies PathTrace. Identical spec and seed produce a
+	// byte-identical timeline.
+	Timeline bool
+
 	// Warmup precedes measurement (default 300ms of simulated time);
 	// Duration is the measurement window (default 1s).
 	Warmup   time.Duration
@@ -222,6 +240,41 @@ type TraceEvent struct {
 	VM, VCPU int
 	// Detail is kind-specific (exit reason name, vector, core id).
 	Detail string
+}
+
+// PathStage is one (stage, mechanism) cell of the event-path latency
+// breakdown (see ScenarioSpec.PathTrace). Stages appear in path order:
+// notify, backend-tx, backend-rx, signal, pi-wait, sched-in, ring-wait,
+// deliver.
+type PathStage struct {
+	// Stage names the event-path stage.
+	Stage string `json:"stage"`
+	// Mechanism tags how the units traversed the stage (empty for
+	// single-mechanism stages): "exit" vs "polled" for notify,
+	// "emulated" vs "posted" vs "redirected" for signal.
+	Mechanism string `json:"mechanism,omitempty"`
+	// Count is the number of traversals observed in the window.
+	Count uint64 `json:"count"`
+	// Mean, P50, P99 and Max summarize the stage latency.
+	Mean time.Duration `json:"mean"`
+	P50  time.Duration `json:"p50"`
+	P99  time.Duration `json:"p99"`
+	Max  time.Duration `json:"max"`
+}
+
+// ProbePoint is one sample of a periodic state probe.
+type ProbePoint struct {
+	// AtSeconds is the sample's simulated timestamp.
+	AtSeconds float64 `json:"at"`
+	// Value is the sampled quantity.
+	Value float64 `json:"value"`
+}
+
+// ProbeSeries is one periodically sampled state variable (virtqueue
+// depth, vhost backlog, online/offline list length, runqueue length).
+type ProbeSeries struct {
+	Name   string       `json:"name"`
+	Points []ProbePoint `json:"points"`
 }
 
 // RTTPoint is one ping sample of the Fig. 7 series.
@@ -282,6 +335,16 @@ type Result struct {
 	// ScenarioSpec.TraceCapacity > 0.
 	TraceSummary string
 	TraceEvents  []TraceEvent
+
+	// PathBreakdown attributes event-path latency to stages (filled
+	// when ScenarioSpec.PathTrace or Timeline is set), ordered
+	// stage-major in path order.
+	PathBreakdown []PathStage
+	// Probes holds the periodic state-probe series (PathTrace runs).
+	Probes []ProbeSeries
+	// Timeline is the recorded execution timeline (Timeline runs);
+	// serialize it with WriteJSON. Excluded from JSON results.
+	Timeline *trace.Timeline `json:"-"`
 
 	// Raw counters over the window (wire side of the tested VM).
 	TxPkts, RxPkts uint64

@@ -218,11 +218,14 @@ func TestLAPICReset(t *testing.T) {
 
 func TestPIDescriptorPostNotify(t *testing.T) {
 	var d PIDescriptor
-	if !d.Post(0x41) {
-		t.Fatal("first Post should request a notification")
+	if notify, newly := d.Post(0x41); !notify || !newly {
+		t.Fatal("first Post should request a notification and latch newly")
 	}
-	if d.Post(0x42) {
+	if notify, _ := d.Post(0x42); notify {
 		t.Fatal("second Post with ON set should not re-notify")
+	}
+	if _, newly := d.Post(0x42); newly {
+		t.Fatal("re-posting a pending vector should report hardware coalescing")
 	}
 	if !d.Outstanding() {
 		t.Fatal("ON should be set")
@@ -238,7 +241,7 @@ func TestPIDescriptorPostNotify(t *testing.T) {
 	if v, ok := vapic.PendingIRQ(); !ok || v != 0x42 {
 		t.Fatalf("vAPIC should have 0x42 deliverable, got %d,%t", v, ok)
 	}
-	if d.Posts != 2 || d.Notifications != 1 {
+	if d.Posts != 3 || d.Notifications != 1 {
 		t.Fatalf("counters: posts=%d notifications=%d", d.Posts, d.Notifications)
 	}
 }
@@ -246,7 +249,7 @@ func TestPIDescriptorPostNotify(t *testing.T) {
 func TestPIDescriptorSuppress(t *testing.T) {
 	var d PIDescriptor
 	d.SetSuppress(true)
-	if d.Post(0x41) {
+	if notify, _ := d.Post(0x41); notify {
 		t.Fatal("Post with SN set must not notify")
 	}
 	if d.Outstanding() {
@@ -256,7 +259,7 @@ func TestPIDescriptorSuppress(t *testing.T) {
 		t.Fatal("vector should be pending in PIR")
 	}
 	d.SetSuppress(false)
-	if !d.Post(0x43) {
+	if notify, _ := d.Post(0x43); !notify {
 		t.Fatal("Post after unsuppress should notify")
 	}
 	var vapic LocalAPIC

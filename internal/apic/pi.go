@@ -29,17 +29,21 @@ type PIDescriptor struct {
 	Notifications uint64
 }
 
-// Post records vector v as posted and reports whether a notification
-// IPI must be sent now (true exactly when neither ON nor SN was set).
-func (d *PIDescriptor) Post(v Vector) (notify bool) {
-	d.pir.Set(v)
+// Post records vector v as posted. notify reports whether a
+// notification IPI must be sent now (true exactly when neither ON nor
+// SN was set); newly reports whether v was newly latched into the PIR
+// (false means an earlier unprocessed post already pended it and the
+// interrupt coalesced in hardware — span tracing merges the two into
+// one delivery).
+func (d *PIDescriptor) Post(v Vector) (notify, newly bool) {
+	newly = d.pir.Set(v)
 	d.Posts++
 	if d.on || d.sn {
-		return false
+		return false, newly
 	}
 	d.on = true
 	d.Notifications++
-	return true
+	return true, newly
 }
 
 // Sync performs the hardware PIR->vIRR synchronization into the vCPU's

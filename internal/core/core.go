@@ -194,6 +194,18 @@ func (w *SchedWatcher) Online(vm *vmm.VM) []*vmm.VCPU {
 	return out
 }
 
+// ListLens returns the current online/offline list lengths for vm
+// without copying (snapshot probes; zeros for an unattached VM).
+func (w *SchedWatcher) ListLens(vm *vmm.VM) (online, offline int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	l := w.vms[vm]
+	if l == nil {
+		return 0, 0
+	}
+	return len(l.online), len(l.offline)
+}
+
 // Offline returns a snapshot of vm's offline vCPUs in descheduling
 // order (head = longest offline).
 func (w *SchedWatcher) Offline(vm *vmm.VM) []*vmm.VCPU {

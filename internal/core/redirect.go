@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 
 	"es2/internal/apic"
@@ -120,6 +121,9 @@ func (r *Redirector) pickOnline(vm *vmm.VM, online []*vmm.VCPU) *vmm.VCPU {
 func (r *Redirector) note(vm *vmm.VM, target *vmm.VCPU, msi apic.MSIMessage) {
 	if target != vm.VCPUs[msi.Dest] {
 		r.Redirected++
+		if tl := vm.K.Timeline; tl.Active() {
+			tl.Instant(target.Track(), fmt.Sprintf("redirect irq%#x", msi.Vector), vm.K.Eng.Now())
+		}
 	} else {
 		r.KeptAffinity++
 	}

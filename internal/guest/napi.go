@@ -3,6 +3,7 @@ package guest
 import (
 	"es2/internal/netsim"
 	"es2/internal/sim"
+	"es2/internal/trace"
 	"es2/internal/virtio"
 	"es2/internal/vmm"
 )
@@ -72,17 +73,31 @@ func (n *NAPI) poll(v *vmm.VCPU) {
 		v.BeginExit(vmm.ExitIOInstruction, func() { rx.Kick() })
 	}
 	var cost sim.Time
+	path := n.pair.Dev.Kern.VM.K.Path
 	pkts := make([]*netsim.Packet, 0, len(batch))
 	for _, d := range batch {
 		p, ok := d.Payload.(*netsim.Packet)
 		if !ok {
 			continue
 		}
+		if path != nil {
+			// Ring-wait closes: the used buffer has been collected by
+			// the poller; the deliver span opens on the packet.
+			now := v.VM.K.Eng.Now()
+			path.Observe(trace.StageRingWait, trace.MechNone, now-d.SpanT)
+			p.SpanT = now
+		}
 		pkts = append(pkts, p)
 		cost += n.pair.Dev.Kern.rxCost(p)
 	}
 	n.Polled += uint64(len(pkts))
 	v.EnqueueTask(vmm.NewTask("napi-rx", vmm.PrioSoftirq, cost, func() {
+		if path != nil {
+			now := v.VM.K.Eng.Now()
+			for _, p := range pkts {
+				path.Observe(trace.StageDeliver, trace.MechNone, now-p.SpanT)
+			}
+		}
 		var batchFlows []BatchHandler
 		for _, p := range pkts {
 			if bh, ok := n.pair.Dev.Kern.lookup(p).(BatchHandler); ok {

@@ -4,6 +4,7 @@ import (
 	"es2/internal/apic"
 	"es2/internal/netsim"
 	"es2/internal/sim"
+	"es2/internal/trace"
 	"es2/internal/virtio"
 	"es2/internal/vmm"
 )
@@ -184,7 +185,19 @@ func (p *QueuePair) NAPI() *NAPI { return p.napi }
 func (d *NetDev) Transmit(v *vmm.VCPU, pkt *netsim.Packet) bool {
 	p := d.PairFor(pkt.Flow)
 	p.ReclaimTX()
-	if !p.TX.Add(virtio.Desc{Len: pkt.Bytes, Payload: pkt}) {
+	desc := virtio.Desc{Len: pkt.Bytes, Payload: pkt}
+	if d.Kern.VM.K.Path != nil {
+		// Doorbell write: the notify span opens. The mechanism tag
+		// records, at ring time, whether this kick traps (exit-driven)
+		// or is elided (back-end polling / direct doorbell).
+		desc.SpanT = d.Kern.VM.K.Eng.Now()
+		if d.DoorbellNoExit || p.TX.KickSuppressed() {
+			desc.SpanMech = uint8(trace.MechPolled)
+		} else {
+			desc.SpanMech = uint8(trace.MechExit)
+		}
+	}
+	if !p.TX.Add(desc) {
 		p.TX.SetNoInterrupt(false) // need a completion interrupt to make progress
 		return false
 	}

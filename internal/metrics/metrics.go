@@ -70,6 +70,18 @@ func (g *Gauge) Min() int64 { return g.min }
 // Max returns the largest value ever set (0 if never set).
 func (g *Gauge) Max() int64 { return g.max }
 
+// Reset restarts min/max tracking at the current value (used at
+// measurement-window boundaries, so warmup extremes do not leak into
+// the measured window). A gauge is a level and the level persists
+// across the boundary, so the last value set is kept and becomes the
+// initial min and max of the new window; a never-set gauge stays unset.
+func (g *Gauge) Reset() {
+	if !g.set {
+		return
+	}
+	g.min, g.max = g.v, g.v
+}
+
 // Histogram records a distribution of durations with exact storage up to
 // a bounded sample count; beyond the bound it keeps a deterministic
 // 1-in-k subsample plus exact count/sum/min/max. This keeps memory flat
@@ -198,6 +210,10 @@ func (s *Series) Append(t sim.Time, v float64) {
 
 // Len returns the number of samples.
 func (s *Series) Len() int { return len(s.Points) }
+
+// Reset discards all samples, keeping the name (used at
+// measurement-window boundaries).
+func (s *Series) Reset() { s.Points = s.Points[:0] }
 
 // Max returns the largest value in the series (0 when empty).
 func (s *Series) Max() float64 {

@@ -175,3 +175,48 @@ func TestBreakdownEmptyPercent(t *testing.T) {
 		t.Fatal("zero elapsed should give zero rates")
 	}
 }
+
+func TestGaugeReset(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Set(-3)
+	g.Set(4)
+	g.Reset()
+	if g.Value() != 4 || g.Min() != 4 || g.Max() != 4 {
+		t.Fatalf("after Reset: v=%d min=%d max=%d, want all 4", g.Value(), g.Min(), g.Max())
+	}
+	g.Set(7)
+	g.Set(5)
+	if g.Min() != 4 || g.Max() != 7 {
+		t.Fatalf("post-Reset tracking: min=%d max=%d, want 4/7", g.Min(), g.Max())
+	}
+}
+
+func TestGaugeResetNeverSet(t *testing.T) {
+	var g Gauge
+	g.Reset()
+	if g.Value() != 0 || g.Min() != 0 || g.Max() != 0 {
+		t.Fatal("Reset on a never-set gauge must stay zero")
+	}
+	g.Set(-5)
+	if g.Min() != -5 || g.Max() != -5 {
+		t.Fatalf("first Set after empty Reset: min=%d max=%d, want -5/-5", g.Min(), g.Max())
+	}
+}
+
+func TestSeriesReset(t *testing.T) {
+	s := Series{Name: "probe"}
+	s.Append(1, 2.0)
+	s.Append(2, 6.0)
+	s.Reset()
+	if s.Len() != 0 || s.Name != "probe" {
+		t.Fatalf("after Reset: len=%d name=%q, want 0/probe", s.Len(), s.Name)
+	}
+	if s.Max() != 0 || s.Mean() != 0 {
+		t.Fatal("reset series should report zeros")
+	}
+	s.Append(3, 9.0)
+	if s.Len() != 1 || s.Max() != 9.0 {
+		t.Fatalf("append after Reset: len=%d max=%v", s.Len(), s.Max())
+	}
+}

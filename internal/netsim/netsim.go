@@ -24,6 +24,10 @@ type Packet struct {
 	Payload any
 	// Sent records when the packet entered the wire (stamped by Port.Send).
 	Sent sim.Time
+	// SpanT carries event-path span-tracing state: the instant the
+	// packet entered its current stage (see internal/trace). Zero when
+	// tracing is disabled; restamped at each stage boundary.
+	SpanT sim.Time
 }
 
 // Endpoint receives packets from a link.

@@ -1,6 +1,9 @@
 package sched
 
-import "es2/internal/sim"
+import (
+	"es2/internal/sim"
+	"es2/internal/trace"
+)
 
 // core is one physical CPU with its private runqueue.
 type core struct {
@@ -16,6 +19,7 @@ type core struct {
 	chunkEvt    *sim.Handle
 	sliceEvt    *sim.Handle
 	runStart    sim.Time // when cur last started being charged
+	curStart    sim.Time // when cur was dispatched (timeline slice start)
 	minVr       int64    // floor of vruntime on this core
 	dispatching bool
 	needResched bool
@@ -132,6 +136,13 @@ func (c *core) dispatch() {
 			c.cur = next
 			c.runStart = c.s.eng.Now()
 			c.s.ContextSwitches++
+			if p := c.s.path; p != nil {
+				c.curStart = c.runStart
+				if next.wakePending {
+					next.wakePending = false
+					p.Observe(trace.StageSchedIn, trace.MechNone, c.runStart-next.wakeT)
+				}
+			}
 			if next.SchedIn != nil {
 				next.SchedIn(c.id)
 			}
@@ -174,6 +185,9 @@ func (c *core) armChunk(chunk sim.Time) {
 func (c *core) stopCurrent(to State) {
 	t := c.cur
 	c.chargeCurrent()
+	if c.s.tl != nil {
+		c.s.tl.Slice(c.s.coreTracks[c.id], t.Name, c.curStart, c.s.eng.Now())
+	}
 	if c.chunkEvt != nil {
 		c.chunkEvt.Cancel()
 		c.chunkEvt = nil

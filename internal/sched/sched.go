@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"es2/internal/sim"
+	"es2/internal/trace"
 )
 
 // WorkSource supplies CPU work to a thread. All methods are invoked by
@@ -118,6 +119,11 @@ type Thread struct {
 	home     int // core index this thread is placed on
 	seq      uint64
 
+	// wakeT/wakePending track the last Sleeping->Runnable transition
+	// for the sched-in wakeup-latency span (set only while tracing).
+	wakeT       sim.Time
+	wakePending bool
+
 	s *Scheduler
 }
 
@@ -144,6 +150,12 @@ type Scheduler struct {
 	seq    uint64
 	rng    *sim.Rand
 
+	// path/tl/coreTracks are the span-tracing hooks installed by
+	// SetPathTracer; all nil/empty (and cost-free) when tracing is off.
+	path       *trace.PathTracer
+	tl         *trace.Timeline
+	coreTracks []trace.TrackID
+
 	// ContextSwitches counts thread switches across all cores.
 	ContextSwitches uint64
 }
@@ -162,6 +174,21 @@ func New(eng *sim.Engine, nCores int, params Params) *Scheduler {
 
 // NumCores returns the number of cores.
 func (s *Scheduler) NumCores() int { return len(s.cores) }
+
+// SetPathTracer attaches an event-path span tracer: wakeup->running
+// latency is observed as the sched-in stage, and each continuous run of
+// a thread on a core becomes a slice on the timeline's per-core tracks.
+// Call during deterministic build, before the simulation runs.
+func (s *Scheduler) SetPathTracer(p *trace.PathTracer) {
+	s.path = p
+	if tl := p.TL(); tl != nil {
+		s.tl = tl
+		s.coreTracks = make([]trace.TrackID, len(s.cores))
+		for i := range s.cores {
+			s.coreTracks[i] = tl.Track("cores", fmt.Sprintf("core%d", i))
+		}
+	}
+}
 
 // NewThread creates a thread with the given nice-0-relative weight
 // (1024 = nice 0) pinned to core. The thread starts Sleeping; call Wake
@@ -196,6 +223,10 @@ func (s *Scheduler) Wake(t *Thread) {
 		t.vruntime = minv - bonus
 	}
 	t.state = Runnable
+	if s.path != nil {
+		t.wakeT = s.eng.Now()
+		t.wakePending = true
+	}
 	t.seq = s.seq
 	s.seq++
 	c.enqueue(t)

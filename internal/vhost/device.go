@@ -3,6 +3,7 @@ package vhost
 import (
 	"es2/internal/netsim"
 	"es2/internal/sim"
+	"es2/internal/trace"
 	"es2/internal/virtio"
 )
 
@@ -23,6 +24,10 @@ type Device struct {
 	// mode.
 	Hybrid bool
 	Quota  int
+
+	// Path, when non-nil, attributes event-path stage latencies
+	// (notify, backend-tx, backend-rx). Nil costs nothing.
+	Path *trace.PathTracer
 
 	// Sidecore enables ELVIS-style dedicated-core polling (Har'El et
 	// al., ATC'13 — the paper's Section II-C "Others"): the TX handler
@@ -92,6 +97,9 @@ func (d *Device) Receive(p *netsim.Packet) {
 	if len(d.backlog) >= d.Params.BacklogCap {
 		d.BacklogDrops++
 		return
+	}
+	if d.Path != nil {
+		p.SpanT = d.IO.s.Now() // wire arrival: backend-rx span opens
 	}
 	d.backlog = append(d.backlog, p)
 	d.IO.enqueue(d.rx)
@@ -181,6 +189,8 @@ type txHandler struct {
 // handler.
 func (h *txHandler) kicked() { h.dev.IO.enqueue(h) }
 
+func (h *txHandler) label() string { return "tx" }
+
 // turnStart is Algorithm 1 lines 8-11: disable guest notifications if
 // needed and reset the workload counter.
 func (h *txHandler) turnStart() {
@@ -200,6 +210,12 @@ func (h *txHandler) plan() (sim.Time, func()) {
 		return 0, nil
 	}
 	desc, ok := q.Pop()
+	if ok && dev.Path != nil {
+		// Notify stage closes: the guest's doorbell (or suppressed-kick
+		// post) has reached the back-end handler. The mechanism tag was
+		// stamped by the guest at Add time.
+		dev.Path.Observe(trace.StageNotify, trace.Mechanism(desc.SpanMech), dev.IO.s.Now()-desc.SpanT)
+	}
 	if !ok {
 		if dev.Sidecore {
 			// ELVIS-style polling never yields to notifications: pay
@@ -221,8 +237,15 @@ func (h *txHandler) plan() (sim.Time, func()) {
 		return 0, nil
 	}
 	cost := dev.jitter(dev.Params.txCost(desc.Len))
+	var popT sim.Time
+	if dev.Path != nil {
+		popT = dev.IO.s.Now()
+	}
 	return cost, func() {
 		if pkt, okP := desc.Payload.(*netsim.Packet); okP {
+			if dev.Path != nil {
+				dev.Path.Observe(trace.StageBackendTX, trace.MechNone, dev.IO.s.Now()-popT)
+			}
 			dev.Port.Send(pkt)
 			dev.TxPkts++
 			dev.TxBytes += uint64(pkt.Bytes)
@@ -250,6 +273,8 @@ type rxHandler struct {
 
 // kicked is the guest's RX-refill notification.
 func (h *rxHandler) kicked() { h.dev.IO.enqueue(h) }
+
+func (h *rxHandler) label() string { return "rx" }
 
 func (h *rxHandler) turnStart() {
 	h.served = 0
@@ -300,6 +325,13 @@ func (h *rxHandler) plan() (sim.Time, func()) {
 		}
 		desc.Len = pkt.Bytes
 		desc.Payload = pkt
+		if dev.Path != nil {
+			now := dev.IO.s.Now()
+			// Backend-rx closes (tap backlog wait + copy into the guest
+			// buffer); the ring-wait span opens on the used descriptor.
+			dev.Path.Observe(trace.StageBackendRX, trace.MechNone, now-pkt.SpanT)
+			desc.SpanT = now
+		}
 		dev.RXQ.PushUsed(desc)
 		h.pendingSignal = true
 		dev.noteRxPacket()

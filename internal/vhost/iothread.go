@@ -3,6 +3,7 @@ package vhost
 import (
 	"es2/internal/sched"
 	"es2/internal/sim"
+	"es2/internal/trace"
 )
 
 // handler is the scheduling interface of a virtqueue handler as seen by
@@ -14,6 +15,8 @@ type handler interface {
 	// cost and an effect to apply at its end. Returning a nil effect
 	// with zero cost ends the turn.
 	plan() (cost sim.Time, effect func())
+	// label names the handler on timeline turn slices ("tx", "rx").
+	label() string
 }
 
 // IOThread is the vhost worker: one host thread draining a FIFO work
@@ -36,15 +39,30 @@ type IOThread struct {
 	remaining sim.Time // remaining time of the in-flight chunk
 	needWake  bool
 
+	// tl/track/turnT export handler turns as timeline slices (SetPath).
+	tl    *trace.Timeline
+	track trace.TrackID
+	turnT sim.Time
+
 	// Turns counts handler turns; Switches counts handler dispatches.
 	Turns uint64
 }
 
 // NewIOThread creates the worker pinned to the given core.
 func NewIOThread(name string, s *sched.Scheduler, core int, params Params) *IOThread {
-	t := &IOThread{Name: name, s: s, params: params, queued: make(map[handler]bool)}
+	t := &IOThread{Name: name, s: s, params: params, queued: make(map[handler]bool), track: trace.NoTrack}
 	t.Thread = s.NewThread(name, core, 0, t)
 	return t
+}
+
+// SetPath attaches the span tracer's timeline: each handler turn
+// becomes a slice on the worker's track. Call during deterministic
+// build; a nil tracer (or one without a timeline) is a no-op.
+func (t *IOThread) SetPath(p *trace.PathTracer) {
+	if tl := p.TL(); tl != nil {
+		t.tl = tl
+		t.track = tl.Track("vhost", t.Name)
+	}
 }
 
 // enqueue appends h to the work queue (idempotent) and wakes the
@@ -80,6 +98,9 @@ func (t *IOThread) NextChunk() sim.Time {
 			cost, effect := t.cur.plan()
 			if effect == nil {
 				// Turn over.
+				if t.tl != nil {
+					t.tl.Slice(t.track, t.cur.label(), t.turnT, t.s.Now())
+				}
 				t.cur = nil
 				continue
 			}
@@ -101,6 +122,9 @@ func (t *IOThread) NextChunk() sim.Time {
 		delete(t.queued, next)
 		t.cur = next
 		t.Turns++
+		if t.tl != nil {
+			t.turnT = t.s.Now()
+		}
 		t.inSwitch = true
 		t.remaining = t.params.HandlerSwitch
 		if t.needWake {

@@ -15,7 +15,11 @@
 // guest/vhost/vmm layers that own the two ends.
 package virtio
 
-import "fmt"
+import (
+	"fmt"
+
+	"es2/internal/sim"
+)
 
 // Desc is one descriptor chain posted to a virtqueue — for virtio-net,
 // one packet.
@@ -24,6 +28,13 @@ type Desc struct {
 	Len int
 	// Payload carries the model object (e.g. a *netsim.Packet).
 	Payload any
+
+	// SpanT and SpanMech carry event-path span-tracing state across the
+	// ring: the instant the descriptor entered its current stage and
+	// the mechanism tag of that transition (see internal/trace). Zero
+	// when tracing is disabled; opaque to the queue itself.
+	SpanT    sim.Time
+	SpanMech uint8
 }
 
 // Virtqueue is one split virtqueue.

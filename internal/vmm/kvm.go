@@ -29,6 +29,13 @@ type KVM struct {
 	// Trace, when non-nil, records event-path activity (perf-kvm
 	// style). A nil buffer costs nothing.
 	Trace *trace.Buffer
+	// Path, when non-nil, attributes per-stage event-path latency
+	// (signal delivery, pi-wait). Nil costs nothing.
+	Path *trace.PathTracer
+	// Timeline, when non-nil, receives per-vCPU exit slices and
+	// interrupt-delivery instants. Set before creating VMs so vCPU
+	// tracks register in deterministic build order.
+	Timeline *trace.Timeline
 
 	rng *sim.Rand
 	vms []*VM
@@ -64,10 +71,22 @@ func (k *KVM) exitCost(r ExitReason) sim.Time {
 // virtual interrupts.
 func (k *KVM) InjectMSI(vm *VM, msi apic.MSIMessage) {
 	target := vm.VCPUs[msi.Dest]
+	redirected := false
 	if k.Router != nil {
 		if t := k.Router.Route(vm, msi); t != nil {
+			redirected = t != target
 			target = t
 		}
+	}
+	if k.Path != nil {
+		mech := trace.MechEmulated
+		switch {
+		case redirected:
+			mech = trace.MechRedirected
+		case k.UsePI:
+			mech = trace.MechPosted
+		}
+		k.Path.OpenSignal(vm.Index, uint8(msi.Vector), mech, k.Eng.Now())
 	}
 	k.DeliverLocal(target, msi.Vector)
 }
@@ -88,12 +107,16 @@ func (k *KVM) DeliverLocal(v *VCPU, vec apic.Vector) {
 // hardware sync + exit-less delivery. Otherwise the PIR is synced at
 // the next VM entry.
 func (k *KVM) postInterrupt(v *VCPU, vec apic.Vector) {
-	notify := v.PID.Post(vec)
+	notify, newly := v.PID.Post(vec)
+	if k.Path != nil && newly && !v.piPostPending {
+		v.piPostPending = true
+		v.piPostT = k.Eng.Now()
+	}
 	if notify {
 		k.IPIsSent++
 		k.Eng.After(k.Cost.PINotifyLatency, func() {
 			if v.InGuestMode() {
-				v.PID.Sync(&v.VAPIC)
+				v.syncPIR()
 				v.poke()
 			}
 			// Not in guest mode: the posted bits stay in the PIR and

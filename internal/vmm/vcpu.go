@@ -23,6 +23,7 @@ type hostInterval struct {
 	reason    ExitReason
 	remaining sim.Time
 	onDone    func()
+	start     sim.Time // when handling began (timeline slice; traced runs only)
 }
 
 // VCPU is a virtual CPU: a host schedulable thread that alternates
@@ -67,12 +68,23 @@ type VCPU struct {
 	// can sync.
 	needEntrySync bool
 
+	// piPostT/piPostPending track the earliest unsynchronized PIR post
+	// for the pi-wait span (set only while tracing).
+	piPostT       sim.Time
+	piPostPending bool
+
+	// track is this vCPU's timeline track (NoTrack when no timeline).
+	track trace.TrackID
+
 	otherExitEvt *sim.Handle
 }
 
 // newVCPU wires a vCPU to its host thread on the given core.
 func newVCPU(vm *VM, id, coreID int) *VCPU {
-	v := &VCPU{VM: vm, ID: id, needEntrySync: true}
+	v := &VCPU{VM: vm, ID: id, needEntrySync: true, track: trace.NoTrack}
+	if tl := vm.K.Timeline; tl != nil {
+		v.track = tl.Track(vm.Name, fmt.Sprintf("vcpu%d", id))
+	}
 	v.Thread = vm.K.Sched.NewThread(fmt.Sprintf("%s/vcpu%d", vm.Name, id), coreID, 0, v)
 	v.Thread.SchedIn = v.schedIn
 	v.Thread.SchedOut = v.schedOut
@@ -117,6 +129,9 @@ func (v *VCPU) schedOut() {
 
 // Online reports whether the vCPU thread currently owns a core.
 func (v *VCPU) Online() bool { return v.Thread.State() == sched.Running }
+
+// Track returns the vCPU's timeline track (NoTrack without a timeline).
+func (v *VCPU) Track() trace.TrackID { return v.track }
 
 // InGuestMode reports whether the vCPU is, right now, executing guest
 // code in non-root mode on a core.
@@ -183,6 +198,9 @@ func (v *VCPU) NextChunk() sim.Time {
 			copy(v.hostQ, v.hostQ[1:])
 			v.hostQ[len(v.hostQ)-1] = nil
 			v.hostQ = v.hostQ[:len(v.hostQ)-1]
+			if v.VM.K.Timeline != nil {
+				v.hostCur.start = v.VM.K.Eng.Now()
+			}
 			continue
 		}
 		// VM entry: sync any posted interrupts into the vAPIC page.
@@ -192,7 +210,7 @@ func (v *VCPU) NextChunk() sim.Time {
 		if v.needEntrySync {
 			v.needEntrySync = false
 			if v.VM.K.UsePI && v.PID.HasPending() {
-				v.PID.Sync(&v.VAPIC)
+				v.syncPIR()
 			}
 		}
 		// Deliver the highest-priority pending virtual interrupt.
@@ -279,6 +297,17 @@ func (v *VCPU) Ran(d sim.Time) {
 	}
 }
 
+// syncPIR performs the hardware PIR->vIRR synchronization, closing any
+// open pi-wait span: the latency from the first unprocessed post to the
+// moment the vector became visible in the virtual APIC page.
+func (v *VCPU) syncPIR() {
+	v.PID.Sync(&v.VAPIC)
+	if v.piPostPending {
+		v.piPostPending = false
+		v.VM.K.Path.Observe(trace.StagePIWait, trace.MechPosted, v.VM.K.Eng.Now()-v.piPostT)
+	}
+}
+
 // ChunkDone implements sched.WorkSource.
 func (v *VCPU) ChunkDone() {
 	switch v.mode {
@@ -287,6 +316,9 @@ func (v *VCPU) ChunkDone() {
 		v.hostCur = nil
 		v.mode = kindNone
 		v.needEntrySync = true // exit handling done: next guest run is a VM entry
+		if tl := v.VM.K.Timeline; tl.Active() && hi != nil {
+			tl.Slice(v.track, "exit:"+hi.reason.String(), hi.start, v.VM.K.Eng.Now())
+		}
 		if hi != nil && hi.onDone != nil {
 			hi.onDone()
 		}

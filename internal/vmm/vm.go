@@ -140,6 +140,12 @@ func (vm *VM) noteAccepted(v *VCPU, vec apic.Vector) {
 		vm.DevIRQDelivered.Inc()
 	}
 	vm.K.Trace.Record(vm.K.Eng.Now(), trace.KindIRQDeliver, vm.Index, v.ID, int64(vec))
+	if vm.K.Path != nil {
+		vm.K.Path.CloseSignal(vm.Index, uint8(vec), vm.K.Eng.Now())
+	}
+	if tl := vm.K.Timeline; tl.Active() {
+		tl.Instant(v.track, fmt.Sprintf("irq%#x", vec), vm.K.Eng.Now())
+	}
 }
 
 func (vm *VM) noteCompleted(v *VCPU, vec apic.Vector) {

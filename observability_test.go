@@ -1,0 +1,211 @@
+package es2
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// shortPath returns a fast spec with event-path span tracing enabled.
+func shortPath(cfg Config, w WorkloadSpec) ScenarioSpec {
+	s := short(cfg, w)
+	s.Warmup, s.Duration = 100*time.Millisecond, 200*time.Millisecond
+	s.PathTrace = true
+	return s
+}
+
+func findStage(r *Result, stage, mech string) *PathStage {
+	for i := range r.PathBreakdown {
+		if r.PathBreakdown[i].Stage == stage && r.PathBreakdown[i].Mechanism == mech {
+			return &r.PathBreakdown[i]
+		}
+	}
+	return nil
+}
+
+func TestPathBreakdownMechanismSplit(t *testing.T) {
+	// The breakdown's point: showing WHICH mechanism served each stage.
+	// Under the baseline every doorbell kick traps, so the notify stage
+	// is exit-driven; under ES2's hybrid polling the worker picks kicks
+	// up without exits, so the same stage flips to polled.
+	w := WorkloadSpec{Kind: NetperfUDPSend, MsgBytes: 1024}
+	base := mustRun(t, shortPath(Baseline(), w))
+	full := mustRun(t, shortPath(Full(0), w))
+
+	if len(base.PathBreakdown) == 0 || len(full.PathBreakdown) == 0 {
+		t.Fatal("PathTrace produced no breakdown")
+	}
+	be := findStage(base, "notify", "exit")
+	if be == nil || be.Count == 0 {
+		t.Fatalf("baseline lacks exit-driven notify spans: %+v", base.PathBreakdown)
+	}
+	if be.Mean <= 0 || be.P99 < be.P50 || be.Max < be.P99 {
+		t.Fatalf("implausible notify/exit stats: %+v", *be)
+	}
+	if fp := findStage(full, "notify", "polled"); fp == nil || fp.Count == 0 {
+		t.Fatalf("full config lacks polled notify spans: %+v", full.PathBreakdown)
+	}
+	if fe := findStage(full, "notify", "exit"); fe != nil {
+		t.Fatalf("full config still shows exit-driven kicks: %+v", *fe)
+	}
+
+	// Stage coverage: the TX path must at least cross notify and
+	// backend-tx, and the breakdown must not repeat a cell.
+	if findStage(base, "backend-tx", "") == nil {
+		t.Fatalf("baseline lacks backend-tx spans: %+v", base.PathBreakdown)
+	}
+	seen := map[[2]string]bool{}
+	for _, st := range base.PathBreakdown {
+		k := [2]string{st.Stage, st.Mechanism}
+		if seen[k] {
+			t.Fatalf("duplicate breakdown cell %v", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestPathBreakdownSignalMechanisms(t *testing.T) {
+	// RX-heavy workload exercises the interrupt-delivery stages: the
+	// baseline injects via the emulated LAPIC, ES2 posts in hardware.
+	w := WorkloadSpec{Kind: NetperfUDPRecv, MsgBytes: 1024}
+	base := mustRun(t, shortPath(Baseline(), w))
+	full := mustRun(t, shortPath(Full(0), w))
+
+	if s := findStage(base, "signal", "emulated"); s == nil || s.Count == 0 {
+		t.Fatalf("baseline lacks emulated signal spans: %+v", base.PathBreakdown)
+	}
+	if s := findStage(full, "signal", "posted"); s == nil || s.Count == 0 {
+		t.Fatalf("full config lacks posted signal spans: %+v", full.PathBreakdown)
+	}
+	for _, want := range []string{"backend-rx", "ring-wait", "deliver"} {
+		if s := findStage(full, want, ""); s == nil || s.Count == 0 {
+			t.Fatalf("full config lacks %s spans: %+v", want, full.PathBreakdown)
+		}
+	}
+}
+
+func TestObservabilityOffByDefault(t *testing.T) {
+	r := mustRun(t, short(Full(0), WorkloadSpec{Kind: NetperfUDPSend, MsgBytes: 1024}))
+	if len(r.PathBreakdown) != 0 {
+		t.Fatalf("PathBreakdown filled without PathTrace: %+v", r.PathBreakdown)
+	}
+	if len(r.Probes) != 0 {
+		t.Fatal("Probes filled without PathTrace")
+	}
+	if r.Timeline != nil {
+		t.Fatal("Timeline filled without Timeline flag")
+	}
+}
+
+func TestTimelineDeterministicAndValid(t *testing.T) {
+	spec := shortPath(Full(0), WorkloadSpec{Kind: NetperfUDPRecv, MsgBytes: 1024})
+	spec.Timeline = true
+
+	serialize := func() []byte {
+		t.Helper()
+		r := mustRun(t, spec)
+		if r.Timeline == nil || r.Timeline.Len() == 0 {
+			t.Fatal("timeline empty")
+		}
+		var buf bytes.Buffer
+		if err := r.Timeline.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := serialize()
+	b := serialize()
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical spec+seed produced different timeline bytes")
+	}
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("timeline is not valid JSON: %v", err)
+	}
+	// The export must carry track metadata plus the three event types
+	// the instrumentation emits: exit/worker slices, irq instants, and
+	// probe counters.
+	var meta, slices, instants, counters int
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "M":
+			meta++
+		case "X":
+			slices++
+		case "i":
+			instants++
+		case "C":
+			counters++
+		}
+	}
+	if meta == 0 || slices == 0 || instants == 0 || counters == 0 {
+		t.Fatalf("timeline lacks event types: meta=%d slices=%d instants=%d counters=%d",
+			meta, slices, instants, counters)
+	}
+}
+
+func TestTimelineImpliesPathTrace(t *testing.T) {
+	spec := short(Full(0), WorkloadSpec{Kind: NetperfUDPSend, MsgBytes: 1024})
+	spec.Warmup, spec.Duration = 100*time.Millisecond, 200*time.Millisecond
+	spec.Timeline = true // PathTrace left false: Timeline implies it
+	r := mustRun(t, spec)
+	if len(r.PathBreakdown) == 0 {
+		t.Fatal("Timeline should imply PathTrace")
+	}
+	if r.Timeline == nil || r.Timeline.Len() == 0 {
+		t.Fatal("timeline missing")
+	}
+}
+
+func TestProbesRecorded(t *testing.T) {
+	r := mustRun(t, shortPath(Full(0), WorkloadSpec{Kind: NetperfUDPRecv, MsgBytes: 1024}))
+	if len(r.Probes) == 0 {
+		t.Fatal("no probe series recorded")
+	}
+	names := map[string]bool{}
+	for _, s := range r.Probes {
+		names[s.Name] = true
+		if len(s.Points) == 0 {
+			t.Fatalf("probe %s has no samples", s.Name)
+		}
+		last := -1.0
+		for _, pt := range s.Points {
+			if pt.AtSeconds <= last {
+				t.Fatalf("probe %s timestamps not strictly increasing: %v then %v",
+					s.Name, last, pt.AtSeconds)
+			}
+			last = pt.AtSeconds
+		}
+	}
+	for _, want := range []string{"vm0.txq_avail", "vm0.vhost_backlog", "core0.runnable"} {
+		if !names[want] {
+			t.Fatalf("probe %q missing (got %v)", want, names)
+		}
+	}
+}
+
+func TestTraceRingWraparound(t *testing.T) {
+	// A deliberately tiny capacity forces the ring to wrap many times;
+	// the exported events must be the LAST N, in chronological order.
+	spec := short(Baseline(), WorkloadSpec{Kind: NetperfTCPSend, MsgBytes: 1024})
+	spec.TraceCapacity = 64
+	r := mustRun(t, spec)
+	if len(r.TraceEvents) != 64 {
+		t.Fatalf("got %d events, want the full ring of 64", len(r.TraceEvents))
+	}
+	for i := 1; i < len(r.TraceEvents); i++ {
+		if r.TraceEvents[i].AtSeconds < r.TraceEvents[i-1].AtSeconds {
+			t.Fatalf("wrapped ring out of order at %d: %v after %v",
+				i, r.TraceEvents[i].AtSeconds, r.TraceEvents[i-1].AtSeconds)
+		}
+	}
+	// The retained tail must come from the end of the run (warmup
+	// 200ms + 400ms window = 600ms total), not the start.
+	if r.TraceEvents[0].AtSeconds < 0.3 {
+		t.Fatalf("ring retained early events: first at %vs", r.TraceEvents[0].AtSeconds)
+	}
+}

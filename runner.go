@@ -8,6 +8,7 @@ import (
 
 	"es2/internal/core"
 	"es2/internal/guest"
+	"es2/internal/metrics"
 	"es2/internal/netsim"
 	"es2/internal/sched"
 	"es2/internal/sim"
@@ -117,6 +118,18 @@ type testbed struct {
 	ios      []*vhost.IOThread
 	peers    []*workloads.Peer
 	ids      workloads.FlowIDs
+
+	// Span-tracing state (nil / empty when the spec leaves it off).
+	path       *trace.PathTracer
+	tl         *trace.Timeline
+	probes     []*probeVar
+	probeTrack trace.TrackID
+}
+
+// probeVar is one periodically sampled state variable.
+type probeVar struct {
+	series *metrics.Series
+	sample func() float64
 }
 
 // rxDemux fans wire ingress out to the per-queue vhost devices by flow
@@ -169,6 +182,13 @@ func Run(spec ScenarioSpec) (*Result, error) {
 		filterBase = tb.es.Redirector.KeptAffinity
 		onlineBase = tb.es.Redirector.OnlineHits
 		offlineBase = tb.es.Redirector.OfflinePredicts
+	}
+	if tb.path != nil {
+		// Measurement window begins: drop warm-up spans, start the
+		// timeline recording and the periodic state probes.
+		tb.path.Reset()
+		tb.tl.Activate()
+		tb.startProbes()
 	}
 	if col.onWarmupEnd != nil {
 		col.onWarmupEnd()
@@ -233,6 +253,24 @@ func Run(spec ScenarioSpec) (*Result, error) {
 			})
 		}
 	}
+	if tb.path != nil {
+		for _, st := range tb.path.Stats() {
+			r.PathBreakdown = append(r.PathBreakdown, PathStage{
+				Stage: st.Stage.String(), Mechanism: st.Mechanism.String(),
+				Count: st.Count, Mean: time.Duration(st.Mean),
+				P50: time.Duration(st.P50), P99: time.Duration(st.P99),
+				Max: time.Duration(st.Max),
+			})
+		}
+		for _, p := range tb.probes {
+			ps := ProbeSeries{Name: p.series.Name}
+			for _, pt := range p.series.Points {
+				ps.Points = append(ps.Points, ProbePoint{AtSeconds: pt.T.Seconds(), Value: pt.V})
+			}
+			r.Probes = append(r.Probes, ps)
+		}
+		r.Timeline = tb.tl
+	}
 	col.fill(r, window)
 	return r, nil
 }
@@ -284,7 +322,19 @@ func build(spec ScenarioSpec) (*testbed, error) {
 	}
 	es := core.Install(k, spec.Config)
 
-	tb := &testbed{spec: spec, eng: eng, sch: sch, k: k, es: es}
+	tb := &testbed{spec: spec, eng: eng, sch: sch, k: k, es: es, probeTrack: trace.NoTrack}
+	if spec.PathTrace || spec.Timeline {
+		// The timeline (when requested) and the span tracer must exist
+		// before threads, VMs and workers are created so their tracks
+		// register in deterministic build order.
+		if spec.Timeline {
+			tb.tl = trace.NewTimeline()
+		}
+		tb.path = trace.NewPathTracer(tb.tl)
+		sch.SetPathTracer(tb.path)
+		k.Path = tb.path
+		k.Timeline = tb.tl
+	}
 	gcosts := guest.DefaultCosts()
 	vparams := vhost.DefaultParams()
 
@@ -312,7 +362,9 @@ func build(spec ScenarioSpec) (*testbed, error) {
 		for qi, pair := range kern.Dev.Pairs {
 			name := fmt.Sprintf("vhost-%d.%d", i, qi)
 			io := vhost.NewIOThread(name, sch, spec.VMCores+((i+qi)%spec.VhostCores), vparams)
+			io.SetPath(tb.path)
 			dev := vhost.NewDevice(name, io, pair.TX, pair.RX, link.PortA(), hybrid, spec.Config.Quota)
+			dev.Path = tb.path
 			dev.CoalesceCount = spec.CoalesceCount
 			dev.CoalesceTimer = sim.DurationOf(spec.CoalesceTimer)
 			if spec.Sidecore {
@@ -330,7 +382,65 @@ func build(spec ScenarioSpec) (*testbed, error) {
 		tb.devsByVM = append(tb.devsByVM, vmDevs)
 		tb.peers = append(tb.peers, peer)
 	}
+	if tb.tl != nil {
+		tb.probeTrack = tb.tl.Track("probes", "probes")
+	}
 	return tb, nil
+}
+
+// startProbes begins the 1ms periodic state sampling: virtqueue depth
+// and vhost backlog of the tested VM, ES2's online/offline list
+// lengths, and per-core runqueue lengths. Called at the start of the
+// measurement window.
+func (tb *testbed) startProbes() {
+	add := func(name string, fn func() float64) {
+		tb.probes = append(tb.probes, &probeVar{series: &metrics.Series{Name: name}, sample: fn})
+	}
+	devs := tb.devsByVM[0]
+	add("vm0.txq_avail", func() float64 {
+		n := 0
+		for _, d := range devs {
+			n += d.TXQ.AvailLen()
+		}
+		return float64(n)
+	})
+	add("vm0.vhost_backlog", func() float64 {
+		n := 0
+		for _, d := range devs {
+			n += d.Backlog()
+		}
+		return float64(n)
+	})
+	if tb.es.Watcher != nil {
+		vm := tb.vms[0]
+		add("vm0.online", func() float64 {
+			on, _ := tb.es.Watcher.ListLens(vm)
+			return float64(on)
+		})
+		add("vm0.offline", func() float64 {
+			_, off := tb.es.Watcher.ListLens(vm)
+			return float64(off)
+		})
+	}
+	for i := 0; i < tb.sch.NumCores(); i++ {
+		i := i
+		add(fmt.Sprintf("core%d.runnable", i), func() float64 {
+			return float64(tb.sch.RunnableCount(i))
+		})
+	}
+
+	const interval = sim.Millisecond
+	var tick func()
+	tick = func() {
+		now := tb.eng.Now()
+		for _, p := range tb.probes {
+			v := p.sample()
+			p.series.Append(now, v)
+			tb.tl.Counter(tb.probeTrack, p.series.Name, now, v)
+		}
+		tb.eng.After(interval, tick)
+	}
+	tick()
 }
 
 // startWorkload attaches the requested workload to the tested VM and
