@@ -27,6 +27,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "parallel scenario runs (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
 	timelineDir := flag.String("timeline-dir", "", "write one Perfetto/Chrome-trace JSON timeline per scenario into DIR")
+	check := flag.Bool("check", false, "enable the runtime invariant checker in every scenario (also: ES2_CHECK=1)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -70,6 +71,11 @@ func main() {
 		if *timelineDir != "" {
 			for i := range e.Specs {
 				e.Specs[i].Timeline = true
+			}
+		}
+		if *check {
+			for i := range e.Specs {
+				e.Specs[i].Check = true
 			}
 		}
 		start := time.Now()

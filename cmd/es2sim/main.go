@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"es2"
@@ -47,6 +49,20 @@ func main() {
 		dur      = flag.Duration("duration", time.Second, "measurement window (simulated)")
 		warmup   = flag.Duration("warmup", 300*time.Millisecond, "warm-up (simulated)")
 		asJSON   = flag.Bool("json", false, "print the result as JSON")
+
+		check      = flag.Bool("check", false, "enable the runtime invariant checker (also: ES2_CHECK=1)")
+		fLoss      = flag.Float64("fault-loss", 0, "wire packet loss probability [0,1]")
+		fDup       = flag.Float64("fault-dup", 0, "wire packet duplication probability [0,1]")
+		fKick      = flag.Float64("fault-lost-kick", 0, "probability a guest->vhost kick edge is lost")
+		fSignal    = flag.Float64("fault-lost-signal", 0, "probability a vhost->guest signal edge is lost")
+		fStallEvy  = flag.Duration("fault-stall-every", 0, "mean interval between vhost I/O-thread stalls (0 = off)")
+		fStall     = flag.Duration("fault-stall", 0, "mean vhost stall length")
+		fPIEvy     = flag.Duration("fault-pi-every", 0, "mean interval between per-vCPU PI outages (0 = off)")
+		fPI        = flag.Duration("fault-pi", 0, "mean PI outage length")
+		fStormEvy  = flag.Duration("fault-storm-every", 0, "mean interval between preemption storms (0 = off)")
+		fStorm     = flag.Duration("fault-storm", 0, "mean storm CPU burn per core")
+		fStormCore = flag.String("fault-storm-cores", "", "comma-separated core list for storms (default: all VM cores)")
+		fNoRec     = flag.Bool("fault-no-recovery", false, "disable recovery (TX watchdog, TCP RTO, vhost re-poll)")
 	)
 	flag.Parse()
 
@@ -82,6 +98,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	var stormCores []int
+	if *fStormCore != "" {
+		for _, s := range strings.Split(*fStormCore, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "es2sim: bad -fault-storm-cores %q: %v\n", *fStormCore, err)
+				os.Exit(2)
+			}
+			stormCores = append(stormCores, n)
+		}
+	}
+
 	res, err := es2.Run(es2.ScenarioSpec{
 		Name: *name, Seed: *seed, Config: cfg,
 		Workload: es2.WorkloadSpec{
@@ -94,6 +122,15 @@ func main() {
 		DirectAssign: *direct, Sidecore: *sidecore, TraceCapacity: *traceCap,
 		PathTrace: *pathOn, Timeline: *timeline != "",
 		Warmup: *warmup, Duration: *dur,
+		Check: *check,
+		Faults: es2.FaultSpec{
+			PacketLossProb: *fLoss, PacketDupProb: *fDup,
+			LostKickProb: *fKick, LostSignalProb: *fSignal,
+			VhostStallEvery: *fStallEvy, VhostStall: *fStall,
+			PIOutageEvery: *fPIEvy, PIOutage: *fPI,
+			PreemptStormEvery: *fStormEvy, PreemptStorm: *fStorm,
+			StormCores: stormCores, NoRecovery: *fNoRec,
+		},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "es2sim: %v\n", err)
@@ -144,6 +181,16 @@ func main() {
 	}
 	if res.VhostCPU > 0 {
 		fmt.Printf("vhost CPU  %.1f%%\n", 100*res.VhostCPU)
+	}
+	if f := res.Faults; f != nil {
+		fmt.Printf("faults     %d injected: drops=%d dups=%d kicks=%d signals=%d stalls=%d pi=%d storms=%d\n",
+			f.Injected, f.WireDrops, f.WireDups, f.LostKicks, f.LostSignals,
+			f.VhostStalls, f.PIOutages, f.PreemptStorms)
+		fmt.Printf("recovery   retransmits=%d watchdog=%d repolls=%d pi-fallbacks=%d\n",
+			f.Retransmits, f.WatchdogFires, f.VhostRePolls, f.PIFallbacks)
+	}
+	if res.InvariantChecks > 0 {
+		fmt.Printf("invariants %d checks passed\n", res.InvariantChecks)
 	}
 	if len(res.PathBreakdown) > 0 {
 		fmt.Printf("event path stage breakdown:\n")

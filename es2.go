@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"es2/internal/core"
+	"es2/internal/faults"
 	"es2/internal/trace"
 )
 
@@ -146,6 +147,12 @@ type WorkloadSpec struct {
 	ServiceCost time.Duration
 }
 
+// FaultSpec configures deterministic fault injection for a scenario
+// (see internal/faults for the knob semantics). The zero value injects
+// nothing. All faults draw from the scenario seed, so a faulted run
+// replays bit-identically.
+type FaultSpec = faults.Spec
+
 // ScenarioSpec describes one simulated testbed run.
 type ScenarioSpec struct {
 	// Name labels the run in results.
@@ -223,10 +230,32 @@ type ScenarioSpec struct {
 	// byte-identical timeline.
 	Timeline bool
 
+	// Faults configures deterministic fault injection: wire loss and
+	// duplication, lost kicks/signals, vhost stalls, PI outages and
+	// preemption storms, each paired with the recovery mechanism the
+	// real stack has (TX watchdog, retransmission, vhost re-poll, PI
+	// fallback). Zero value: fault-free.
+	Faults FaultSpec
+
+	// Check enables the runtime invariant checker: a periodic sweep
+	// verifying virtqueue accounting, APIC ISR/IRR discipline,
+	// scheduler online/offline list consistency and sim-clock
+	// monotonicity. Violations panic (they are simulator bugs, not
+	// scenario outcomes). Also enabled by the ES2_CHECK environment
+	// variable, which is how CI turns it on globally.
+	Check bool
+
 	// Warmup precedes measurement (default 300ms of simulated time);
 	// Duration is the measurement window (default 1s).
 	Warmup   time.Duration
 	Duration time.Duration
+}
+
+// Validate reports whether the spec (after defaulting) is runnable.
+// Run calls it internally; it is exported so front-ends can reject bad
+// specs before committing to a run.
+func (s ScenarioSpec) Validate() error {
+	return s.withDefaults().validate()
 }
 
 // TraceEvent is one recorded event-path event (see ScenarioSpec.
@@ -346,7 +375,36 @@ type Result struct {
 	// serialize it with WriteJSON. Excluded from JSON results.
 	Timeline *trace.Timeline `json:"-"`
 
+	// Faults reports fault-injection and recovery activity over the
+	// window (nil for fault-free runs).
+	Faults *FaultReport `json:"Faults,omitempty"`
+	// InvariantChecks is the number of invariant sweeps that passed
+	// (zero unless ScenarioSpec.Check or ES2_CHECK enabled the checker).
+	InvariantChecks uint64 `json:",omitempty"`
+
 	// Raw counters over the window (wire side of the tested VM).
 	TxPkts, RxPkts uint64
 	Drops          uint64
+}
+
+// FaultReport summarizes injected faults and the recovery work they
+// triggered, measured over the scenario's measurement window.
+type FaultReport struct {
+	// Injected is the total number of fault events.
+	Injected uint64
+	// Per-fault tallies.
+	WireDrops     uint64
+	WireDups      uint64
+	LostKicks     uint64
+	LostSignals   uint64
+	VhostStalls   uint64
+	PIOutages     uint64
+	PreemptStorms uint64
+	// Recovery-side tallies: transport retransmission timeouts (guest
+	// and peer), guest TX-watchdog re-kicks, vhost re-poll recoveries,
+	// and posted→emulated delivery fallbacks.
+	Retransmits   uint64
+	WatchdogFires uint64
+	VhostRePolls  uint64
+	PIFallbacks   uint64
 }

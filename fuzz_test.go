@@ -1,0 +1,64 @@
+package es2
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// FuzzScenarioSpec is the validation-surface contract test: for every
+// spec the fuzzer can construct, Run either returns a result or an
+// error — it never panics — and Validate's verdict agrees with Run's.
+// Simulated time is pinned tiny so valid specs execute in microseconds
+// of wall time.
+func FuzzScenarioSpec(f *testing.F) {
+	f.Add(1, 1, 1, 1, 1, int64(0), 1024, 4, 0.0, 0.0, 0.0, int64(0), int64(0), false, false)
+	f.Add(4, 4, 4, 2, 2, int64(1), 64, 128, 0.5, 0.5, 450_000.0, int64(time.Millisecond), int64(time.Microsecond), true, false)
+	f.Add(-1, 0, 99, -3, 17, int64(6), -5, 1<<30, 1.5, math.Inf(1), math.NaN(), int64(-time.Second), int64(time.Hour), false, true)
+	f.Add(33, 1000, 2, 5, 0, int64(9), 0, 0, -0.1, 2.0, 1e12, int64(time.Minute), int64(0), true, true)
+
+	f.Fuzz(func(t *testing.T, vms, vcpus, vmCores, vhostCores, queues int,
+		kind int64, msg, window int, lossProb, kickProb, rate float64,
+		stallEvery, stall int64, hybrid, sidecore bool) {
+
+		cfg := Config{}
+		if hybrid {
+			cfg = PIH(4)
+		}
+		spec := ScenarioSpec{
+			Name: "fuzz", Seed: 1, Config: cfg,
+			Workload: es2Workload(kind, msg, window, rate),
+			VMs:      vms, VCPUs: vcpus, VMCores: vmCores,
+			VhostCores: vhostCores, Queues: queues,
+			Sidecore: sidecore,
+			Faults: FaultSpec{
+				PacketLossProb:  lossProb,
+				LostKickProb:    kickProb,
+				VhostStallEvery: time.Duration(stallEvery),
+				VhostStall:      time.Duration(stall),
+			},
+			Warmup:   time.Millisecond,
+			Duration: 2 * time.Millisecond,
+		}
+
+		verr := spec.Validate()
+		res, rerr := Run(spec) // must never panic
+		if verr != nil && rerr == nil {
+			t.Fatalf("Validate rejected (%v) but Run accepted", verr)
+		}
+		if verr == nil && rerr != nil {
+			t.Fatalf("Validate accepted but Run failed: %v", rerr)
+		}
+		if rerr == nil && res == nil {
+			t.Fatal("Run returned neither result nor error")
+		}
+	})
+}
+
+func es2Workload(kind int64, msg, window int, rate float64) WorkloadSpec {
+	return WorkloadSpec{
+		Kind:     WorkloadKind(kind),
+		MsgBytes: msg, Window: window,
+		UDPRatePPS: rate,
+	}
+}

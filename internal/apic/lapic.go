@@ -86,6 +86,20 @@ func (l *LocalAPIC) IRR() Bitmap256 { return l.irr }
 // ISR exposes a copy of the in-service bitmap.
 func (l *LocalAPIC) ISR() Bitmap256 { return l.isr }
 
+// CheckInvariants verifies the APIC's acceptance discipline: EOIs never
+// outnumber acceptances, and the difference is exactly the in-service
+// depth. Used by the opt-in runtime invariant checker.
+func (l *LocalAPIC) CheckInvariants() error {
+	if l.Completed > l.Accepted {
+		return fmt.Errorf("apic: %d EOIs exceed %d acceptances", l.Completed, l.Accepted)
+	}
+	if l.Accepted-l.Completed != uint64(l.isr.Count()) {
+		return fmt.Errorf("apic: Accepted-Completed=%d but ISR depth is %d",
+			l.Accepted-l.Completed, l.isr.Count())
+	}
+	return nil
+}
+
 // Reset clears all interrupt state (used when a vCPU is re-initialized).
 func (l *LocalAPIC) Reset() {
 	l.irr = Bitmap256{}

@@ -18,6 +18,12 @@ type PIDescriptor struct {
 	// bits are picked up by the sync at the next VM entry.
 	sn bool
 
+	// unavailable marks the PI facility broken for this vCPU (fault
+	// injection models IOMMU/PI hardware errata this way). The zero
+	// value means available. Delivery code consults Available and falls
+	// back to the emulated path while the facility is down.
+	unavailable bool
+
 	// NotificationVector is the special host vector that triggers
 	// hardware posted-interrupt processing instead of a normal host
 	// interrupt (KVM's POSTED_INTR_VECTOR, 0xF2 on Linux).
@@ -68,3 +74,9 @@ func (d *PIDescriptor) SetSuppress(s bool) { d.sn = s }
 
 // Suppressed reports the SN bit.
 func (d *PIDescriptor) Suppressed() bool { return d.sn }
+
+// SetAvailable marks the PI facility working (true) or broken (false).
+func (d *PIDescriptor) SetAvailable(ok bool) { d.unavailable = !ok }
+
+// Available reports whether the PI facility is usable for this vCPU.
+func (d *PIDescriptor) Available() bool { return !d.unavailable }

@@ -206,6 +206,43 @@ func (w *SchedWatcher) ListLens(vm *vmm.VM) (online, offline int) {
 	return len(l.online), len(l.offline)
 }
 
+// CheckConsistency verifies the watcher's bookkeeping against the
+// scheduler's ground truth: the two lists partition vm's vCPUs with no
+// duplicates, and membership matches each vCPU's actual scheduling
+// state. Used by the opt-in runtime invariant checker; returns nil for
+// an unattached VM.
+func (w *SchedWatcher) CheckConsistency(vm *vmm.VM) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	l := w.vms[vm]
+	if l == nil {
+		return nil
+	}
+	if got, want := len(l.online)+len(l.offline), len(vm.VCPUs); got != want {
+		return fmt.Errorf("watcher: lists hold %d vCPUs, VM has %d", got, want)
+	}
+	seen := make(map[*vmm.VCPU]bool, len(vm.VCPUs))
+	for _, v := range l.online {
+		if seen[v] {
+			return fmt.Errorf("watcher: vCPU %d listed twice", v.ID)
+		}
+		seen[v] = true
+		if !v.Online() {
+			return fmt.Errorf("watcher: vCPU %d on online list but not running", v.ID)
+		}
+	}
+	for _, v := range l.offline {
+		if seen[v] {
+			return fmt.Errorf("watcher: vCPU %d listed twice", v.ID)
+		}
+		seen[v] = true
+		if v.Online() {
+			return fmt.Errorf("watcher: vCPU %d on offline list but running", v.ID)
+		}
+	}
+	return nil
+}
+
 // Offline returns a snapshot of vm's offline vCPUs in descheduling
 // order (head = longest offline).
 func (w *SchedWatcher) Offline(vm *vmm.VM) []*vmm.VCPU {

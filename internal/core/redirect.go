@@ -34,6 +34,7 @@ type Redirector struct {
 	OnlineHits      uint64 // served by an online vCPU
 	OfflinePredicts uint64 // fell back to the offline-list prediction
 	Filtered        uint64 // not eligible (vector class/delivery mode)
+	PIDegraded      uint64 // steered away from vCPUs with a broken PI facility
 }
 
 // NewRedirector creates a redirector over the watcher's lists.
@@ -60,8 +61,9 @@ func (r *Redirector) Route(vm *vmm.VM, msi apic.MSIMessage) *vmm.VCPU {
 	defer r.mu.Unlock()
 
 	// Cache affinity: keep redirecting to the chosen vCPU until the
-	// scheduler takes it away.
-	if t := r.sticky[vm]; t != nil && t.Online() {
+	// scheduler takes it away (or its PI facility breaks — delivery
+	// would silently degrade to the emulated path).
+	if t := r.sticky[vm]; t != nil && t.Online() && (!vm.K.UsePI || t.PID.Available()) {
 		r.note(vm, t, msi)
 		r.OnlineHits++
 		return t
@@ -69,6 +71,22 @@ func (r *Redirector) Route(vm *vmm.VM, msi apic.MSIMessage) *vmm.VCPU {
 	delete(r.sticky, vm)
 
 	online := r.Watcher.Online(vm)
+	if vm.K.UsePI && len(online) > 0 {
+		// Prefer candidates whose PI facility works; if some (but not
+		// all) are degraded, steer around them.
+		avail := online[:0:0]
+		for _, v := range online {
+			if v.PID.Available() {
+				avail = append(avail, v)
+			}
+		}
+		if len(avail) > 0 && len(avail) < len(online) {
+			r.PIDegraded++
+		}
+		if len(avail) > 0 {
+			online = avail
+		}
+	}
 	if len(online) > 0 {
 		t := r.pickOnline(vm, online)
 		r.sticky[vm] = t

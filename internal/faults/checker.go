@@ -1,0 +1,63 @@
+package faults
+
+import (
+	"fmt"
+
+	"es2/internal/sim"
+)
+
+// Checker is an opt-in runtime invariant checker. It runs as a
+// periodic engine event so it sees quiescent inter-event state, calls
+// every registered check, and panics on the first violation: an
+// invariant failure is a simulator bug, not a scenario outcome.
+//
+// The checker itself verifies sim-clock monotonicity; layer-specific
+// invariants (virtqueue accounting, APIC ISR/IRR discipline, scheduler
+// list consistency) are registered by the runner via Add.
+type Checker struct {
+	eng    *sim.Engine
+	period sim.Time
+	checks []namedCheck
+	last   sim.Time
+	// Ticks counts completed check sweeps (all checks passed).
+	Ticks uint64
+}
+
+type namedCheck struct {
+	name string
+	fn   func() error
+}
+
+// NewChecker creates a checker that sweeps every period.
+func NewChecker(eng *sim.Engine, period sim.Time) *Checker {
+	if period <= 0 {
+		panic("faults: checker period must be positive")
+	}
+	return &Checker{eng: eng, period: period}
+}
+
+// Add registers a named invariant. Call during deterministic build.
+func (c *Checker) Add(name string, fn func() error) {
+	c.checks = append(c.checks, namedCheck{name, fn})
+}
+
+// Start arms the periodic sweep.
+func (c *Checker) Start() {
+	c.last = c.eng.Now()
+	c.eng.After(c.period, c.tick)
+}
+
+func (c *Checker) tick() {
+	now := c.eng.Now()
+	if now < c.last {
+		panic(fmt.Sprintf("es2: invariant violated at %v [sim-clock]: clock moved backwards from %v", now, c.last))
+	}
+	c.last = now
+	for _, ch := range c.checks {
+		if err := ch.fn(); err != nil {
+			panic(fmt.Sprintf("es2: invariant violated at %v [%s]: %v", now, ch.name, err))
+		}
+	}
+	c.Ticks++
+	c.eng.After(c.period, c.tick)
+}

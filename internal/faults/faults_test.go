@@ -1,0 +1,218 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"es2/internal/netsim"
+	"es2/internal/sim"
+	"es2/internal/virtio"
+)
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		ok   bool
+	}{
+		{"zero", Spec{}, true},
+		{"probs", Spec{PacketLossProb: 0.1, PacketDupProb: 0.1, LostKickProb: 1, LostSignalProb: 0.5}, true},
+		{"episodes", Spec{VhostStallEvery: time.Millisecond, VhostStall: 100 * time.Microsecond,
+			PIOutageEvery: time.Millisecond, PIOutage: 100 * time.Microsecond,
+			PreemptStormEvery: time.Millisecond, PreemptStorm: 100 * time.Microsecond}, true},
+		{"loss>1", Spec{PacketLossProb: 1.5}, false},
+		{"loss<0", Spec{PacketLossProb: -0.1}, false},
+		{"loss NaN", Spec{PacketLossProb: nan()}, false},
+		{"loss+dup>1", Spec{PacketLossProb: 0.7, PacketDupProb: 0.7}, false},
+		{"kick>1", Spec{LostKickProb: 2}, false},
+		{"signal NaN", Spec{LostSignalProb: nan()}, false},
+		{"stall without every", Spec{VhostStall: time.Millisecond}, false},
+		{"every without stall", Spec{VhostStallEvery: time.Millisecond}, false},
+		{"negative every", Spec{VhostStallEvery: -time.Millisecond, VhostStall: time.Millisecond}, false},
+		{"pi without every", Spec{PIOutage: time.Millisecond}, false},
+		{"storm without every", Spec{PreemptStorm: time.Millisecond}, false},
+		{"cores without storm", Spec{StormCores: []int{0}}, false},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: expected an error", c.name)
+		}
+	}
+}
+
+func nan() float64 {
+	var z float64
+	return z / z
+}
+
+func TestSpecEnabled(t *testing.T) {
+	if (Spec{}).Enabled() {
+		t.Fatal("zero spec must be disabled")
+	}
+	if (Spec{NoRecovery: true}).Enabled() {
+		t.Fatal("NoRecovery alone must not enable injection")
+	}
+	for _, s := range []Spec{
+		{PacketLossProb: 0.1},
+		{PacketDupProb: 0.1},
+		{LostKickProb: 0.1},
+		{LostSignalProb: 0.1},
+		{VhostStallEvery: time.Millisecond, VhostStall: time.Microsecond},
+		{PIOutageEvery: time.Millisecond, PIOutage: time.Microsecond},
+		{PreemptStormEvery: time.Millisecond, PreemptStorm: time.Microsecond},
+	} {
+		if !s.Enabled() {
+			t.Fatalf("spec %+v should be enabled", s)
+		}
+	}
+}
+
+// TestInjectorDrawsAreIsolated verifies that attaching the injector
+// forks the RNG exactly once: the parent stream continues from the
+// same point whether or not the injector draws from its fork.
+func TestInjectorDrawsAreIsolated(t *testing.T) {
+	seq := func(draw bool) []float64 {
+		eng := sim.NewEngine(7)
+		inj := NewInjector(eng, eng.Rand(), Spec{PacketLossProb: 0.5})
+		if draw {
+			q := virtio.New("q", 8)
+			inj.AttachQueue(q)
+			for i := 0; i < 100; i++ {
+				inj.rng.Float64()
+			}
+		}
+		out := make([]float64, 8)
+		for i := range out {
+			out[i] = eng.Rand().Float64()
+		}
+		return out
+	}
+	a, b := seq(false), seq(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("parent stream diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPortFaultCounting(t *testing.T) {
+	eng := sim.NewEngine(3)
+	link := netsim.NewLink(eng, 40, sim.Microsecond)
+	var got int
+	link.Attach(
+		netsim.EndpointFunc(func(p *netsim.Packet) {}),
+		netsim.EndpointFunc(func(p *netsim.Packet) { got++ }),
+	)
+	inj := NewInjector(eng, eng.Rand(), Spec{PacketLossProb: 0.5})
+	inj.AttachPort(link.PortA())
+	const n = 2000
+	for i := 0; i < n; i++ {
+		link.PortA().Send(&netsim.Packet{Bytes: 100})
+	}
+	eng.Run(sim.Second)
+	if inj.Counters.WireDrops == 0 {
+		t.Fatal("no drops injected at 50% loss")
+	}
+	if got+int(inj.Counters.WireDrops) != n {
+		t.Fatalf("delivered %d + dropped %d != sent %d", got, inj.Counters.WireDrops, n)
+	}
+	// Loss rate should be in the right ballpark for 2000 trials.
+	if inj.Counters.WireDrops < n/4 || inj.Counters.WireDrops > 3*n/4 {
+		t.Fatalf("drop count %d implausible for p=0.5", inj.Counters.WireDrops)
+	}
+}
+
+func TestQueueFaultCounting(t *testing.T) {
+	eng := sim.NewEngine(4)
+	q := virtio.New("q", 64)
+	kicked := 0
+	q.OnKick(func() { kicked++ })
+	inj := NewInjector(eng, eng.Rand(), Spec{LostKickProb: 0.5})
+	inj.AttachQueue(q)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		q.Add(virtio.Desc{Len: 1})
+		q.Kick()
+		for {
+			if _, ok := q.Pop(); !ok {
+				break
+			}
+			q.PushUsed(virtio.Desc{Len: 1})
+		}
+	}
+	if q.Kicks != n {
+		t.Fatalf("kicks counted %d, want %d (faults must fire after counting)", q.Kicks, n)
+	}
+	if kicked+int(inj.Counters.LostKicks) != n {
+		t.Fatalf("delivered %d + lost %d != %d", kicked, inj.Counters.LostKicks, n)
+	}
+	if inj.Counters.LostKicks == 0 {
+		t.Fatal("no kicks lost at p=0.5")
+	}
+}
+
+func TestForceKickBypassesFault(t *testing.T) {
+	eng := sim.NewEngine(5)
+	q := virtio.New("q", 8)
+	kicked := 0
+	q.OnKick(func() { kicked++ })
+	inj := NewInjector(eng, eng.Rand(), Spec{LostKickProb: 1})
+	inj.AttachQueue(q)
+	q.Add(virtio.Desc{Len: 1})
+	if !q.Kick() {
+		t.Fatal("kick must still report delivered (the guest paid the exit)")
+	}
+	if kicked != 0 {
+		t.Fatal("lost kick must not invoke the callback")
+	}
+	q.ForceKick()
+	if kicked != 1 {
+		t.Fatal("ForceKick must bypass the fault hook")
+	}
+}
+
+func TestCheckerTicksAndPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	chk := NewChecker(eng, sim.Millisecond)
+	chk.Add("ok", func() error { return nil })
+	chk.Start()
+	eng.Run(10 * sim.Millisecond)
+	if chk.Ticks == 0 {
+		t.Fatal("checker never ticked")
+	}
+
+	eng2 := sim.NewEngine(1)
+	chk2 := NewChecker(eng2, sim.Millisecond)
+	fail := false
+	chk2.Add("bad", func() error {
+		if fail {
+			return errTest
+		}
+		return nil
+	})
+	chk2.Start()
+	eng2.Run(2 * sim.Millisecond)
+	fail = true
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("violated invariant must panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "[bad]") || !strings.Contains(msg, "invariant violated") {
+			t.Fatalf("panic message %v missing check name", r)
+		}
+	}()
+	eng2.Run(10 * sim.Millisecond)
+}
+
+var errTest = &checkErr{}
+
+type checkErr struct{}
+
+func (*checkErr) Error() string { return "boom" }

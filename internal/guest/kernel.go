@@ -50,6 +50,15 @@ type Kernel struct {
 	// RxDropsNoFlow counts packets that arrived for an unregistered
 	// flow (dropped after the stack cost was paid).
 	RxDropsNoFlow uint64
+
+	// RetransmitRTO, when positive, enables TCP loss recovery: senders
+	// created after it is set arm a go-back-N retransmission timer with
+	// this base timeout. Zero (the default) models the paper's lossless
+	// back-to-back testbed. Set before workloads are started.
+	RetransmitRTO sim.Time
+	// TCPRetransmits counts retransmission timeouts across all sender
+	// flows of this kernel.
+	TCPRetransmits uint64
 }
 
 // NewKernel boots a guest kernel on vm with a single virtio-net device

@@ -53,6 +53,8 @@ type NetDev struct {
 
 	// TxKickExits counts kicks that became I/O-instruction exits.
 	TxKickExits uint64
+	// WatchdogFires counts TX watchdog re-kicks (see StartTxWatchdog).
+	WatchdogFires uint64
 	// LocalDrops counts packets dropped in the guest because the TX
 	// ring was full (UDP semantics: drop, don't block).
 	LocalDrops uint64

@@ -26,9 +26,18 @@ type TCPSender struct {
 
 	onWindowOpen func()
 
-	// SentSegs and AckedSegs count stream progress.
-	SentSegs  uint64
-	AckedSegs uint64
+	// rto is the base retransmission timeout (from Kernel.RetransmitRTO
+	// at creation; zero disables loss recovery, the lossless-testbed
+	// default). curRTO carries the exponential backoff.
+	rto    sim.Time
+	curRTO sim.Time
+	rtoEvt *sim.Handle
+
+	// SentSegs and AckedSegs count stream progress. Retransmits counts
+	// go-back-N timeouts.
+	SentSegs    uint64
+	AckedSegs   uint64
+	Retransmits uint64
 }
 
 // NewTCPSender registers and returns a sender flow. The initial window
@@ -38,6 +47,8 @@ func NewTCPSender(k *Kernel, flowID, segBytes, maxWindow int) *TCPSender {
 	if f.cwnd > maxWindow {
 		f.cwnd = maxWindow
 	}
+	f.rto = k.RetransmitRTO
+	f.curRTO = f.rto
 	k.RegisterFlow(flowID, f)
 	return f
 }
@@ -63,7 +74,44 @@ func (f *TCPSender) NextSegment() *netsim.Packet {
 	f.nextSeq++
 	f.inFlight++
 	f.SentSegs++
+	f.armRTO()
 	return p
+}
+
+// armRTO starts the retransmission timer if loss recovery is enabled
+// and no timer is already pending.
+func (f *TCPSender) armRTO() {
+	if f.rto <= 0 || f.rtoEvt != nil {
+		return
+	}
+	f.rtoEvt = f.Kern.Engine().After(f.curRTO, f.onRTO)
+}
+
+// onRTO is the go-back-N retransmission timeout: rewind to the last
+// cumulative ACK, restart from a slow-start window, and back off the
+// timer exponentially (capped at 8x the base RTO).
+func (f *TCPSender) onRTO() {
+	f.rtoEvt = nil
+	if f.inFlight <= 0 {
+		return
+	}
+	f.Retransmits++
+	f.Kern.TCPRetransmits++
+	f.nextSeq = f.lastAcked
+	f.inFlight = 0
+	f.cwnd = 10
+	if f.cwnd > f.MaxWindow {
+		f.cwnd = f.MaxWindow
+	}
+	f.curRTO *= 2
+	if max := 8 * f.rto; f.curRTO > max {
+		f.curRTO = max
+	}
+	if f.onWindowOpen != nil && f.CanSend() {
+		fn := f.onWindowOpen
+		f.onWindowOpen = nil
+		fn()
+	}
 }
 
 // WaitWindow registers a one-shot callback invoked when ACKs reopen the
@@ -89,6 +137,17 @@ func (f *TCPSender) HandleRX(p *netsim.Packet, v *vmm.VCPU) {
 		f.inFlight = 0
 	}
 	f.AckedSegs += uint64(acked)
+	// Forward progress: reset the backoff and re-arm for what remains.
+	if f.rto > 0 {
+		f.curRTO = f.rto
+		if f.rtoEvt != nil {
+			f.rtoEvt.Cancel()
+			f.rtoEvt = nil
+		}
+		if f.inFlight > 0 {
+			f.armRTO()
+		}
+	}
 	// Slow-start growth toward the cap; the lossless link never
 	// triggers congestion avoidance.
 	f.cwnd += int(acked)
@@ -114,7 +173,10 @@ type TCPReceiver struct {
 	Kern   *Kernel
 	FlowID int
 
-	lastSeq    int64
+	// expected is the next in-order sequence number; segments beyond it
+	// are not buffered (go-back-N discipline, matching the sender's
+	// timeout recovery) and trigger a duplicate cumulative ACK.
+	expected   int64
 	pendingAck int
 
 	appPendingPkts  int
@@ -149,10 +211,14 @@ func (f *TCPReceiver) HandleRX(p *netsim.Packet, v *vmm.VCPU) {
 	if p.Kind != KindTCPData {
 		return
 	}
-	if p.Seq > f.lastSeq {
-		f.lastSeq = p.Seq
-	}
+	// Every data segment earns a (possibly duplicate) cumulative ACK at
+	// batch end; only the in-order one advances the stream toward the
+	// application.
 	f.pendingAck++
+	if p.Seq != f.expected {
+		return
+	}
+	f.expected++
 	f.appPendingPkts++
 	f.appPendingBytes += p.Bytes
 }
@@ -163,7 +229,7 @@ func (f *TCPReceiver) HandleRX(p *netsim.Packet, v *vmm.VCPU) {
 func (f *TCPReceiver) BatchEnd(v *vmm.VCPU) {
 	if f.pendingAck > 0 {
 		f.pendingAck = 0
-		ack := &netsim.Packet{Bytes: 66, Kind: KindTCPAck, Flow: f.FlowID, Seq: f.lastSeq + 1}
+		ack := &netsim.Packet{Bytes: 66, Kind: KindTCPAck, Flow: f.FlowID, Seq: f.expected}
 		if f.Kern.Dev.Transmit(v, ack) {
 			f.AcksSent++
 		} else {

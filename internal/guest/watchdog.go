@@ -1,0 +1,42 @@
+package guest
+
+import "es2/internal/sim"
+
+// StartTxWatchdog arms the driver's transmit watchdog on every queue
+// pair: the analogue of the netdev watchdog + virtio-net tx timeout
+// path, which re-delivers the doorbell when a queue has work pending
+// but the device has made no progress — the recovery for a lost kick.
+//
+// Each period the watchdog checks, per queue: descriptors are
+// available, the device has not suppressed notifications (so it is
+// sleeping and expects a kick), and the device's consumption counter
+// has not moved since the last check. Two consecutive stale
+// observations fire a ForceKick; one is not enough, because the worker
+// may legitimately not have been scheduled yet.
+func (d *NetDev) StartTxWatchdog(period sim.Time) {
+	if period <= 0 {
+		panic("guest: watchdog period must be positive")
+	}
+	eng := d.Kern.Engine()
+	for _, p := range d.Pairs {
+		p := p
+		var strikes int
+		var lastPopped uint64
+		var tick func()
+		tick = func() {
+			if p.TX.AvailLen() > 0 && !p.TX.KickSuppressed() && p.TX.Popped == lastPopped {
+				strikes++
+			} else {
+				strikes = 0
+			}
+			lastPopped = p.TX.Popped
+			if strikes >= 2 {
+				strikes = 0
+				d.WatchdogFires++
+				p.TX.ForceKick()
+			}
+			eng.After(period, tick)
+		}
+		eng.After(period, tick)
+	}
+}

@@ -30,6 +30,20 @@ type Packet struct {
 	SpanT sim.Time
 }
 
+// FaultAction is the wire-fault decision for one frame (see the
+// SendFault hook on Port).
+type FaultAction uint8
+
+const (
+	// FaultNone delivers the frame normally.
+	FaultNone FaultAction = iota
+	// FaultDrop loses the frame after serialization: the sender paid
+	// the wire time, the receiver sees nothing.
+	FaultDrop
+	// FaultDup delivers the frame twice (link-level duplication).
+	FaultDup
+)
+
 // Endpoint receives packets from a link.
 type Endpoint interface {
 	Receive(p *Packet)
@@ -61,6 +75,11 @@ type Port struct {
 	// PacketsSent and BytesSent count traffic through this port.
 	PacketsSent uint64
 	BytesSent   uint64
+
+	// SendFault, when non-nil, is consulted once per frame after the
+	// send is counted; the fault injector (internal/faults) owns the
+	// closure and its accounting. Nil in normal operation.
+	SendFault func() FaultAction
 }
 
 // NewLink creates a link with the given rate in gigabits per second and
@@ -111,6 +130,15 @@ func (p *Port) Send(pkt *Packet) {
 	p.PacketsSent++
 	p.BytesSent += uint64(pkt.Bytes)
 	dst := p.dst
+	if p.SendFault != nil {
+		switch p.SendFault() {
+		case FaultDrop:
+			return
+		case FaultDup:
+			q := *pkt
+			p.eng.At(done+p.delay, func() { dst.Receive(&q) })
+		}
+	}
 	p.eng.At(done+p.delay, func() { dst.Receive(pkt) })
 }
 

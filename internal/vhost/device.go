@@ -1,6 +1,8 @@
 package vhost
 
 import (
+	"fmt"
+
 	"es2/internal/netsim"
 	"es2/internal/sim"
 	"es2/internal/trace"
@@ -63,6 +65,9 @@ type Device struct {
 	// BacklogDrops counts ingress packets dropped at the tap buffer.
 	RxRingStarved uint64
 	BacklogDrops  uint64
+	// RePolls counts recovery re-enqueues of a handler that appeared
+	// stuck behind a lost notification (see StartRePoll).
+	RePolls uint64
 }
 
 // rxBudget is the per-turn packet budget of the RX handler (vhost's
@@ -72,9 +77,15 @@ const rxBudget = 64
 // NewDevice wires a vhost device to its virtqueues, worker thread and
 // wire port. quota is only meaningful with hybrid=true; the paper's
 // poll_quota module parameter.
-func NewDevice(name string, io *IOThread, txq, rxq *virtio.Virtqueue, port *netsim.Port, hybrid bool, quota int) *Device {
+func NewDevice(name string, io *IOThread, txq, rxq *virtio.Virtqueue, port *netsim.Port, hybrid bool, quota int) (*Device, error) {
 	if hybrid && quota <= 0 {
-		panic("vhost: hybrid mode requires a positive quota")
+		return nil, fmt.Errorf("vhost: hybrid mode requires a positive quota")
+	}
+	if err := txq.Claim(); err != nil {
+		return nil, err
+	}
+	if err := rxq.Claim(); err != nil {
+		return nil, err
 	}
 	d := &Device{
 		Name: name, IO: io, TXQ: txq, RXQ: rxq, Port: port,
@@ -88,7 +99,7 @@ func NewDevice(name string, io *IOThread, txq, rxq *virtio.Virtqueue, port *nets
 	// vhost keeps RX-refill notifications suppressed unless starved for
 	// guest buffers.
 	rxq.SetNoNotify(true)
-	return d
+	return d, nil
 }
 
 // Receive implements netsim.Endpoint: ingress from the wire lands in
@@ -175,6 +186,55 @@ func (d *Device) EnableSidecore() {
 func (d *Device) ResetStats() {
 	d.TxPkts, d.TxBytes, d.RxPkts, d.RxBytes = 0, 0, 0, 0
 	d.RxRingStarved, d.BacklogDrops = 0, 0
+}
+
+// StartRePoll arms the lost-kick recovery poller: a periodic check
+// that re-enqueues a handler when work is demonstrably waiting but no
+// progress has been made for two consecutive periods. This models the
+// defensive re-poll real vhost performs on queue state changes — a
+// suspected lost ioeventfd must not wedge the queue forever.
+//
+// Two strikes are required because a single stale observation is
+// normal: the worker may simply not have been scheduled yet.
+func (d *Device) StartRePoll(period sim.Time) {
+	if period <= 0 {
+		panic("vhost: re-poll period must be positive")
+	}
+	var txStrikes, rxStrikes int
+	var lastTxPopped, lastRxPkts uint64
+	eng := d.IO.s.Engine()
+	var tick func()
+	tick = func() {
+		// TX: descriptors are available, the guest is not suppressed
+		// from kicking (so vhost believes it is idle and waiting for a
+		// kick), yet nothing has been consumed.
+		if d.TXQ.AvailLen() > 0 && !d.TXQ.KickSuppressed() && d.TXQ.Popped == lastTxPopped {
+			txStrikes++
+		} else {
+			txStrikes = 0
+		}
+		lastTxPopped = d.TXQ.Popped
+		if txStrikes >= 2 && !d.IO.queued[d.tx] {
+			txStrikes = 0
+			d.RePolls++
+			d.IO.enqueue(d.tx)
+		}
+		// RX: wire packets wait in the backlog, guest buffers exist,
+		// yet nothing has been delivered.
+		if len(d.backlog) > 0 && d.RXQ.AvailLen() > 0 && d.RxPkts == lastRxPkts {
+			rxStrikes++
+		} else {
+			rxStrikes = 0
+		}
+		lastRxPkts = d.RxPkts
+		if rxStrikes >= 2 && !d.IO.queued[d.rx] {
+			rxStrikes = 0
+			d.RePolls++
+			d.IO.enqueue(d.rx)
+		}
+		eng.After(period, tick)
+	}
+	eng.After(period, tick)
 }
 
 // --- TX handler: Algorithm 1 ---

@@ -46,6 +46,11 @@ type IOThread struct {
 
 	// Turns counts handler turns; Switches counts handler dispatches.
 	Turns uint64
+
+	// Stalls and StallTime count injected worker stalls (fault
+	// injection; see InjectStall).
+	Stalls    uint64
+	StallTime sim.Time
 }
 
 // NewIOThread creates the worker pinned to the given core.
@@ -152,6 +157,38 @@ func (t *IOThread) ChunkDone() {
 		eff()
 	}
 }
+
+// InjectStall blocks the worker for d of CPU time: a one-shot handler
+// that burns d at the head of the queue, modeling the worker stuck in
+// a kernel allocation or host softirq. Work already queued waits
+// behind it, exactly as it would behind a stuck vhost worker. A
+// non-positive d is a no-op.
+func (t *IOThread) InjectStall(d sim.Time) {
+	if d <= 0 {
+		return
+	}
+	t.Stalls++
+	t.StallTime += d
+	t.enqueue(&stallHandler{d: d})
+}
+
+// stallHandler burns a fixed amount of worker CPU once.
+type stallHandler struct {
+	d      sim.Time
+	burned bool
+}
+
+func (h *stallHandler) turnStart() {}
+
+func (h *stallHandler) plan() (sim.Time, func()) {
+	if h.burned {
+		return 0, nil
+	}
+	h.burned = true
+	return h.d, func() {}
+}
+
+func (h *stallHandler) label() string { return "stall" }
 
 // requeue puts the current handler back at the tail of the work queue
 // (Algorithm 1's "goto schedule").

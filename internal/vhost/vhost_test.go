@@ -34,7 +34,11 @@ func newRig(hybrid bool, quota int) *rig {
 		rxq.Add(virtio.Desc{})
 	}
 	r.io = NewIOThread("io", s, 0, DefaultParams())
-	r.dev = NewDevice("dev", r.io, txq, rxq, link.PortA(), hybrid, quota)
+	dev, err := NewDevice("dev", r.io, txq, rxq, link.PortA(), hybrid, quota)
+	if err != nil {
+		panic(err)
+	}
+	r.dev = dev
 	return r
 }
 
@@ -290,5 +294,37 @@ func TestModerationDisabledByDefault(t *testing.T) {
 	r.eng.Run(sim.Millisecond)
 	if signals != 1 {
 		t.Fatalf("unmoderated single packet should signal once, got %d", signals)
+	}
+}
+
+// TestSecondDeviceOnClaimedQueuesRefused guards the avail/used
+// accounting: attaching a second back-end to a queue pair that already
+// has one must fail cleanly (previously the corruption surfaced later
+// as a "PushUsed without matching Pop" panic).
+func TestSecondDeviceOnClaimedQueuesRefused(t *testing.T) {
+	r := newRig(false, 0)
+	io2 := NewIOThread("io2", r.s, 0, DefaultParams())
+	link := netsim.NewLink(r.eng, 40, sim.Microsecond)
+	link.Attach(netsim.EndpointFunc(func(*netsim.Packet) {}), netsim.EndpointFunc(func(*netsim.Packet) {}))
+	_, err := NewDevice("dev2", io2, r.dev.TXQ, r.dev.RXQ, link.PortA(), false, 0)
+	if err == nil {
+		t.Fatal("second device on claimed queues must be refused")
+	}
+}
+
+// TestRePollRecoversLostKick drives the re-poll mechanism directly: a
+// kick swallowed by the fault hook leaves descriptors stranded until
+// StartRePoll notices the frozen queue and re-enqueues the handler.
+func TestRePollRecoversLostKick(t *testing.T) {
+	r := newRig(false, 0)
+	r.dev.TXQ.DropKick = func() bool { return true } // every kick lost
+	r.dev.StartRePoll(10 * sim.Microsecond)
+	r.guestSend(1000)
+	r.eng.Run(sim.Millisecond)
+	if len(r.wire) != 1 {
+		t.Fatalf("re-poll did not recover the stranded descriptor: wire=%d", len(r.wire))
+	}
+	if r.dev.RePolls == 0 {
+		t.Fatal("RePolls counter not incremented")
 	}
 }

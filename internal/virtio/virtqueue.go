@@ -52,6 +52,16 @@ type Virtqueue struct {
 	kick      func() // ioeventfd: invoked on allowed guest kicks
 	interrupt func() // irqfd: invoked on allowed device signals
 
+	claimed bool // a back-end device owns this queue end
+
+	// DropKick and DropSignal are fault-injection hooks (see
+	// internal/faults). When non-nil they are consulted after the
+	// notification is counted but before the callback fires; returning
+	// true swallows the edge — the cost was paid, the event never
+	// arrives. Nil in normal operation.
+	DropKick   func() bool
+	DropSignal func() bool
+
 	// Statistics.
 	Kicks             uint64 // kicks actually delivered (each is a VM exit)
 	SuppressedKicks   uint64 // kicks elided by NO_NOTIFY
@@ -72,6 +82,18 @@ func New(name string, size int) *Virtqueue {
 
 // Name returns the queue's name (e.g. "tx", "rx").
 func (q *Virtqueue) Name() string { return q.name }
+
+// Claim marks the queue as owned by a back-end device. Attaching two
+// devices to one queue corrupts the avail/used accounting (the second
+// Pop/PushUsed stream races the first), so a second Claim is refused;
+// callers surface the error through spec validation.
+func (q *Virtqueue) Claim() error {
+	if q.claimed {
+		return fmt.Errorf("virtio: queue %q is already attached to a device", q.name)
+	}
+	q.claimed = true
+	return nil
+}
 
 // Size returns the ring capacity.
 func (q *Virtqueue) Size() int { return q.size }
@@ -124,10 +146,23 @@ func (q *Virtqueue) Kick() bool {
 		return false
 	}
 	q.Kicks++
+	if q.DropKick != nil && q.DropKick() {
+		return true // the doorbell was paid for; the ioeventfd never fired
+	}
 	if q.kick != nil {
 		q.kick()
 	}
 	return true
+}
+
+// ForceKick invokes the kick callback unconditionally, bypassing both
+// suppression and fault hooks. This is the recovery path — a watchdog
+// or re-poll re-delivering a notification it believes was lost — and
+// is not counted as a guest-initiated kick.
+func (q *Virtqueue) ForceKick() {
+	if q.kick != nil {
+		q.kick()
+	}
 }
 
 // KickSuppressed reports whether guest notifications are currently
@@ -192,10 +227,28 @@ func (q *Virtqueue) Signal() bool {
 		return false
 	}
 	q.Signals++
+	if q.DropSignal != nil && q.DropSignal() {
+		return true // the irqfd write happened; the MSI never arrived
+	}
 	if q.interrupt != nil {
 		q.interrupt()
 	}
 	return true
+}
+
+// CheckInvariants verifies the ring's accounting. Used by the opt-in
+// runtime invariant checker.
+func (q *Virtqueue) CheckInvariants() error {
+	if q.inflight < 0 {
+		return fmt.Errorf("vq %s: negative inflight %d", q.name, q.inflight)
+	}
+	if out := q.outstanding(); out > q.size {
+		return fmt.Errorf("vq %s: %d descriptors outstanding exceeds ring size %d", q.name, out, q.size)
+	}
+	if q.Added-q.Popped != uint64(len(q.avail)) {
+		return fmt.Errorf("vq %s: Added-Popped=%d but avail holds %d", q.name, q.Added-q.Popped, len(q.avail))
+	}
+	return nil
 }
 
 // SetNoNotify lets the device suppress (true) or re-enable (false)

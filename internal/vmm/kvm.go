@@ -42,6 +42,10 @@ type KVM struct {
 
 	// IPIsSent counts kick IPIs (baseline) and PI notification IPIs.
 	IPIsSent uint64
+	// PIFallbacks counts deliveries that wanted the posted path but
+	// fell back to emulated injection because the target vCPU's PI
+	// facility was unavailable (fault injection).
+	PIFallbacks uint64
 }
 
 // NewKVM creates the hypervisor on the given engine and scheduler.
@@ -81,6 +85,8 @@ func (k *KVM) InjectMSI(vm *VM, msi apic.MSIMessage) {
 	if k.Path != nil {
 		mech := trace.MechEmulated
 		switch {
+		case k.UsePI && !target.PID.Available():
+			// PI outage: delivery will fall back to the emulated path.
 		case redirected:
 			mech = trace.MechRedirected
 		case k.UsePI:
@@ -96,10 +102,15 @@ func (k *KVM) InjectMSI(vm *VM, msi apic.MSIMessage) {
 // InjectMSI after routing).
 func (k *KVM) DeliverLocal(v *VCPU, vec apic.Vector) {
 	if k.UsePI {
-		k.postInterrupt(v, vec)
-	} else {
-		k.injectEmulated(v, vec)
+		if v.PID.Available() {
+			k.postInterrupt(v, vec)
+			return
+		}
+		// Graceful degradation: the PI facility is down for this vCPU,
+		// so deliver through the emulated LAPIC until it recovers.
+		k.PIFallbacks++
 	}
+	k.injectEmulated(v, vec)
 }
 
 // postInterrupt implements the PI path: post to the PIR; when the

@@ -308,6 +308,22 @@ func (v *VCPU) syncPIR() {
 	}
 }
 
+// SetPIAvailable marks this vCPU's posted-interrupt facility working or
+// broken (fault injection). On a break, any vectors already latched in
+// the PIR are flushed into the virtual APIC immediately — the hardware
+// can no longer be trusted to sync them at the next entry, and losing
+// them would wedge the guest.
+func (v *VCPU) SetPIAvailable(ok bool) {
+	if ok == v.PID.Available() {
+		return
+	}
+	v.PID.SetAvailable(ok)
+	if !ok && v.PID.HasPending() {
+		v.syncPIR()
+		v.poke()
+	}
+}
+
 // ChunkDone implements sched.WorkSource.
 func (v *VCPU) ChunkDone() {
 	switch v.mode {

@@ -106,7 +106,11 @@ type TCPSink struct {
 	ackEvery int
 
 	pending int
-	lastSeq int64
+	// expected is the next in-order sequence number; out-of-order
+	// segments (after a wire loss) are not buffered and draw an
+	// immediate duplicate cumulative ACK so the sender learns where the
+	// stream stands.
+	expected int64
 
 	// Bytes and Segs are receiver-side goodput (what netperf reports).
 	Bytes uint64
@@ -118,15 +122,17 @@ func (s *TCPSink) PeerReceive(p *netsim.Packet) {
 	if p.Kind != guest.KindTCPData {
 		return
 	}
+	if p.Seq != s.expected {
+		s.peer.Send(&netsim.Packet{Bytes: 66, Kind: guest.KindTCPAck, Flow: s.flowID, Seq: s.expected})
+		return
+	}
+	s.expected++
 	s.Bytes += uint64(p.Bytes)
 	s.Segs++
-	if p.Seq > s.lastSeq {
-		s.lastSeq = p.Seq
-	}
 	s.pending++
 	if s.pending >= s.ackEvery {
 		s.pending = 0
-		s.peer.Send(&netsim.Packet{Bytes: 66, Kind: guest.KindTCPAck, Flow: s.flowID, Seq: s.lastSeq + 1})
+		s.peer.Send(&netsim.Packet{Bytes: 66, Kind: guest.KindTCPAck, Flow: s.flowID, Seq: s.expected})
 	}
 }
 
@@ -152,6 +158,8 @@ func (s *UDPSink) PeerReceive(p *netsim.Packet) {
 func NetperfRecvTCP(kern *guest.Kernel, pe *Peer, flowID, msgBytes, window int) (*guest.TCPReceiver, *TCPSource) {
 	r := guest.NewTCPReceiver(kern, flowID)
 	src := &TCPSource{peer: pe, flowID: flowID, segBytes: msgBytes, window: window}
+	src.rto = pe.RetransmitRTO
+	src.curRTO = src.rto
 	pe.Register(flowID, src)
 	src.pump()
 	return r, src
@@ -168,8 +176,16 @@ type TCPSource struct {
 	acked    int64
 	inFlight int
 
-	// SentSegs counts transmitted segments.
-	SentSegs uint64
+	// rto/curRTO/rtoEvt implement go-back-N loss recovery, mirroring
+	// the guest-side TCPSender (zero rto disables it).
+	rto    sim.Time
+	curRTO sim.Time
+	rtoEvt *sim.Handle
+
+	// SentSegs counts transmitted segments; Retransmits counts
+	// retransmission timeouts.
+	SentSegs    uint64
+	Retransmits uint64
 }
 
 // pump sends while the window admits.
@@ -180,6 +196,32 @@ func (s *TCPSource) pump() {
 		s.inFlight++
 		s.SentSegs++
 	}
+	s.armRTO()
+}
+
+func (s *TCPSource) armRTO() {
+	if s.rto <= 0 || s.rtoEvt != nil || s.inFlight == 0 {
+		return
+	}
+	s.rtoEvt = s.peer.Eng.After(s.curRTO, s.onRTO)
+}
+
+// onRTO is the go-back-N retransmission timeout: rewind to the last
+// cumulative ACK and back off exponentially (capped at 8x base).
+func (s *TCPSource) onRTO() {
+	s.rtoEvt = nil
+	if s.inFlight == 0 {
+		return
+	}
+	s.Retransmits++
+	s.peer.Retransmits++
+	s.nextSeq = s.acked
+	s.inFlight = 0
+	s.curRTO *= 2
+	if max := 8 * s.rto; s.curRTO > max {
+		s.curRTO = max
+	}
+	s.pump()
 }
 
 // PeerReceive implements PeerFlow: guest ACKs open the window.
@@ -195,6 +237,14 @@ func (s *TCPSource) PeerReceive(p *netsim.Packet) {
 		s.inFlight = 0
 	}
 	s.acked = p.Seq
+	// Forward progress: reset the backoff and re-time what remains.
+	if s.rto > 0 {
+		s.curRTO = s.rto
+		if s.rtoEvt != nil {
+			s.rtoEvt.Cancel()
+			s.rtoEvt = nil
+		}
+	}
 	s.pump()
 }
 

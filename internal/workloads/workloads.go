@@ -26,6 +26,13 @@ type Peer struct {
 
 	flows map[int]PeerFlow
 
+	// RetransmitRTO, when positive, enables go-back-N loss recovery in
+	// peer-side TCP senders created afterwards (see TCPSource). Zero
+	// models the lossless testbed.
+	RetransmitRTO sim.Time
+	// Retransmits counts retransmission timeouts across peer senders.
+	Retransmits uint64
+
 	// Unclaimed counts packets for unknown flows.
 	Unclaimed uint64
 }

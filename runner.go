@@ -2,11 +2,13 @@ package es2
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"time"
 
 	"es2/internal/core"
+	"es2/internal/faults"
 	"es2/internal/guest"
 	"es2/internal/metrics"
 	"es2/internal/netsim"
@@ -16,6 +18,18 @@ import (
 	"es2/internal/vhost"
 	"es2/internal/vmm"
 	"es2/internal/workloads"
+)
+
+// Recovery-mechanism timing. These mirror the real stack's orders of
+// magnitude: the netdev TX watchdog polls at millisecond scale, vhost
+// re-checks queue state far more often, and the TCP minimum RTO is
+// tens of milliseconds (scaled down to the simulator's microsecond
+// RTTs so recovery happens within a measurement window).
+const (
+	retransmitRTO   = 10 * sim.Millisecond
+	txWatchdogTick  = sim.Millisecond
+	vhostRePollTick = 20 * sim.Microsecond
+	checkerTick     = 250 * sim.Microsecond
 )
 
 // withDefaults fills zero fields with kind-appropriate defaults.
@@ -124,6 +138,10 @@ type testbed struct {
 	tl         *trace.Timeline
 	probes     []*probeVar
 	probeTrack trace.TrackID
+
+	// Fault-injection and invariant-checking state (nil when off).
+	inj *faults.Injector
+	chk *faults.Checker
 }
 
 // probeVar is one periodically sampled state variable.
@@ -154,9 +172,17 @@ type collector struct {
 // Run executes one scenario to completion and returns its result.
 func Run(spec ScenarioSpec) (*Result, error) {
 	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
 	tb, err := build(spec)
 	if err != nil {
 		return nil, err
+	}
+	if spec.Check || os.Getenv("ES2_CHECK") != "" {
+		tb.chk = faults.NewChecker(tb.eng, checkerTick)
+		tb.registerInvariants(tb.chk)
+		tb.chk.Start()
 	}
 	col, err := tb.startWorkload()
 	if err != nil {
@@ -175,6 +201,14 @@ func Run(spec ScenarioSpec) (*Result, error) {
 	var vhostBusy0 sim.Time
 	for _, io := range tb.ios {
 		vhostBusy0 += io.Thread.SumExec()
+	}
+	var retransBase, wdBase, repollBase, piFbBase uint64
+	if tb.inj != nil {
+		tb.inj.ResetCounters()
+		retransBase = tb.sumRetransmits()
+		wdBase = tb.sumWatchdogFires()
+		repollBase = tb.sumRePolls()
+		piFbBase = tb.k.PIFallbacks
 	}
 	var redirBase, filterBase, onlineBase, offlineBase uint64
 	if tb.es.Redirector != nil {
@@ -271,6 +305,26 @@ func Run(spec ScenarioSpec) (*Result, error) {
 		}
 		r.Timeline = tb.tl
 	}
+	if tb.inj != nil {
+		c := tb.inj.Counters
+		r.Faults = &FaultReport{
+			Injected:      c.Injected(),
+			WireDrops:     c.WireDrops,
+			WireDups:      c.WireDups,
+			LostKicks:     c.LostKicks,
+			LostSignals:   c.LostSignals,
+			VhostStalls:   c.VhostStalls,
+			PIOutages:     c.PIOutages,
+			PreemptStorms: c.PreemptStorms,
+			Retransmits:   tb.sumRetransmits() - retransBase,
+			WatchdogFires: tb.sumWatchdogFires() - wdBase,
+			VhostRePolls:  tb.sumRePolls() - repollBase,
+			PIFallbacks:   tb.k.PIFallbacks - piFbBase,
+		}
+	}
+	if tb.chk != nil {
+		r.InvariantChecks = tb.chk.Ticks
+	}
 	col.fill(r, window)
 	return r, nil
 }
@@ -305,14 +359,9 @@ func RunMany(specs []ScenarioSpec, parallelism int) ([]*Result, error) {
 	return results, nil
 }
 
-// build wires the simulated testbed.
+// build wires the simulated testbed. The spec has already passed
+// validate, so resource bounds and combination rules hold here.
 func build(spec ScenarioSpec) (*testbed, error) {
-	if spec.VCPUs > spec.VMCores*4 {
-		return nil, fmt.Errorf("es2: %d vCPUs over %d cores exceeds supported multiplexing", spec.VCPUs, spec.VMCores)
-	}
-	if spec.Sidecore && spec.Config.Hybrid {
-		return nil, fmt.Errorf("es2: sidecore polling and the hybrid scheme are mutually exclusive")
-	}
 	eng := sim.NewEngine(spec.Seed)
 	totalCores := spec.VMCores + spec.VhostCores
 	sch := sched.New(eng, totalCores, sched.DefaultParams())
@@ -335,6 +384,12 @@ func build(spec ScenarioSpec) (*testbed, error) {
 		k.Path = tb.path
 		k.Timeline = tb.tl
 	}
+	if spec.Faults.Enabled() {
+		// The injector forks the engine RNG here, after the scheduler and
+		// KVM forks, so the streams the rest of the simulation draws from
+		// are split at the same point on every run of the same spec.
+		tb.inj = faults.NewInjector(eng, eng.Rand(), spec.Faults)
+	}
 	gcosts := guest.DefaultCosts()
 	vparams := vhost.DefaultParams()
 
@@ -354,6 +409,10 @@ func build(spec ScenarioSpec) (*testbed, error) {
 
 		link := netsim.NewLink(eng, 40, 2*sim.Microsecond)
 		peer := workloads.NewPeer(eng, link.PortB(), 2*sim.Microsecond)
+		if tb.inj != nil {
+			tb.inj.AttachPort(link.PortA())
+			tb.inj.AttachPort(link.PortB())
+		}
 		// Under direct assignment the back-end stands in for the VF's
 		// DMA engine; the hybrid kick-polling machinery is meaningless
 		// there (there are no kick exits to eliminate).
@@ -363,12 +422,20 @@ func build(spec ScenarioSpec) (*testbed, error) {
 			name := fmt.Sprintf("vhost-%d.%d", i, qi)
 			io := vhost.NewIOThread(name, sch, spec.VMCores+((i+qi)%spec.VhostCores), vparams)
 			io.SetPath(tb.path)
-			dev := vhost.NewDevice(name, io, pair.TX, pair.RX, link.PortA(), hybrid, spec.Config.Quota)
+			dev, err := vhost.NewDevice(name, io, pair.TX, pair.RX, link.PortA(), hybrid, spec.Config.Quota)
+			if err != nil {
+				return nil, err
+			}
 			dev.Path = tb.path
 			dev.CoalesceCount = spec.CoalesceCount
 			dev.CoalesceTimer = sim.DurationOf(spec.CoalesceTimer)
 			if spec.Sidecore {
 				dev.EnableSidecore()
+			}
+			if tb.inj != nil {
+				tb.inj.AttachQueue(pair.TX)
+				tb.inj.AttachQueue(pair.RX)
+				tb.inj.AttachIOThread(io)
 			}
 			vmDevs = append(vmDevs, dev)
 			tb.devs = append(tb.devs, dev)
@@ -377,15 +444,105 @@ func build(spec ScenarioSpec) (*testbed, error) {
 		link.Attach(rxDemux{devs: vmDevs}, peer)
 
 		vm.Start()
+		if tb.inj != nil {
+			for _, v := range vm.VCPUs {
+				tb.inj.AttachVCPU(v)
+			}
+		}
 		tb.vms = append(tb.vms, vm)
 		tb.kerns = append(tb.kerns, kern)
 		tb.devsByVM = append(tb.devsByVM, vmDevs)
 		tb.peers = append(tb.peers, peer)
 	}
+	if tb.inj != nil {
+		cores := spec.Faults.StormCores
+		if len(cores) == 0 {
+			// Default: storm every VM core (the vhost cores stay clean,
+			// matching a noisy neighbor packed onto the guest's socket).
+			for c := 0; c < spec.VMCores; c++ {
+				cores = append(cores, c)
+			}
+		}
+		tb.inj.SetupStorms(sch, cores)
+		tb.inj.Start()
+		if !spec.Faults.NoRecovery {
+			tb.enableRecovery()
+		}
+	}
 	if tb.tl != nil {
 		tb.probeTrack = tb.tl.Track("probes", "probes")
 	}
 	return tb, nil
+}
+
+// enableRecovery arms the recovery mechanisms the real stack has, each
+// in the layer that owns it: guest netdev TX watchdogs, guest and peer
+// TCP retransmission, and vhost handler re-polling. Called before
+// workloads start so TCP senders pick up the RTO at creation.
+func (tb *testbed) enableRecovery() {
+	for _, kern := range tb.kerns {
+		kern.RetransmitRTO = retransmitRTO
+		kern.Dev.StartTxWatchdog(txWatchdogTick)
+	}
+	for _, pe := range tb.peers {
+		pe.RetransmitRTO = retransmitRTO
+	}
+	for _, d := range tb.devs {
+		d.StartRePoll(vhostRePollTick)
+	}
+}
+
+// registerInvariants wires every checkable structure of the testbed
+// into the invariant checker: virtqueue accounting on both rings of
+// every device, APIC ISR/IRR discipline on every vCPU, and the
+// ES2 scheduler-watcher's online/offline list consistency.
+func (tb *testbed) registerInvariants(chk *faults.Checker) {
+	for _, d := range tb.devs {
+		d := d
+		chk.Add("virtqueue/"+d.Name+"/tx", d.TXQ.CheckInvariants)
+		chk.Add("virtqueue/"+d.Name+"/rx", d.RXQ.CheckInvariants)
+	}
+	for _, vm := range tb.vms {
+		vm := vm
+		for _, v := range vm.VCPUs {
+			v := v
+			chk.Add(fmt.Sprintf("apic/%s/vcpu%d", vm.Name, v.ID), v.VAPIC.CheckInvariants)
+		}
+		if tb.es.Watcher != nil {
+			chk.Add("schedwatcher/"+vm.Name, func() error {
+				return tb.es.Watcher.CheckConsistency(vm)
+			})
+		}
+	}
+}
+
+// sumRetransmits totals TCP retransmission timeouts on both ends of
+// the wire.
+func (tb *testbed) sumRetransmits() uint64 {
+	var n uint64
+	for _, kern := range tb.kerns {
+		n += kern.TCPRetransmits
+	}
+	for _, pe := range tb.peers {
+		n += pe.Retransmits
+	}
+	return n
+}
+
+func (tb *testbed) sumWatchdogFires() uint64 {
+	var n uint64
+	for _, kern := range tb.kerns {
+		n += kern.Dev.WatchdogFires
+	}
+	return n
+}
+
+func (tb *testbed) sumRePolls() uint64 {
+	var n uint64
+	for _, d := range tb.devs {
+		n += d.RePolls
+	}
+	return n
 }
 
 // startProbes begins the 1ms periodic state sampling: virtqueue depth

@@ -1,0 +1,143 @@
+package es2
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// SpecError describes one invalid ScenarioSpec field. Run returns it
+// (wrapped in nothing) for every bad spec; internal invariant
+// violations, by contrast, remain panics.
+type SpecError struct {
+	Field  string
+	Reason string
+}
+
+// Error implements error.
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("es2: invalid spec: %s: %s", e.Field, e.Reason)
+}
+
+func specErr(field, format string, args ...any) error {
+	return &SpecError{Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Resource caps. They bound simulation memory and run time, not the
+// model: a spec inside these limits always builds.
+const (
+	maxVMs      = 32
+	maxVCPUs    = 32
+	maxCores    = 32
+	maxQueues   = 16
+	maxThreads  = 64
+	maxBytes    = 1 << 20
+	maxCount    = 1 << 16
+	maxRate     = 1e9 // events/s; keeps pacing intervals >= 1ns
+	maxDuration = time.Hour
+)
+
+// validate checks a defaulted spec. It is called by Run after
+// withDefaults, so zero-value fields have already been filled; what
+// remains invalid here is genuinely out of range (negative sizes
+// cannot occur — withDefaults replaces non-positive values).
+func (s ScenarioSpec) validate() error {
+	if s.VMs > maxVMs {
+		return specErr("VMs", "%d exceeds the supported maximum %d", s.VMs, maxVMs)
+	}
+	if s.VCPUs > maxVCPUs {
+		return specErr("VCPUs", "%d exceeds the supported maximum %d", s.VCPUs, maxVCPUs)
+	}
+	if s.VMCores > maxCores {
+		return specErr("VMCores", "%d exceeds the supported maximum %d", s.VMCores, maxCores)
+	}
+	if s.VhostCores > maxCores {
+		return specErr("VhostCores", "%d exceeds the supported maximum %d", s.VhostCores, maxCores)
+	}
+	if s.VCPUs > s.VMCores*4 {
+		return specErr("VCPUs", "%d vCPUs over %d cores exceeds supported multiplexing", s.VCPUs, s.VMCores)
+	}
+	if s.Queues > maxQueues {
+		return specErr("Queues", "%d exceeds the supported maximum %d", s.Queues, maxQueues)
+	}
+	if s.Sidecore && s.Config.Hybrid {
+		return specErr("Sidecore", "sidecore polling and the hybrid scheme are mutually exclusive")
+	}
+	if s.Config.Hybrid && s.Config.Quota > maxCount {
+		return specErr("Config.Quota", "%d exceeds the supported maximum %d", s.Config.Quota, maxCount)
+	}
+	if s.CoalesceCount < 0 || s.CoalesceCount > 4096 {
+		return specErr("CoalesceCount", "%d outside [0, 4096]", s.CoalesceCount)
+	}
+	if s.CoalesceTimer < 0 || s.CoalesceTimer > time.Second {
+		return specErr("CoalesceTimer", "%v outside [0, 1s]", s.CoalesceTimer)
+	}
+	if s.TraceCapacity < 0 || s.TraceCapacity > maxBytes {
+		return specErr("TraceCapacity", "%d outside [0, %d]", s.TraceCapacity, maxBytes)
+	}
+	if s.Warmup > maxDuration {
+		return specErr("Warmup", "%v exceeds the supported maximum %v", s.Warmup, maxDuration)
+	}
+	if s.Duration > maxDuration {
+		return specErr("Duration", "%v exceeds the supported maximum %v", s.Duration, maxDuration)
+	}
+
+	w := s.Workload
+	if w.Kind < IdleBurn || w.Kind > Httperf {
+		return specErr("Workload.Kind", "unknown workload kind %d", w.Kind)
+	}
+	if w.MsgBytes > maxBytes {
+		return specErr("Workload.MsgBytes", "%d exceeds the supported maximum %d", w.MsgBytes, maxBytes)
+	}
+	if w.Threads > maxThreads {
+		return specErr("Workload.Threads", "%d exceeds the supported maximum %d", w.Threads, maxThreads)
+	}
+	if w.Window > maxBytes {
+		return specErr("Workload.Window", "%d exceeds the supported maximum %d", w.Window, maxBytes)
+	}
+	if w.PageBytes > maxBytes {
+		return specErr("Workload.PageBytes", "%d exceeds the supported maximum %d", w.PageBytes, maxBytes)
+	}
+	if w.Concurrency > maxCount {
+		return specErr("Workload.Concurrency", "%d exceeds the supported maximum %d", w.Concurrency, maxCount)
+	}
+	if w.Conns > maxCount {
+		return specErr("Workload.Conns", "%d exceeds the supported maximum %d", w.Conns, maxCount)
+	}
+	// Rates must be finite and small enough that a pacing interval of
+	// 1e9/rate nanoseconds stays positive — a zero interval would spin
+	// the event loop at one instant forever. NaN slips through the
+	// withDefaults <=0 checks (NaN compares false), so test explicitly.
+	for _, rc := range []struct {
+		name string
+		v    float64
+	}{
+		{"Workload.UDPRatePPS", w.UDPRatePPS},
+		{"Workload.ConnRate", w.ConnRate},
+		{"Workload.SendRatePPS", w.SendRatePPS},
+	} {
+		if math.IsNaN(rc.v) || math.IsInf(rc.v, 0) {
+			return specErr(rc.name, "must be finite, got %v", rc.v)
+		}
+		if rc.v > maxRate {
+			return specErr(rc.name, "%g exceeds the supported maximum %g", rc.v, maxRate)
+		}
+	}
+	if w.PingInterval > maxDuration {
+		return specErr("Workload.PingInterval", "%v exceeds the supported maximum %v", w.PingInterval, maxDuration)
+	}
+	if w.ServiceCost > time.Second {
+		return specErr("Workload.ServiceCost", "%v exceeds the supported maximum 1s", w.ServiceCost)
+	}
+
+	if err := s.Faults.Validate(); err != nil {
+		return &SpecError{Field: "Faults", Reason: err.Error()}
+	}
+	totalCores := s.VMCores + s.VhostCores
+	for _, c := range s.Faults.StormCores {
+		if c < 0 || c >= totalCores {
+			return specErr("Faults.StormCores", "core %d outside [0, %d)", c, totalCores)
+		}
+	}
+	return nil
+}
