@@ -4,13 +4,15 @@
 // Usage:
 //
 //	es2bench [-exp all|table1|fig4a|fig4b|fig5a|fig5b|fig6a|fig6b|fig7|fig8a|fig8b|fig9]
-//	         [-parallel N] [-seed S] [-list]
+//	         [-parallel N] [-seed S] [-list] [-json FILE] [-profile-dir DIR]
+//	         [-timeline-dir DIR] [-check]
 //
 // Each experiment prints the paper's claim followed by the regenerated
 // rows/series.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +29,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "parallel scenario runs (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
 	timelineDir := flag.String("timeline-dir", "", "write one Perfetto/Chrome-trace JSON timeline per scenario into DIR")
+	profileDir := flag.String("profile-dir", "", "write one pprof CPU profile (.pb.gz) and folded stacks (.folded) per scenario into DIR")
+	jsonOut := flag.String("json", "", "write all experiment results as machine-readable JSON to FILE ('-' for stdout; schema in EXPERIMENTS.md)")
 	check := flag.Bool("check", false, "enable the runtime invariant checker in every scenario (also: ES2_CHECK=1)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
@@ -55,26 +59,31 @@ func main() {
 		}
 	}
 
-	if *timelineDir != "" {
-		if err := os.MkdirAll(*timelineDir, 0o755); err != nil {
+	for _, dir := range []string{*timelineDir, *profileDir} {
+		if dir == "" {
+			continue
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "es2bench: %v\n", err)
 			os.Exit(1)
 		}
 	}
 
+	report := jsonReport{Schema: "es2bench/v1", Seed: *seed}
 	for _, e := range exps {
 		if *seed != 0 {
 			for i := range e.Specs {
 				e.Specs[i].Seed = *seed
 			}
 		}
-		if *timelineDir != "" {
-			for i := range e.Specs {
+		for i := range e.Specs {
+			if *timelineDir != "" {
 				e.Specs[i].Timeline = true
 			}
-		}
-		if *check {
-			for i := range e.Specs {
+			if *profileDir != "" {
+				e.Specs[i].CPUProfile = true
+			}
+			if *check {
 				e.Specs[i].Check = true
 			}
 		}
@@ -84,20 +93,94 @@ func main() {
 			fmt.Fprintf(os.Stderr, "es2bench: %s failed: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		if *timelineDir != "" {
-			for i, r := range results {
-				name := fmt.Sprintf("%s-%02d-%s.json", e.ID, i, sanitize(r.Name))
-				if err := writeTimeline(filepath.Join(*timelineDir, name), r); err != nil {
+		for i, r := range results {
+			base := fmt.Sprintf("%s-%02d-%s", e.ID, i, sanitize(r.Name))
+			if *timelineDir != "" {
+				if err := writeTimeline(filepath.Join(*timelineDir, base+".json"), r); err != nil {
 					fmt.Fprintf(os.Stderr, "es2bench: %v\n", err)
 					os.Exit(1)
 				}
 			}
+			if *profileDir != "" {
+				if err := writeProfiles(filepath.Join(*profileDir, base), r); err != nil {
+					fmt.Fprintf(os.Stderr, "es2bench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		if *jsonOut != "" {
+			report.Experiments = append(report.Experiments, jsonExperiment{
+				ID: e.ID, Title: e.Title, PaperClaim: e.PaperClaim, Results: results,
+			})
 		}
 		fmt.Printf("=== %s — %s\n", e.ID, e.Title)
 		fmt.Printf("    paper: %s\n\n", e.PaperClaim)
 		fmt.Println(indent(e.Render(results), "    "))
 		fmt.Printf("    (%d scenarios in %v wall time)\n\n", len(e.Specs), time.Since(start).Round(time.Millisecond))
 	}
+
+	if *jsonOut != "" {
+		if err := writeJSONReport(*jsonOut, report); err != nil {
+			fmt.Fprintf(os.Stderr, "es2bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// jsonReport is the -json envelope ("Machine-readable results" in
+// EXPERIMENTS.md).
+type jsonReport struct {
+	Schema string `json:"schema"`
+	// Seed is the -seed override (0 = each experiment's default seed).
+	Seed        uint64           `json:"seed"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
+type jsonExperiment struct {
+	ID         string        `json:"id"`
+	Title      string        `json:"title"`
+	PaperClaim string        `json:"paper_claim"`
+	Results    []*es2.Result `json:"results"`
+}
+
+func writeJSONReport(path string, rep jsonReport) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// writeProfiles writes base.pb.gz (pprof) and base.folded (flamegraph
+// stacks) for one scenario result.
+func writeProfiles(base string, r *es2.Result) error {
+	f, err := os.Create(base + ".pb.gz")
+	if err != nil {
+		return err
+	}
+	err = r.CPUProfile.WritePprof(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	f, err = os.Create(base + ".folded")
+	if err != nil {
+		return err
+	}
+	err = r.CPUProfile.WriteFolded(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // sanitize maps a scenario name to a safe file-name fragment.

@@ -41,6 +41,8 @@ func main() {
 		traceCap = flag.Int("trace", 0, "enable event tracing, retaining N events")
 		pathOn   = flag.Bool("path", false, "enable event-path span tracing (per-stage latency breakdown)")
 		timeline = flag.String("timeline", "", "write a Perfetto/Chrome-trace JSON timeline to FILE (implies -path)")
+		cpuprof  = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulated cores to FILE (go tool pprof / speedscope)")
+		folded   = flag.String("folded", "", "write folded flamegraph stacks of the simulated cores to FILE")
 		coalCnt  = flag.Int("coalesce-count", 0, "RX interrupt moderation: signal after N packets (0 = off)")
 		coalTim  = flag.Duration("coalesce-timer", 0, "RX interrupt moderation: flush timer (0 = off)")
 		sendRate = flag.Float64("sendrate", 0, "pace the UDP sender at N pkts/s (0 = CPU speed)")
@@ -121,7 +123,8 @@ func main() {
 		CoalesceCount: *coalCnt, CoalesceTimer: *coalTim,
 		DirectAssign: *direct, Sidecore: *sidecore, TraceCapacity: *traceCap,
 		PathTrace: *pathOn, Timeline: *timeline != "",
-		Warmup: *warmup, Duration: *dur,
+		CPUProfile: *cpuprof != "" || *folded != "",
+		Warmup:     *warmup, Duration: *dur,
 		Check: *check,
 		Faults: es2.FaultSpec{
 			PacketLossProb: *fLoss, PacketDupProb: *fDup,
@@ -149,6 +152,26 @@ func main() {
 			fmt.Fprintf(os.Stderr, "es2sim: writing timeline: %v\n", ferr)
 			os.Exit(1)
 		}
+	}
+
+	writeFile := func(path, what string, write func(f *os.File) error) {
+		f, ferr := os.Create(path)
+		if ferr == nil {
+			ferr = write(f)
+			if cerr := f.Close(); ferr == nil {
+				ferr = cerr
+			}
+		}
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "es2sim: writing %s: %v\n", what, ferr)
+			os.Exit(1)
+		}
+	}
+	if *cpuprof != "" {
+		writeFile(*cpuprof, "cpu profile", func(f *os.File) error { return res.CPUProfile.WritePprof(f) })
+	}
+	if *folded != "" {
+		writeFile(*folded, "folded stacks", func(f *os.File) error { return res.CPUProfile.WriteFolded(f) })
 	}
 
 	if *asJSON {
@@ -203,7 +226,13 @@ func main() {
 	if res.TraceSummary != "" {
 		fmt.Print(res.TraceSummary)
 	}
+	if res.CPUReport != nil {
+		fmt.Print(res.CPUReport.Render())
+	}
 	if *timeline != "" {
 		fmt.Printf("timeline   %s (%d events; open in ui.perfetto.dev)\n", *timeline, res.Timeline.Len())
+	}
+	if *cpuprof != "" {
+		fmt.Printf("cpuprofile %s (go tool pprof -top %s)\n", *cpuprof, *cpuprof)
 	}
 }

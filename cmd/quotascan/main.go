@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +26,7 @@ func main() {
 	seed := flag.Uint64("seed", 2017, "simulation seed")
 	dur := flag.Duration("duration", time.Second, "measurement window (simulated)")
 	parallel := flag.Int("parallel", 0, "parallel runs (0 = GOMAXPROCS)")
+	asJSON := flag.Bool("json", false, "print the sweep as machine-readable JSON (schema in EXPERIMENTS.md)")
 	flag.Parse()
 
 	var kind es2.WorkloadKind
@@ -65,6 +67,23 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "quotascan: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *asJSON {
+		out := struct {
+			Schema   string        `json:"schema"`
+			Proto    string        `json:"proto"`
+			MsgBytes int           `json:"msg_bytes"`
+			Seed     uint64        `json:"seed"`
+			Results  []*es2.Result `json:"results"`
+		}{Schema: "quotascan/v1", Proto: *proto, MsgBytes: *msg, Seed: *seed, Results: results}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "quotascan: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Printf("quota sweep: %s send, %dB messages (PI enabled throughout)\n\n", *proto, *msg)

@@ -30,6 +30,7 @@ import (
 
 	"es2/internal/core"
 	"es2/internal/faults"
+	"es2/internal/profile"
 	"es2/internal/trace"
 )
 
@@ -230,6 +231,19 @@ type ScenarioSpec struct {
 	// byte-identical timeline.
 	Timeline bool
 
+	// CPUProfile enables the simulated-CPU profiler: every simulated
+	// nanosecond of every core over the measurement window is
+	// attributed to a hierarchical context (core → occupant → guest
+	// task / exit reason / vhost activity), exactly at event boundaries
+	// — no statistical sampling. Result.CPUProfile holds the full tree
+	// (export with WritePprof for `go tool pprof`/speedscope or
+	// WriteFolded for flamegraph tooling); Result.CPUReport is the
+	// compact summary. Attribution is exact: the profiler's guest share
+	// equals Result.TIG and its vhost busy share equals Result.VhostCPU.
+	// Off by default; profiling never perturbs the simulation — results
+	// are bit-identical with and without it.
+	CPUProfile bool
+
 	// Faults configures deterministic fault injection: wire loss and
 	// duplication, lost kicks/signals, vhost stalls, PI outages and
 	// preemption storms, each paired with the recovery mechanism the
@@ -262,13 +276,14 @@ func (s ScenarioSpec) Validate() error {
 // TraceCapacity).
 type TraceEvent struct {
 	// AtSeconds is the simulated timestamp.
-	AtSeconds float64
+	AtSeconds float64 `json:"at"`
 	// Kind is the event kind name ("exit", "irq-deliver", "sched-in"...).
-	Kind string
+	Kind string `json:"kind"`
 	// VM and VCPU identify the subject.
-	VM, VCPU int
+	VM   int `json:"vm"`
+	VCPU int `json:"vcpu"`
 	// Detail is kind-specific (exit reason name, vector, core id).
-	Detail string
+	Detail string `json:"detail"`
 }
 
 // PathStage is one (stage, mechanism) cell of the event-path latency
@@ -309,30 +324,36 @@ type ProbeSeries struct {
 // RTTPoint is one ping sample of the Fig. 7 series.
 type RTTPoint struct {
 	// AtSeconds is the sample's simulated timestamp.
-	AtSeconds float64
+	AtSeconds float64 `json:"at"`
 	// Millis is the round-trip time in milliseconds.
-	Millis float64
+	Millis float64 `json:"ms"`
 }
 
 // Result carries everything the paper's evaluation reports, measured
 // over the scenario's measurement window on the tested VM.
+//
+// The JSON encoding uses stable snake_case keys (documented under
+// "Machine-readable results" in EXPERIMENTS.md); duration fields
+// serialize as integer nanoseconds with an explicit _ns suffix in the
+// key. Fields excluded from JSON (Timeline, CPUProfile) have their own
+// export formats.
 type Result struct {
-	Name   string
-	Config Config
+	Name   string `json:"name"`
+	Config Config `json:"config"`
 	// MeasuredSeconds is the measurement window length.
-	MeasuredSeconds float64
+	MeasuredSeconds float64 `json:"measured_seconds"`
 
 	// ExitRates maps exit reason → exits per second; TotalExitRate and
 	// IOExitRate are the headline aggregates.
-	ExitRates     map[string]float64
-	TotalExitRate float64
-	IOExitRate    float64
+	ExitRates     map[string]float64 `json:"exit_rates"`
+	TotalExitRate float64            `json:"total_exit_rate"`
+	IOExitRate    float64            `json:"io_exit_rate"`
 	// TIG is the time-in-guest fraction (0..1).
-	TIG float64
+	TIG float64 `json:"tig"`
 	// VhostCPU is the fraction of the vhost worker cores' time spent
 	// busy over the window (1.0 = a fully burned core; the
 	// wasted-cycles metric of the sidecore-polling comparison).
-	VhostCPU float64
+	VhostCPU float64 `json:"vhost_cpu"`
 
 	// DevIRQRate is delivered device interrupts per second;
 	// RedirectRate is the fraction of eligible interrupts that were
@@ -340,71 +361,121 @@ type Result struct {
 	// the fraction of routed interrupts that found no online vCPU and
 	// fell back to the offline-list prediction (the vCPU-stacking
 	// statistic of Section IV-C).
-	DevIRQRate         float64
-	RedirectRate       float64
-	OfflinePredictRate float64
+	DevIRQRate         float64 `json:"dev_irq_rate"`
+	RedirectRate       float64 `json:"redirect_rate"`
+	OfflinePredictRate float64 `json:"offline_predict_rate"`
 
 	// ThroughputMbps is goodput for stream/HTTP workloads.
-	ThroughputMbps float64
+	ThroughputMbps float64 `json:"throughput_mbps"`
 	// PktRate is packets per second at the measuring end.
-	PktRate float64
+	PktRate float64 `json:"pkt_rate"`
 	// OpsPerSec is request throughput for Memcached/Apache.
-	OpsPerSec float64
+	OpsPerSec float64 `json:"ops_per_sec"`
 
 	// Latency statistics: request latency (Memcached), connection time
 	// (Httperf/Apache) or RTT (Ping), depending on the workload.
-	MeanLatency time.Duration
-	P99Latency  time.Duration
-	MaxLatency  time.Duration
+	MeanLatency time.Duration `json:"mean_latency_ns"`
+	P99Latency  time.Duration `json:"p99_latency_ns"`
+	MaxLatency  time.Duration `json:"max_latency_ns"`
 
 	// RTTSeries is the per-probe trace for Ping workloads.
-	RTTSeries []RTTPoint
+	RTTSeries []RTTPoint `json:"rtt_series,omitempty"`
 
 	// TraceSummary and TraceEvents are filled when
 	// ScenarioSpec.TraceCapacity > 0.
-	TraceSummary string
-	TraceEvents  []TraceEvent
+	TraceSummary string       `json:"trace_summary,omitempty"`
+	TraceEvents  []TraceEvent `json:"trace_events,omitempty"`
 
 	// PathBreakdown attributes event-path latency to stages (filled
 	// when ScenarioSpec.PathTrace or Timeline is set), ordered
 	// stage-major in path order.
-	PathBreakdown []PathStage
+	PathBreakdown []PathStage `json:"path_breakdown,omitempty"`
 	// Probes holds the periodic state-probe series (PathTrace runs).
-	Probes []ProbeSeries
+	Probes []ProbeSeries `json:"probes,omitempty"`
 	// Timeline is the recorded execution timeline (Timeline runs);
 	// serialize it with WriteJSON. Excluded from JSON results.
 	Timeline *trace.Timeline `json:"-"`
 
+	// CPUProfile is the full CPU-attribution tree (CPUProfile runs);
+	// export it with WritePprof (pprof protobuf, gzip) or WriteFolded
+	// (folded stacks). Excluded from JSON results — use CPUReport.
+	CPUProfile *profile.Profiler `json:"-"`
+	// CPUReport is the compact CPU-attribution summary (CPUProfile
+	// runs): top contexts, per-core utilization, exit-cycle totals.
+	CPUReport *CPUReport `json:"cpu_report,omitempty"`
+
 	// Faults reports fault-injection and recovery activity over the
 	// window (nil for fault-free runs).
-	Faults *FaultReport `json:"Faults,omitempty"`
+	Faults *FaultReport `json:"faults,omitempty"`
 	// InvariantChecks is the number of invariant sweeps that passed
 	// (zero unless ScenarioSpec.Check or ES2_CHECK enabled the checker).
-	InvariantChecks uint64 `json:",omitempty"`
+	InvariantChecks uint64 `json:"invariant_checks,omitempty"`
 
 	// Raw counters over the window (wire side of the tested VM).
-	TxPkts, RxPkts uint64
-	Drops          uint64
+	TxPkts uint64 `json:"tx_pkts"`
+	RxPkts uint64 `json:"rx_pkts"`
+	Drops  uint64 `json:"drops"`
+}
+
+// CPUContext is one attributed context of the CPU report: a full stack
+// path ("core0;vm0/vcpu0;guest;user;burn") with the simulated time
+// charged directly to it (excluding children).
+type CPUContext struct {
+	Stack string `json:"stack"`
+	Nanos int64  `json:"nanos"`
+	// Share is Nanos over the total core-time of the window
+	// (window × cores).
+	Share float64 `json:"share"`
+}
+
+// CoreUsage summarizes one core's measurement window.
+type CoreUsage struct {
+	Core int `json:"core"`
+	// Busy is the non-idle fraction of the window.
+	Busy float64 `json:"busy"`
+	// Occupants maps occupant name (vCPU thread, vhost worker, storm,
+	// idle) to its fraction of the window.
+	Occupants map[string]float64 `json:"occupants"`
+}
+
+// CPUReport is the compact summary of a CPU profile (see
+// ScenarioSpec.CPUProfile).
+type CPUReport struct {
+	// WindowSeconds is the profiled window length.
+	WindowSeconds float64 `json:"window_seconds"`
+	// Cores is per-core utilization, in core order.
+	Cores []CoreUsage `json:"cores"`
+	// Top lists the largest contexts by self time, descending.
+	Top []CPUContext `json:"top"`
+	// ExitNanos totals VM-exit handling time by exit reason across all
+	// vCPUs — the wasted cycles ES2's Algorithm 1 eliminates.
+	ExitNanos map[string]int64 `json:"exit_ns"`
+	// GuestShare is the profiler's guest-mode share of VM 0's vCPU
+	// time; equals Result.TIG by construction.
+	GuestShare float64 `json:"guest_share"`
+	// VhostBusy is the profiler's vhost busy fraction of the vhost
+	// cores; equals Result.VhostCPU by construction.
+	VhostBusy float64 `json:"vhost_busy"`
 }
 
 // FaultReport summarizes injected faults and the recovery work they
 // triggered, measured over the scenario's measurement window.
 type FaultReport struct {
 	// Injected is the total number of fault events.
-	Injected uint64
+	Injected uint64 `json:"injected"`
 	// Per-fault tallies.
-	WireDrops     uint64
-	WireDups      uint64
-	LostKicks     uint64
-	LostSignals   uint64
-	VhostStalls   uint64
-	PIOutages     uint64
-	PreemptStorms uint64
+	WireDrops     uint64 `json:"wire_drops"`
+	WireDups      uint64 `json:"wire_dups"`
+	LostKicks     uint64 `json:"lost_kicks"`
+	LostSignals   uint64 `json:"lost_signals"`
+	VhostStalls   uint64 `json:"vhost_stalls"`
+	PIOutages     uint64 `json:"pi_outages"`
+	PreemptStorms uint64 `json:"preempt_storms"`
 	// Recovery-side tallies: transport retransmission timeouts (guest
 	// and peer), guest TX-watchdog re-kicks, vhost re-poll recoveries,
 	// and posted→emulated delivery fallbacks.
-	Retransmits   uint64
-	WatchdogFires uint64
-	VhostRePolls  uint64
-	PIFallbacks   uint64
+	Retransmits   uint64 `json:"retransmits"`
+	WatchdogFires uint64 `json:"watchdog_fires"`
+	VhostRePolls  uint64 `json:"vhost_repolls"`
+	PIFallbacks   uint64 `json:"pi_fallbacks"`
 }

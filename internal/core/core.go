@@ -25,16 +25,16 @@ import (
 // configurations of the paper's evaluation (Section VI-A).
 type Config struct {
 	// PI enables hardware posted-interrupt delivery and completion.
-	PI bool
+	PI bool `json:"pi"`
 	// Hybrid enables the hybrid I/O handling scheme in the vhost
 	// back-end with the given Quota (the poll_quota module parameter).
-	Hybrid bool
-	Quota  int
+	Hybrid bool `json:"hybrid"`
+	Quota  int  `json:"quota"`
 	// Redirect enables intelligent interrupt redirection.
-	Redirect bool
+	Redirect bool `json:"redirect"`
 	// Policy selects the redirection target policy (ablation knob;
 	// the paper's design is PolicyLeastLoaded).
-	Policy Policy
+	Policy Policy `json:"policy"`
 }
 
 // Baseline is KVM with PI disabled.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"es2/internal/netsim"
+	"es2/internal/profile"
 	"es2/internal/sched"
 	"es2/internal/sim"
 	"es2/internal/vhost"
@@ -143,6 +144,16 @@ func (inj *Injector) SetupStorms(sch *sched.Scheduler, cores []int) {
 		src := &stormSource{}
 		src.thread = sch.NewThread(fmt.Sprintf("storm/core%d", c), c, stormWeight, src)
 		inj.storms = append(inj.storms, src)
+	}
+}
+
+// EnableProfiling attributes the burners' CPU as a "storm" occupant
+// under their cores, so noisy-neighbor displacement is visible in the
+// profile instead of leaking into idle. Call after SetupStorms.
+func (inj *Injector) EnableProfiling(p *profile.Profiler) {
+	for _, s := range inj.storms {
+		n := p.Core(s.thread.Core()).Child("storm")
+		s.thread.Prof = func() *profile.Node { return n }
 	}
 }
 

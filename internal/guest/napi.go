@@ -91,7 +91,13 @@ func (n *NAPI) poll(v *vmm.VCPU) {
 		cost += n.pair.Dev.Kern.rxCost(p)
 	}
 	n.Polled += uint64(len(pkts))
-	v.EnqueueTask(vmm.NewTask("napi-rx", vmm.PrioSoftirq, cost, func() {
+	name := "napi-rx"
+	if v.VM.K.Prof != nil {
+		// Label the batch by protocol for CPU attribution. Task names
+		// never influence behaviour, so this cannot perturb the run.
+		name += ":" + protoLabel(pkts)
+	}
+	v.EnqueueTask(vmm.NewTask(name, vmm.PrioSoftirq, cost, func() {
 		if path != nil {
 			now := v.VM.K.Eng.Now()
 			for _, p := range pkts {
@@ -124,6 +130,38 @@ func (n *NAPI) poll(v *vmm.VCPU) {
 		}
 		n.finish()
 	}))
+}
+
+// protoLabel classifies a poll batch by the protocol of its packets
+// ("tcp", "udp", "icmp", "app", or "mixed"), mirroring how a real
+// profile splits net_rx_action time between tcp_v4_rcv, udp_rcv, and
+// the socket layer.
+func protoLabel(pkts []*netsim.Packet) string {
+	label := ""
+	for _, p := range pkts {
+		var l string
+		switch p.Kind {
+		case KindTCPData, KindTCPAck, KindSYN, KindSYNACK:
+			l = "tcp"
+		case KindUDP:
+			l = "udp"
+		case KindEcho, KindEchoReply:
+			l = "icmp"
+		case KindRequest, KindResponse:
+			l = "app"
+		default:
+			l = "other"
+		}
+		if label == "" {
+			label = l
+		} else if label != l {
+			return "mixed"
+		}
+	}
+	if label == "" {
+		return "other"
+	}
+	return label
 }
 
 // finish re-enables RX interrupts with the standard NAPI race check:

@@ -1,0 +1,28 @@
+package profile
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteFolded emits the profile in folded-stack format, one context
+// per line:
+//
+//	core0;vm0/vcpu0;guest;user;burn 123456789
+//
+// the input format of Brendan Gregg's flamegraph.pl and of speedscope.
+// Lines are sorted lexically by stack (Samples order), so same-seed
+// runs produce byte-identical files and two configurations can be
+// diffed with standard difffolded tooling.
+func (p *Profiler) WriteFolded(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range p.Samples() {
+		bw.WriteString(strings.Join(s.Stack, ";"))
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatInt(int64(s.Value), 10))
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,201 @@
+package profile
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+)
+
+// WritePprof serializes the profile in pprof's profile.proto wire
+// format, gzip-compressed, as produced by runtime/pprof and consumed
+// by `go tool pprof` and speedscope. The encoder is hand-rolled
+// (protobuf is a simple TLV format and the repo takes no external
+// dependencies) and fully deterministic: samples are emitted in
+// Samples() order, strings and frames are interned in first-use order,
+// and the gzip header carries no timestamp, so two profiles of the
+// same run are byte-identical.
+//
+// Each context becomes one sample whose location stack is leaf-first
+// (pprof convention), with a single "cpu"/"nanoseconds" value. The
+// profile's period type mirrors the sample type and duration_nanos is
+// the measurement window.
+func (p *Profiler) WritePprof(w io.Writer) error {
+	var body bytes.Buffer
+	enc := &protoEncoder{buf: &body}
+	enc.encodeProfile(p)
+
+	zw, err := gzip.NewWriterLevel(w, gzip.BestCompression)
+	if err != nil {
+		return err
+	}
+	// Leave ModTime zero and Name/Comment empty: deterministic bytes.
+	if _, err := zw.Write(body.Bytes()); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+// profile.proto field numbers (message Profile).
+const (
+	profSampleType   = 1
+	profSample       = 2
+	profLocation     = 4
+	profFunction     = 5
+	profStringTable  = 6
+	profDurationNano = 10
+	profPeriodType   = 11
+	profPeriod       = 12
+)
+
+// message ValueType
+const (
+	vtType = 1
+	vtUnit = 2
+)
+
+// message Sample
+const (
+	sampleLocationID = 1
+	sampleValue      = 2
+)
+
+// message Location
+const (
+	locID   = 1
+	locLine = 4
+)
+
+// message Line
+const (
+	lineFunctionID = 1
+)
+
+// message Function
+const (
+	fnID   = 1
+	fnName = 2
+)
+
+type protoEncoder struct {
+	buf     *bytes.Buffer
+	strings []string
+	strIdx  map[string]int64
+	// frame name -> function/location id (1-based; ids are shared:
+	// location i has exactly line{function: i}).
+	frameIdx map[string]uint64
+	frames   []string
+}
+
+func (e *protoEncoder) str(s string) int64 {
+	if e.strIdx == nil {
+		e.strIdx = make(map[string]int64)
+		// String table index 0 must be "".
+		e.strings = []string{""}
+		e.strIdx[""] = 0
+	}
+	if i, ok := e.strIdx[s]; ok {
+		return i
+	}
+	i := int64(len(e.strings))
+	e.strings = append(e.strings, s)
+	e.strIdx[s] = i
+	return i
+}
+
+func (e *protoEncoder) frame(name string) uint64 {
+	if e.frameIdx == nil {
+		e.frameIdx = make(map[string]uint64)
+	}
+	if id, ok := e.frameIdx[name]; ok {
+		return id
+	}
+	id := uint64(len(e.frames) + 1)
+	e.frames = append(e.frames, name)
+	e.frameIdx[name] = id
+	e.str(name) // intern eagerly so table order tracks frame order
+	return id
+}
+
+func (e *protoEncoder) encodeProfile(p *Profiler) {
+	samples := p.Samples()
+
+	// sample_type: one ValueType{type:"cpu", unit:"nanoseconds"}.
+	var vt bytes.Buffer
+	writeVarintField(&vt, vtType, uint64(e.str("cpu")))
+	writeVarintField(&vt, vtUnit, uint64(e.str("nanoseconds")))
+	writeBytesField(e.buf, profSampleType, vt.Bytes())
+
+	// samples, interning frames as we go.
+	for _, s := range samples {
+		var sb bytes.Buffer
+		// Leaf-first location ids, packed.
+		var locs bytes.Buffer
+		for i := len(s.Stack) - 1; i >= 0; i-- {
+			writeUvarint(&locs, e.frame(s.Stack[i]))
+		}
+		writeBytesField(&sb, sampleLocationID, locs.Bytes())
+		var vals bytes.Buffer
+		writeUvarint(&vals, uint64(s.Value))
+		writeBytesField(&sb, sampleValue, vals.Bytes())
+		writeBytesField(e.buf, profSample, sb.Bytes())
+	}
+
+	// locations and functions: one of each per unique frame.
+	for i, name := range e.frames {
+		id := uint64(i + 1)
+
+		var ln bytes.Buffer
+		writeVarintField(&ln, lineFunctionID, id)
+
+		var loc bytes.Buffer
+		writeVarintField(&loc, locID, id)
+		writeBytesField(&loc, locLine, ln.Bytes())
+		writeBytesField(e.buf, profLocation, loc.Bytes())
+
+		var fn bytes.Buffer
+		writeVarintField(&fn, fnID, id)
+		writeVarintField(&fn, fnName, uint64(e.strIdx[name]))
+		writeBytesField(e.buf, profFunction, fn.Bytes())
+	}
+
+	// string_table (order fixed by interning above; index 0 is "").
+	for _, s := range e.strings {
+		writeBytesField(e.buf, profStringTable, []byte(s))
+	}
+
+	writeVarintField(e.buf, profDurationNano, uint64(p.Window()))
+
+	// period_type + period: nominal 1ns sampling period (exact charge).
+	var pt bytes.Buffer
+	writeVarintField(&pt, vtType, uint64(e.strIdx["cpu"]))
+	writeVarintField(&pt, vtUnit, uint64(e.strIdx["nanoseconds"]))
+	writeBytesField(e.buf, profPeriodType, pt.Bytes())
+	writeVarintField(e.buf, profPeriod, 1)
+}
+
+// --- protobuf wire helpers ---
+
+func writeUvarint(b *bytes.Buffer, v uint64) {
+	for v >= 0x80 {
+		b.WriteByte(byte(v) | 0x80)
+		v >>= 7
+	}
+	b.WriteByte(byte(v))
+}
+
+// writeVarintField writes field with wire type 0 (varint).
+func writeVarintField(b *bytes.Buffer, field int, v uint64) {
+	if v == 0 {
+		return // proto3 default, omitted
+	}
+	writeUvarint(b, uint64(field)<<3|0)
+	writeUvarint(b, v)
+}
+
+// writeBytesField writes field with wire type 2 (length-delimited):
+// sub-messages, strings, and packed repeated scalars.
+func writeBytesField(b *bytes.Buffer, field int, payload []byte) {
+	writeUvarint(b, uint64(field)<<3|2)
+	writeUvarint(b, uint64(len(payload)))
+	b.Write(payload)
+}

@@ -1,0 +1,325 @@
+// Package profile implements a deterministic simulated-CPU profiler:
+// every nanosecond of simulated CPU time consumed on every core is
+// attributed to a hierarchical context stack
+//
+//	core -> occupant -> activity [-> sub-activity ...]
+//
+// where an occupant is a guest vCPU, a vhost worker, a fault-injection
+// storm burner, or (synthesized at finalization) idle, and the
+// activities below it name what the occupant was doing: guest user or
+// kernel work, VM-exit handling by reason, vhost packet handling,
+// polling, signalling, and so on.
+//
+// Unlike a wall-clock profiler there is no statistical sampling: the
+// discrete-event scheduler charges CPU time at exact event boundaries
+// (see sched.Thread.Prof), so the attribution is exact — the profiler's
+// guest-occupant share reconciles with Result.TIG, and the vhost busy
+// share with Result.VhostCPU, to the nanosecond.
+//
+// Three export forms are provided: pprof-compatible protobuf
+// (WritePprof, readable by `go tool pprof` and speedscope), folded
+// stacks for flamegraph tooling (WriteFolded), and in-memory accessors
+// the runner turns into the compact Result.CPUReport summary.
+package profile
+
+import (
+	"sort"
+	"strings"
+
+	"es2/internal/sim"
+)
+
+// Kind classifies a context node so reports can reason about the tree
+// without parsing names.
+type Kind uint8
+
+const (
+	// KindOther is an unclassified context (activities, storm burners).
+	KindOther Kind = iota
+	// KindCore is a physical-core node (direct child of the root).
+	KindCore
+	// KindVCPU is a guest-vCPU occupant node.
+	KindVCPU
+	// KindGuestMode is the guest-mode (non-root) subtree root under a
+	// vCPU occupant; its siblings of KindExit are root-mode time.
+	KindGuestMode
+	// KindExit is a VM-exit-handling leaf ("exit:<reason>") under a
+	// vCPU occupant.
+	KindExit
+	// KindVhost is a vhost-worker occupant node.
+	KindVhost
+	// KindIdle is the synthesized idle occupant added by Finalize.
+	KindIdle
+)
+
+// Node is one context in the attribution tree. Nodes are interned:
+// Child returns the same node for the same name, so instrumentation
+// sites can resolve their context once at build time and charge it
+// with no allocation on the hot path.
+type Node struct {
+	name     string
+	kind     Kind
+	vm       int // owning VM index for vCPU subtrees, -1 otherwise
+	parent   *Node
+	children map[string]*Node
+	order    []*Node // children in creation order (deterministic)
+	self     sim.Time
+}
+
+// Name returns the node's own frame name.
+func (n *Node) Name() string { return n.name }
+
+// Kind returns the node's classification.
+func (n *Node) Kind() Kind { return n.kind }
+
+// VM returns the owning VM index (-1 for non-guest contexts).
+func (n *Node) VM() int { return n.vm }
+
+// Self returns the time charged directly to this context (excluding
+// children).
+func (n *Node) Self() sim.Time { return n.self }
+
+// Total returns the subtree sum: self plus all descendants.
+func (n *Node) Total() sim.Time {
+	t := n.self
+	for _, c := range n.order {
+		t += c.Total()
+	}
+	return t
+}
+
+// Children returns the child nodes in creation order.
+func (n *Node) Children() []*Node { return n.order }
+
+// Child interns and returns the named child (KindOther, no VM).
+func (n *Node) Child(name string) *Node {
+	return n.ChildKind(name, KindOther, -1)
+}
+
+// ChildKind interns and returns the named child with the given
+// classification. The kind and vm of an already-interned child are not
+// changed.
+func (n *Node) ChildKind(name string, kind Kind, vm int) *Node {
+	if c, ok := n.children[name]; ok {
+		return c
+	}
+	c := &Node{name: name, kind: kind, vm: vm, parent: n, children: make(map[string]*Node)}
+	n.children[name] = c
+	n.order = append(n.order, c)
+	return c
+}
+
+// Add charges d of CPU time to this context. Nil-safe so call sites
+// can hold an optional node.
+func (n *Node) Add(d sim.Time) {
+	if n == nil || d <= 0 {
+		return
+	}
+	n.self += d
+}
+
+// Path returns the full context stack "core0;vm0/vcpu1;guest;user;burn"
+// (root excluded).
+func (n *Node) Path() string {
+	var frames []string
+	for m := n; m.parent != nil; m = m.parent {
+		frames = append(frames, m.name)
+	}
+	// Reverse into root-first order.
+	for i, j := 0, len(frames)-1; i < j; i, j = i+1, j-1 {
+		frames[i], frames[j] = frames[j], frames[i]
+	}
+	return strings.Join(frames, ";")
+}
+
+// frames returns the stack root-first (excluding the tree root).
+func (n *Node) frames() []string {
+	var fs []string
+	for m := n; m.parent != nil; m = m.parent {
+		fs = append(fs, m.name)
+	}
+	for i, j := 0, len(fs)-1; i < j; i, j = i+1, j-1 {
+		fs[i], fs[j] = fs[j], fs[i]
+	}
+	return fs
+}
+
+// Profiler is the attribution tree for one simulated host. All state
+// is owned by one simulation engine; no locking.
+type Profiler struct {
+	root      *Node
+	cores     []*Node
+	window    sim.Time
+	finalized bool
+}
+
+// New creates a profiler for a host with nCores physical cores.
+func New(nCores int) *Profiler {
+	p := &Profiler{root: &Node{vm: -1, children: make(map[string]*Node)}}
+	for i := 0; i < nCores; i++ {
+		p.cores = append(p.cores, p.root.ChildKind(coreName(i), KindCore, -1))
+	}
+	return p
+}
+
+func coreName(i int) string {
+	// Hand-rolled to avoid fmt in the build path; core counts are small.
+	if i < 10 {
+		return "core" + string(rune('0'+i))
+	}
+	return "core" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+// NumCores returns the core count.
+func (p *Profiler) NumCores() int { return len(p.cores) }
+
+// Core returns core i's node.
+func (p *Profiler) Core(i int) *Node { return p.cores[i] }
+
+// Window returns the measurement window set by Finalize (zero before).
+func (p *Profiler) Window() sim.Time { return p.window }
+
+// Reset zeroes every accumulated time in the tree; contexts stay
+// interned. Called at the measurement-window start so only window time
+// is attributed.
+func (p *Profiler) Reset() {
+	p.window, p.finalized = 0, false
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		n.self = 0
+		for _, c := range n.order {
+			walk(c)
+		}
+	}
+	walk(p.root)
+}
+
+// Finalize closes the window: each core's unattributed remainder
+// (window minus busy time) becomes an "idle" occupant. A core's busy
+// time can exceed the window by less than one scheduling chunk —
+// charging happens at event boundaries, so a chunk straddling the
+// window start spills in — in which case idle is clamped to zero.
+// TIG/VhostCPU reconciliation is unaffected: those metrics are charged
+// at the same boundaries and see the same spill.
+func (p *Profiler) Finalize(window sim.Time) {
+	if p.finalized {
+		return
+	}
+	p.finalized = true
+	p.window = window
+	for _, c := range p.cores {
+		idle := window - c.Total()
+		if idle > 0 {
+			c.ChildKind("idle", KindIdle, -1).self = idle
+		}
+	}
+}
+
+// Sample is one attributed context: a stack (root-first) and the time
+// charged directly to it.
+type Sample struct {
+	Stack []string
+	Value sim.Time
+}
+
+// Samples returns every context with nonzero self time, sorted
+// lexically by stack path. The order is independent of build order, so
+// two profiles of the same run are byte-identical and profiles of
+// different configurations diff cleanly.
+func (p *Profiler) Samples() []Sample {
+	var out []Sample
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.self > 0 {
+			out = append(out, Sample{Stack: n.frames(), Value: n.self})
+		}
+		for _, c := range n.order {
+			walk(c)
+		}
+	}
+	walk(p.root)
+	sort.Slice(out, func(i, j int) bool {
+		return lessStacks(out[i].Stack, out[j].Stack)
+	})
+	return out
+}
+
+func lessStacks(a, b []string) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// GuestShare returns the fraction of the given VM's vCPU-occupant time
+// spent in guest mode (non-root), the profiler-side analogue of
+// Result.TIG. Returns 1 when the VM's vCPUs consumed no CPU, matching
+// VM.TIG's convention.
+func (p *Profiler) GuestShare(vm int) float64 {
+	var guest, total sim.Time
+	for _, c := range p.cores {
+		for _, occ := range c.order {
+			if occ.kind != KindVCPU || occ.vm != vm {
+				continue
+			}
+			total += occ.Total()
+			for _, sub := range occ.order {
+				if sub.kind == KindGuestMode {
+					guest += sub.Total()
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(guest) / float64(total)
+}
+
+// VhostBusy returns the total CPU time consumed by vhost-worker
+// occupants, the profiler-side analogue of the Result.VhostCPU
+// numerator.
+func (p *Profiler) VhostBusy() sim.Time {
+	var busy sim.Time
+	for _, c := range p.cores {
+		for _, occ := range c.order {
+			if occ.kind == KindVhost {
+				busy += occ.Total()
+			}
+		}
+	}
+	return busy
+}
+
+// ExitTotals sums VM-exit-handling time by exit leaf name
+// ("exit:<reason>") across all vCPUs of all VMs: the wasted-cycles
+// totals that Algorithm 1 attacks.
+func (p *Profiler) ExitTotals() map[string]sim.Time {
+	out := make(map[string]sim.Time)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.kind == KindExit && n.self > 0 {
+			out[n.name] += n.self
+		}
+		for _, c := range n.order {
+			walk(c)
+		}
+	}
+	walk(p.root)
+	return out
+}
+
+// TotalBusy returns all attributed (non-idle) time across cores.
+func (p *Profiler) TotalBusy() sim.Time {
+	var busy sim.Time
+	for _, c := range p.cores {
+		for _, occ := range c.order {
+			if occ.kind != KindIdle {
+				busy += occ.Total()
+			}
+		}
+	}
+	return busy
+}

@@ -1,0 +1,347 @@
+package profile
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"es2/internal/sim"
+)
+
+func TestInterning(t *testing.T) {
+	p := New(2)
+	a := p.Core(0).Child("worker")
+	b := p.Core(0).Child("worker")
+	if a != b {
+		t.Fatal("Child did not intern: two nodes for the same name")
+	}
+	if p.Core(0) == p.Core(1) {
+		t.Fatal("distinct cores interned to the same node")
+	}
+	k := p.Core(0).ChildKind("worker", KindVhost, 3)
+	if k != a {
+		t.Fatal("ChildKind re-interned an existing name")
+	}
+	if a.Kind() != KindOther || a.VM() != -1 {
+		t.Fatal("ChildKind overwrote kind/vm of an interned node")
+	}
+}
+
+func TestAddTotalPath(t *testing.T) {
+	p := New(1)
+	occ := p.Core(0).ChildKind("vm0/vcpu0", KindVCPU, 0)
+	guest := occ.ChildKind("guest", KindGuestMode, 0)
+	leaf := guest.Child("user")
+	leaf.Add(100)
+	guest.Add(20)
+	leaf.Add(-5) // negative charges are dropped
+	(*Node)(nil).Add(10)
+	if leaf.Self() != 100 || guest.Self() != 20 {
+		t.Fatalf("self: leaf=%d guest=%d", leaf.Self(), guest.Self())
+	}
+	if occ.Total() != 120 {
+		t.Fatalf("occ.Total() = %d, want 120", occ.Total())
+	}
+	if got := leaf.Path(); got != "core0;vm0/vcpu0;guest;user" {
+		t.Fatalf("Path() = %q", got)
+	}
+}
+
+func TestResetAndFinalizeIdle(t *testing.T) {
+	p := New(2)
+	w := p.Core(0).ChildKind("vhost", KindVhost, -1)
+	w.Add(300)
+	p.Reset()
+	if w.Self() != 0 {
+		t.Fatal("Reset did not zero accumulated time")
+	}
+	if p.Core(0).Child("vhost") != w {
+		t.Fatal("Reset dropped interned contexts")
+	}
+	w.Add(300)
+	p.Finalize(1000)
+	p.Finalize(2000) // idempotent: second call must not re-synthesize
+	if p.Window() != 1000 {
+		t.Fatalf("Window() = %d, want 1000", p.Window())
+	}
+	var idle0, idle1 sim.Time
+	for _, c := range p.Core(0).Children() {
+		if c.Kind() == KindIdle {
+			idle0 = c.Self()
+		}
+	}
+	for _, c := range p.Core(1).Children() {
+		if c.Kind() == KindIdle {
+			idle1 = c.Self()
+		}
+	}
+	if idle0 != 700 || idle1 != 1000 {
+		t.Fatalf("idle: core0=%d core1=%d, want 700/1000", idle0, idle1)
+	}
+	// A core whose busy time spills past the window clamps idle at 0.
+	p.Reset()
+	w.Add(1500)
+	p.Finalize(1000)
+	for _, c := range p.Core(0).Children() {
+		if c.Kind() == KindIdle && c.Self() != 0 {
+			t.Fatalf("over-busy core synthesized idle %d", c.Self())
+		}
+	}
+}
+
+func TestSharesAndExitTotals(t *testing.T) {
+	p := New(2)
+	occ := p.Core(0).ChildKind("vm0/vcpu0", KindVCPU, 0)
+	guest := occ.ChildKind("guest", KindGuestMode, 0)
+	guest.Child("user").Add(600)
+	occ.ChildKind("exit:HLT", KindExit, 0).Add(400)
+	w := p.Core(1).ChildKind("vhost", KindVhost, -1)
+	w.Child("poll").Add(250)
+	p.Finalize(1000)
+
+	if got := p.GuestShare(0); got != 0.6 {
+		t.Fatalf("GuestShare(0) = %v, want 0.6", got)
+	}
+	if got := p.GuestShare(7); got != 1 {
+		t.Fatalf("GuestShare(unknown vm) = %v, want 1", got)
+	}
+	if got := p.VhostBusy(); got != 250 {
+		t.Fatalf("VhostBusy() = %d, want 250", got)
+	}
+	exits := p.ExitTotals()
+	if len(exits) != 1 || exits["exit:HLT"] != 400 {
+		t.Fatalf("ExitTotals() = %v", exits)
+	}
+	if got := p.TotalBusy(); got != 1250 {
+		t.Fatalf("TotalBusy() = %d, want 1250", got)
+	}
+}
+
+func TestSamplesSortedAndFolded(t *testing.T) {
+	p := New(2)
+	// Build in non-lexical order on purpose.
+	p.Core(1).ChildKind("z-worker", KindVhost, -1).Child("poll").Add(5)
+	occ := p.Core(0).ChildKind("vm0/vcpu0", KindVCPU, 0)
+	occ.ChildKind("exit:HLT", KindExit, 0).Add(7)
+	occ.ChildKind("guest", KindGuestMode, 0).Child("user").Add(11)
+	p.Finalize(20)
+
+	var buf bytes.Buffer
+	if err := p.WriteFolded(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"core0;idle 2",
+		"core0;vm0/vcpu0;exit:HLT 7",
+		"core0;vm0/vcpu0;guest;user 11",
+		"core1;idle 15",
+		"core1;z-worker;poll 5",
+	}, "\n") + "\n"
+	if buf.String() != want {
+		t.Fatalf("folded output:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestPprofRoundTrip(t *testing.T) {
+	p := New(1)
+	occ := p.Core(0).ChildKind("vm0/vcpu0", KindVCPU, 0)
+	occ.ChildKind("guest", KindGuestMode, 0).Child("user").Add(750)
+	occ.ChildKind("exit:HLT", KindExit, 0).Add(150)
+	p.Finalize(1000)
+
+	var buf bytes.Buffer
+	if err := p.WritePprof(&buf); err != nil {
+		t.Fatal(err)
+	}
+	prof := decodePprof(t, buf.Bytes())
+
+	if prof.duration != 1000 {
+		t.Fatalf("duration_nanos = %d, want 1000", prof.duration)
+	}
+	// One sample per nonzero context: user 750, exit:HLT 150, idle 100.
+	var total int64
+	for _, s := range prof.samples {
+		total += s.value
+	}
+	if total != 1000 || len(prof.samples) != 3 {
+		t.Fatalf("samples: n=%d sum=%d, want 3 summing to 1000", len(prof.samples), total)
+	}
+	// Every referenced location resolves to a named function; the
+	// leaf-first stack of the "user" sample reads back root-last.
+	found := false
+	for _, s := range prof.samples {
+		names := make([]string, len(s.locs))
+		for i, l := range s.locs {
+			fn, ok := prof.locFunc[l]
+			if !ok {
+				t.Fatalf("sample references unknown location %d", l)
+			}
+			names[i] = prof.funcName[fn]
+		}
+		if s.value == 750 {
+			found = true
+			want := []string{"user", "guest", "vm0/vcpu0", "core0"}
+			if !reflect.DeepEqual(names, want) {
+				t.Fatalf("user stack = %v, want %v", names, want)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no sample carried the 750ns user context")
+	}
+}
+
+func TestPprofDeterministic(t *testing.T) {
+	build := func() []byte {
+		p := New(2)
+		occ := p.Core(0).ChildKind("vm0/vcpu0", KindVCPU, 0)
+		occ.ChildKind("guest", KindGuestMode, 0).Child("user").Add(3)
+		p.Core(1).ChildKind("w", KindVhost, -1).Child("poll").Add(4)
+		p.Finalize(10)
+		var buf bytes.Buffer
+		if err := p.WritePprof(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Fatal("two identical profiles serialized to different bytes")
+	}
+}
+
+// --- minimal profile.proto decoder (tests only) ---
+
+type decodedProfile struct {
+	samples  []decodedSample
+	locFunc  map[uint64]uint64 // location id -> function id
+	funcName map[uint64]string // function id -> name
+	duration int64
+}
+
+type decodedSample struct {
+	locs  []uint64
+	value int64
+}
+
+func decodePprof(t *testing.T, gz []byte) *decodedProfile {
+	t.Helper()
+	zr, err := gzip.NewReader(bytes.NewReader(gz))
+	if err != nil {
+		t.Fatalf("profile is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &decodedProfile{locFunc: map[uint64]uint64{}, funcName: map[uint64]string{}}
+	var strtab []string
+	type fn struct {
+		id   uint64
+		name int64
+	}
+	var fns []fn
+	forEachField(t, raw, func(field int, varint uint64, body []byte) {
+		switch field {
+		case profSample:
+			var s decodedSample
+			forEachField(t, body, func(f int, v uint64, b []byte) {
+				switch f {
+				case sampleLocationID:
+					forEachVarint(t, b, func(v uint64) { s.locs = append(s.locs, v) })
+				case sampleValue:
+					forEachVarint(t, b, func(v uint64) { s.value += int64(v) })
+				}
+			})
+			p.samples = append(p.samples, s)
+		case profLocation:
+			var id, fnID uint64
+			forEachField(t, body, func(f int, v uint64, b []byte) {
+				switch f {
+				case locID:
+					id = v
+				case locLine:
+					forEachField(t, b, func(f2 int, v2 uint64, _ []byte) {
+						if f2 == lineFunctionID {
+							fnID = v2
+						}
+					})
+				}
+			})
+			p.locFunc[id] = fnID
+		case profFunction:
+			var f fn
+			forEachField(t, body, func(f2 int, v uint64, _ []byte) {
+				switch f2 {
+				case fnID:
+					f.id = v
+				case fnName:
+					f.name = int64(v)
+				}
+			})
+			fns = append(fns, f)
+		case profStringTable:
+			strtab = append(strtab, string(body))
+		case profDurationNano:
+			p.duration = int64(varint)
+		}
+	})
+	if len(strtab) == 0 || strtab[0] != "" {
+		t.Fatal("string table index 0 is not the empty string")
+	}
+	for _, f := range fns {
+		if f.name < 0 || int(f.name) >= len(strtab) {
+			t.Fatalf("function %d names string %d outside the table", f.id, f.name)
+		}
+		p.funcName[f.id] = strtab[f.name]
+	}
+	return p
+}
+
+// forEachField walks a protobuf message's top-level fields. varint is
+// set for wire type 0, body for wire type 2.
+func forEachField(t *testing.T, raw []byte, fn func(field int, varint uint64, body []byte)) {
+	t.Helper()
+	for len(raw) > 0 {
+		key, n := readUvarint(t, raw)
+		raw = raw[n:]
+		field, wire := int(key>>3), key&7
+		switch wire {
+		case 0:
+			v, n := readUvarint(t, raw)
+			raw = raw[n:]
+			fn(field, v, nil)
+		case 2:
+			l, n := readUvarint(t, raw)
+			raw = raw[n:]
+			fn(field, 0, raw[:l])
+			raw = raw[l:]
+		default:
+			t.Fatalf("unexpected wire type %d for field %d", wire, field)
+		}
+	}
+}
+
+func forEachVarint(t *testing.T, raw []byte, fn func(v uint64)) {
+	t.Helper()
+	for len(raw) > 0 {
+		v, n := readUvarint(t, raw)
+		raw = raw[n:]
+		fn(v)
+	}
+}
+
+func readUvarint(t *testing.T, raw []byte) (uint64, int) {
+	t.Helper()
+	var v uint64
+	for i := 0; i < len(raw); i++ {
+		v |= uint64(raw[i]&0x7f) << (7 * i)
+		if raw[i] < 0x80 {
+			return v, i + 1
+		}
+	}
+	t.Fatal("truncated varint")
+	return 0, 0
+}

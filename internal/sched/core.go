@@ -104,6 +104,11 @@ func (c *core) chargeCurrent() {
 	if t.vruntime > c.minVr {
 		c.minVr = t.vruntime
 	}
+	// Attribute before Ran: the source's mode still describes the span
+	// just consumed (Ran/ChunkDone may transition it).
+	if t.Prof != nil {
+		t.Prof().Add(delta)
+	}
 	t.Source.Ran(delta)
 }
 

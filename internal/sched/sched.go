@@ -20,6 +20,7 @@ package sched
 import (
 	"fmt"
 
+	"es2/internal/profile"
 	"es2/internal/sim"
 	"es2/internal/trace"
 )
@@ -111,6 +112,13 @@ type Thread struct {
 	// SchedOut, if non-nil, is invoked immediately after the thread
 	// stops running (the kvm_sched_out preemption notifier).
 	SchedOut func()
+	// Prof, if non-nil, resolves the thread's current profiling context
+	// (the leaf node describing what it is doing right now). It is
+	// consulted at every charge point, before Ran, so the owning model's
+	// mode/state still reflects the span being charged. Returning nil
+	// drops the charge from the profile (never done by the built-in
+	// sources). Purely observational: must not mutate model state.
+	Prof func() *profile.Node
 
 	weight   int64
 	vruntime int64 // weighted virtual runtime, ns at nice-0 scale

@@ -284,6 +284,7 @@ func (h *txHandler) plan() (sim.Time, func()) {
 			// scheme against.
 			h.requeued = true
 			dev.IO.requeue(h)
+			dev.IO.act = actPoll
 			return dev.Params.EmptyCheck, func() {}
 		}
 		// Queue drained before the quota: leave polling mode
@@ -292,11 +293,13 @@ func (h *txHandler) plan() (sim.Time, func()) {
 		q.SetNoNotify(false)
 		if q.AvailLen() > 0 {
 			q.SetNoNotify(true)
+			dev.IO.act = actPoll
 			return dev.Params.EmptyCheck, func() {}
 		}
 		return 0, nil
 	}
 	cost := dev.jitter(dev.Params.txCost(desc.Len))
+	dev.IO.act = actTX
 	var popT sim.Time
 	if dev.Path != nil {
 		popT = dev.IO.s.Now()
@@ -354,6 +357,7 @@ func (h *rxHandler) plan() (sim.Time, func()) {
 		if h.pendingSignal {
 			h.pendingSignal = false
 			if dev.takeSignal() {
+				dev.IO.act = actSignal
 				return dev.Params.SignalCost, func() { dev.RXQ.Signal() }
 			}
 		}
@@ -365,12 +369,14 @@ func (h *rxHandler) plan() (sim.Time, func()) {
 		dev.RXQ.SetNoNotify(false)
 		if dev.RXQ.AvailLen() > 0 {
 			dev.RXQ.SetNoNotify(true)
+			dev.IO.act = actPoll
 			return dev.Params.EmptyCheck, func() {}
 		}
 		return 0, nil
 	}
 	pkt := dev.backlog[0]
 	cost := dev.jitter(dev.Params.rxCost(pkt.Bytes))
+	dev.IO.act = actRX
 	return cost, func() {
 		if len(dev.backlog) == 0 || dev.backlog[0] != pkt {
 			return // raced with a drop; nothing to do

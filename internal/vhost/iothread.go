@@ -1,9 +1,31 @@
 package vhost
 
 import (
+	"es2/internal/profile"
 	"es2/internal/sched"
 	"es2/internal/sim"
 	"es2/internal/trace"
+)
+
+// activity classifies what the worker's current effect chunk is doing,
+// for CPU attribution. Handlers stamp it in plan() alongside the
+// returned effect; it is read only by the profiler leaf resolver.
+type activity uint8
+
+const (
+	// actTX: copying a guest TX descriptor and putting it on the wire.
+	actTX activity = iota
+	// actRX: copying a wire packet into a guest RX buffer.
+	actRX
+	// actSignal: raising the guest's receive interrupt (irqfd write).
+	actSignal
+	// actPoll: empty-poll rounds and notification race re-checks — the
+	// "wasted cycles" of polling that the paper's quota bounds.
+	actPoll
+	// actStall: injected worker stalls (fault scenarios).
+	actStall
+
+	numActivities = iota
 )
 
 // handler is the scheduling interface of a virtqueue handler as seen by
@@ -38,6 +60,12 @@ type IOThread struct {
 	curEffect func()
 	remaining sim.Time // remaining time of the in-flight chunk
 	needWake  bool
+	act       activity // what the in-flight effect chunk is doing
+
+	// Profiling contexts (all nil unless EnableProfiling was called).
+	profOcc    *profile.Node
+	profSwitch *profile.Node
+	profActs   [numActivities]*profile.Node
 
 	// tl/track/turnT export handler turns as timeline slices (SetPath).
 	tl    *trace.Timeline
@@ -68,6 +96,42 @@ func (t *IOThread) SetPath(p *trace.PathTracer) {
 		t.tl = tl
 		t.track = tl.Track("vhost", t.Name)
 	}
+}
+
+// EnableProfiling interns the worker's context subtree under its home
+// core and installs the charge-time resolver. Call during
+// deterministic build, after NewIOThread.
+//
+//	coreN
+//	└── <worker>         (occupant; KindVhost)
+//	    ├── switch       (handler dispatch + wakeup overhead)
+//	    ├── handler:tx   (TX descriptor copy + wire send)
+//	    ├── handler:rx   (wire packet copy into guest buffers)
+//	    ├── signal       (guest receive-interrupt injection)
+//	    ├── poll         (empty polls and notification race checks)
+//	    └── stall        (injected worker stalls)
+func (t *IOThread) EnableProfiling(p *profile.Profiler) {
+	t.profOcc = p.Core(t.Thread.Core()).ChildKind(t.Name, profile.KindVhost, -1)
+	t.profSwitch = t.profOcc.Child("switch")
+	t.profActs[actTX] = t.profOcc.Child("handler:tx")
+	t.profActs[actRX] = t.profOcc.Child("handler:rx")
+	t.profActs[actSignal] = t.profOcc.Child("signal")
+	t.profActs[actPoll] = t.profOcc.Child("poll")
+	t.profActs[actStall] = t.profOcc.Child("stall")
+	t.Thread.Prof = t.profLeaf
+}
+
+// profLeaf resolves the worker's current charge context; consulted by
+// the scheduler before Ran, while inSwitch/curEffect/act still
+// describe the span being charged.
+func (t *IOThread) profLeaf() *profile.Node {
+	if t.inSwitch {
+		return t.profSwitch
+	}
+	if t.curEffect != nil {
+		return t.profActs[t.act]
+	}
+	return t.profOcc
 }
 
 // enqueue appends h to the work queue (idempotent) and wakes the
@@ -169,11 +233,12 @@ func (t *IOThread) InjectStall(d sim.Time) {
 	}
 	t.Stalls++
 	t.StallTime += d
-	t.enqueue(&stallHandler{d: d})
+	t.enqueue(&stallHandler{io: t, d: d})
 }
 
 // stallHandler burns a fixed amount of worker CPU once.
 type stallHandler struct {
+	io     *IOThread
 	d      sim.Time
 	burned bool
 }
@@ -185,6 +250,7 @@ func (h *stallHandler) plan() (sim.Time, func()) {
 		return 0, nil
 	}
 	h.burned = true
+	h.io.act = actStall
 	return h.d, func() {}
 }
 

@@ -2,6 +2,7 @@ package vmm
 
 import (
 	"es2/internal/apic"
+	"es2/internal/profile"
 	"es2/internal/sched"
 	"es2/internal/sim"
 	"es2/internal/trace"
@@ -36,6 +37,10 @@ type KVM struct {
 	// interrupt-delivery instants. Set before creating VMs so vCPU
 	// tracks register in deterministic build order.
 	Timeline *trace.Timeline
+	// Prof, when non-nil, receives exact CPU attribution for every
+	// vCPU (guest task vs. exit handling by reason). Set before
+	// creating VMs so contexts intern in deterministic build order.
+	Prof *profile.Profiler
 
 	rng *sim.Rand
 	vms []*VM

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"es2/internal/apic"
+	"es2/internal/profile"
 	"es2/internal/sched"
 	"es2/internal/sim"
 	"es2/internal/trace"
@@ -76,6 +77,13 @@ type VCPU struct {
 	// track is this vCPU's timeline track (NoTrack when no timeline).
 	track trace.TrackID
 
+	// Profiling contexts, interned at build time when K.Prof is set
+	// (all nil otherwise; see profile.go in this package).
+	profOcc   *profile.Node
+	profGuest *profile.Node
+	profPrio  [numPrios]*profile.Node
+	profExit  [NumExitReasons]*profile.Node
+
 	otherExitEvt *sim.Handle
 }
 
@@ -88,6 +96,9 @@ func newVCPU(vm *VM, id, coreID int) *VCPU {
 	v.Thread = vm.K.Sched.NewThread(fmt.Sprintf("%s/vcpu%d", vm.Name, id), coreID, 0, v)
 	v.Thread.SchedIn = v.schedIn
 	v.Thread.SchedOut = v.schedOut
+	if vm.K.Prof != nil {
+		v.enableProfiling(vm.K.Prof, coreID)
+	}
 	v.PID.NotificationVector = PINotificationVector
 	return v
 }

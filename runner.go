@@ -12,6 +12,7 @@ import (
 	"es2/internal/guest"
 	"es2/internal/metrics"
 	"es2/internal/netsim"
+	"es2/internal/profile"
 	"es2/internal/sched"
 	"es2/internal/sim"
 	"es2/internal/trace"
@@ -142,6 +143,9 @@ type testbed struct {
 	// Fault-injection and invariant-checking state (nil when off).
 	inj *faults.Injector
 	chk *faults.Checker
+
+	// Simulated-CPU profiler (nil unless spec.CPUProfile).
+	prof *profile.Profiler
 }
 
 // probeVar is one periodically sampled state variable.
@@ -223,6 +227,12 @@ func Run(spec ScenarioSpec) (*Result, error) {
 		tb.path.Reset()
 		tb.tl.Activate()
 		tb.startProbes()
+	}
+	if tb.prof != nil {
+		// Zero the attribution tree at the same instant the stat
+		// counters reset, so the profile reconciles with TIG/VhostCPU
+		// exactly (both sides see the same charge boundaries).
+		tb.prof.Reset()
 	}
 	if col.onWarmupEnd != nil {
 		col.onWarmupEnd()
@@ -325,6 +335,11 @@ func Run(spec ScenarioSpec) (*Result, error) {
 	if tb.chk != nil {
 		r.InvariantChecks = tb.chk.Ticks
 	}
+	if tb.prof != nil {
+		tb.prof.Finalize(window)
+		r.CPUProfile = tb.prof
+		r.CPUReport = buildCPUReport(tb.prof, spec, window)
+	}
 	col.fill(r, window)
 	return r, nil
 }
@@ -384,6 +399,12 @@ func build(spec ScenarioSpec) (*testbed, error) {
 		k.Path = tb.path
 		k.Timeline = tb.tl
 	}
+	if spec.CPUProfile {
+		// The profiler must exist before VMs and workers are created so
+		// their context subtrees intern in deterministic build order.
+		tb.prof = profile.New(totalCores)
+		k.Prof = tb.prof
+	}
 	if spec.Faults.Enabled() {
 		// The injector forks the engine RNG here, after the scheduler and
 		// KVM forks, so the streams the rest of the simulation draws from
@@ -422,6 +443,9 @@ func build(spec ScenarioSpec) (*testbed, error) {
 			name := fmt.Sprintf("vhost-%d.%d", i, qi)
 			io := vhost.NewIOThread(name, sch, spec.VMCores+((i+qi)%spec.VhostCores), vparams)
 			io.SetPath(tb.path)
+			if tb.prof != nil {
+				io.EnableProfiling(tb.prof)
+			}
 			dev, err := vhost.NewDevice(name, io, pair.TX, pair.RX, link.PortA(), hybrid, spec.Config.Quota)
 			if err != nil {
 				return nil, err
@@ -464,6 +488,9 @@ func build(spec ScenarioSpec) (*testbed, error) {
 			}
 		}
 		tb.inj.SetupStorms(sch, cores)
+		if tb.prof != nil {
+			tb.inj.EnableProfiling(tb.prof)
+		}
 		tb.inj.Start()
 		if !spec.Faults.NoRecovery {
 			tb.enableRecovery()
