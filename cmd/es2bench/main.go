@@ -5,7 +5,7 @@
 //
 //	es2bench [-exp all|table1|fig4a|fig4b|fig5a|fig5b|fig6a|fig6b|fig7|fig8a|fig8b|fig9]
 //	         [-parallel N] [-seed S] [-list] [-json FILE] [-profile-dir DIR]
-//	         [-timeline-dir DIR] [-check]
+//	         [-timeline-dir DIR] [-telemetry-dir DIR] [-check]
 //
 // Each experiment prints the paper's claim followed by the regenerated
 // rows/series.
@@ -30,6 +30,7 @@ func main() {
 	seed := flag.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
 	timelineDir := flag.String("timeline-dir", "", "write one Perfetto/Chrome-trace JSON timeline per scenario into DIR")
 	profileDir := flag.String("profile-dir", "", "write one pprof CPU profile (.pb.gz) and folded stacks (.folded) per scenario into DIR")
+	telemetryDir := flag.String("telemetry-dir", "", "write one OpenMetrics exposition (.prom) and windowed CSV (.csv) per scenario into DIR")
 	jsonOut := flag.String("json", "", "write all experiment results as machine-readable JSON to FILE ('-' for stdout; schema in EXPERIMENTS.md)")
 	check := flag.Bool("check", false, "enable the runtime invariant checker in every scenario (also: ES2_CHECK=1)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
@@ -59,7 +60,7 @@ func main() {
 		}
 	}
 
-	for _, dir := range []string{*timelineDir, *profileDir} {
+	for _, dir := range []string{*timelineDir, *profileDir, *telemetryDir} {
 		if dir == "" {
 			continue
 		}
@@ -82,6 +83,9 @@ func main() {
 			}
 			if *profileDir != "" {
 				e.Specs[i].CPUProfile = true
+			}
+			if *telemetryDir != "" {
+				e.Specs[i].Telemetry = true
 			}
 			if *check {
 				e.Specs[i].Check = true
@@ -107,6 +111,12 @@ func main() {
 					os.Exit(1)
 				}
 			}
+			if *telemetryDir != "" {
+				if err := writeTelemetry(filepath.Join(*telemetryDir, base), r); err != nil {
+					fmt.Fprintf(os.Stderr, "es2bench: %v\n", err)
+					os.Exit(1)
+				}
+			}
 		}
 		if *jsonOut != "" {
 			report.Experiments = append(report.Experiments, jsonExperiment{
@@ -123,6 +133,16 @@ func main() {
 		if err := writeJSONReport(*jsonOut, report); err != nil {
 			fmt.Fprintf(os.Stderr, "es2bench: %v\n", err)
 			os.Exit(1)
+		}
+		// Table 1 is the headline reproduction: publish it as its own
+		// artifact (BENCH_table1.json, same es2bench/v1 envelope) next to
+		// the full report so dashboards can fetch it without parsing the
+		// whole run.
+		if *jsonOut != "-" {
+			if err := writeTable1Report(*jsonOut, report); err != nil {
+				fmt.Fprintf(os.Stderr, "es2bench: %v\n", err)
+				os.Exit(1)
+			}
 		}
 	}
 }
@@ -156,6 +176,47 @@ func writeJSONReport(path string, rep jsonReport) error {
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// writeTable1Report extracts the table1 experiment from the full report
+// and writes it as BENCH_table1.json in the same directory as the -json
+// output. A run that did not include table1 writes nothing.
+func writeTable1Report(jsonPath string, rep jsonReport) error {
+	sub := jsonReport{Schema: rep.Schema, Seed: rep.Seed}
+	for _, e := range rep.Experiments {
+		if e.ID == "table1" {
+			sub.Experiments = append(sub.Experiments, e)
+		}
+	}
+	if len(sub.Experiments) == 0 {
+		return nil
+	}
+	return writeJSONReport(filepath.Join(filepath.Dir(jsonPath), "BENCH_table1.json"), sub)
+}
+
+// writeTelemetry writes base.prom (OpenMetrics exposition) and base.csv
+// (windowed series) for one scenario result.
+func writeTelemetry(base string, r *es2.Result) error {
+	f, err := os.Create(base + ".prom")
+	if err != nil {
+		return err
+	}
+	err = r.TelemetryRecorder.WriteOpenMetrics(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	f, err = os.Create(base + ".csv")
+	if err != nil {
+		return err
+	}
+	err = r.TelemetryRecorder.WriteCSV(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // writeProfiles writes base.pb.gz (pprof) and base.folded (flamegraph

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -51,6 +52,9 @@ func main() {
 		dur      = flag.Duration("duration", time.Second, "measurement window (simulated)")
 		warmup   = flag.Duration("warmup", 300*time.Millisecond, "warm-up (simulated)")
 		asJSON   = flag.Bool("json", false, "print the result as JSON")
+		telDir   = flag.String("telemetry-dir", "", "write windowed telemetry to DIR/metrics.prom and DIR/windows.csv")
+		metrics  = flag.String("metrics", "", "write the OpenMetrics exposition to FILE")
+		telWin   = flag.Duration("telemetry-window", 0, "telemetry sampling window, simulated (0 = 10ms default)")
 
 		check      = flag.Bool("check", false, "enable the runtime invariant checker (also: ES2_CHECK=1)")
 		fLoss      = flag.Float64("fault-loss", 0, "wire packet loss probability [0,1]")
@@ -125,7 +129,9 @@ func main() {
 		PathTrace: *pathOn, Timeline: *timeline != "",
 		CPUProfile: *cpuprof != "" || *folded != "",
 		Warmup:     *warmup, Duration: *dur,
-		Check: *check,
+		Telemetry:       *telDir != "" || *metrics != "" || *telWin > 0,
+		TelemetryWindow: *telWin,
+		Check:           *check,
 		Faults: es2.FaultSpec{
 			PacketLossProb: *fLoss, PacketDupProb: *fDup,
 			LostKickProb: *fKick, LostSignalProb: *fSignal,
@@ -173,6 +179,21 @@ func main() {
 	if *folded != "" {
 		writeFile(*folded, "folded stacks", func(f *os.File) error { return res.CPUProfile.WriteFolded(f) })
 	}
+	if *telDir != "" {
+		if err := os.MkdirAll(*telDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "es2sim: creating telemetry dir: %v\n", err)
+			os.Exit(1)
+		}
+		rec := res.TelemetryRecorder
+		writeFile(filepath.Join(*telDir, "metrics.prom"), "telemetry exposition",
+			func(f *os.File) error { return rec.WriteOpenMetrics(f) })
+		writeFile(filepath.Join(*telDir, "windows.csv"), "telemetry windows",
+			func(f *os.File) error { return rec.WriteCSV(f) })
+	}
+	if *metrics != "" {
+		writeFile(*metrics, "metrics exposition",
+			func(f *os.File) error { return res.TelemetryRecorder.WriteOpenMetrics(f) })
+	}
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -197,7 +218,9 @@ func main() {
 		fmt.Printf("ops        %.0f/s\n", res.OpsPerSec)
 	}
 	if res.MeanLatency > 0 {
-		fmt.Printf("latency    mean=%v p99=%v max=%v\n", res.MeanLatency, res.P99Latency, res.MaxLatency)
+		fmt.Printf("latency    mean=%v p50=%v p90=%v p99=%v p99.9=%v max=%v\n",
+			res.MeanLatency, res.P50Latency, res.P90Latency,
+			res.P99Latency, res.P999Latency, res.MaxLatency)
 	}
 	if res.Drops > 0 {
 		fmt.Printf("drops      %d\n", res.Drops)
@@ -222,6 +245,18 @@ func main() {
 			fmt.Printf("  %-12s %-10s %10d %12v %12v %12v\n",
 				st.Stage, st.Mechanism, st.Count, st.Mean, st.P50, st.P99)
 		}
+	}
+	if len(res.LatencyProfiles) > 0 {
+		fmt.Printf("latency spectrum:\n")
+		fmt.Printf("  %-14s %-10s %10s %12s %12s %12s %12s %12s\n",
+			"class", "label", "count", "p50", "p90", "p99", "p99.9", "max")
+		for _, p := range res.LatencyProfiles {
+			fmt.Printf("  %-14s %-10s %10d %12v %12v %12v %12v %12v\n",
+				p.Class, p.Label, p.Count, p.P50, p.P90, p.P99, p.P999, p.Max)
+		}
+	}
+	if ti := res.Telemetry; ti != nil {
+		fmt.Printf("telemetry  %d series over %d windows of %gms\n", ti.Series, ti.Windows, ti.WindowMs)
 	}
 	if res.TraceSummary != "" {
 		fmt.Print(res.TraceSummary)

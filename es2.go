@@ -31,6 +31,7 @@ import (
 	"es2/internal/core"
 	"es2/internal/faults"
 	"es2/internal/profile"
+	"es2/internal/telemetry"
 	"es2/internal/trace"
 )
 
@@ -121,7 +122,7 @@ type WorkloadSpec struct {
 	// Threads is the number of concurrent netperf processes (default
 	// 1; the Fig. 6 experiments use 4 to load all four vCPUs).
 	Threads int
-	// Window is the TCP window in segments (default 64).
+	// Window is the TCP window in segments (default 128).
 	Window int
 	// UDPRatePPS is the peer's UDP send rate for receive tests
 	// (default 450_000).
@@ -243,6 +244,27 @@ type ScenarioSpec struct {
 	// Off by default; profiling never perturbs the simulation — results
 	// are bit-identical with and without it.
 	CPUProfile bool
+
+	// Telemetry enables the windowed telemetry recorder: every
+	// TelemetryWindow of simulated time, the headline metrics —
+	// per-reason exit rates, TIG, vhost busy fraction, per-queue
+	// virtqueue depth, device-IRQ/redirect/offline-predict rates, TCP
+	// retransmits, active-fault state — are sampled as named series by
+	// snapshotting the existing counters and deriving windowed deltas.
+	// Three latency classes are additionally instrumented at their
+	// natural points (interrupt delivery split posted vs. emulated,
+	// TX virtqueue residency, vCPU wakeup-to-run delay) and reported
+	// as full percentile spectra in Result.LatencyProfiles. Export the
+	// series with Result.TelemetryRecorder.WriteOpenMetrics/WriteCSV
+	// (or es2sim -telemetry-dir / -metrics, es2bench -telemetry-dir).
+	// Off by default; recording never perturbs the simulation —
+	// results are bit-identical with and without it, and exports are
+	// byte-identical under a fixed seed.
+	Telemetry bool
+	// TelemetryWindow is the sampling window (default 10ms of
+	// simulated time). Smaller windows resolve faster transients at
+	// the cost of proportionally more rows in the exports.
+	TelemetryWindow time.Duration
 
 	// Faults configures deterministic fault injection: wire loss and
 	// duplication, lost kicks/signals, vhost stalls, PI outages and
@@ -373,9 +395,14 @@ type Result struct {
 	OpsPerSec float64 `json:"ops_per_sec"`
 
 	// Latency statistics: request latency (Memcached), connection time
-	// (Httperf/Apache) or RTT (Ping), depending on the workload.
+	// (Httperf/Apache) or RTT (Ping), depending on the workload. Mean
+	// and Max are exact; the percentiles carry the log-bucketed
+	// histogram's sub-1% relative error.
 	MeanLatency time.Duration `json:"mean_latency_ns"`
+	P50Latency  time.Duration `json:"p50_latency_ns"`
+	P90Latency  time.Duration `json:"p90_latency_ns"`
 	P99Latency  time.Duration `json:"p99_latency_ns"`
+	P999Latency time.Duration `json:"p999_latency_ns"`
 	MaxLatency  time.Duration `json:"max_latency_ns"`
 
 	// RTTSeries is the per-probe trace for Ping workloads.
@@ -403,6 +430,15 @@ type Result struct {
 	// CPUReport is the compact CPU-attribution summary (CPUProfile
 	// runs): top contexts, per-core utilization, exit-cycle totals.
 	CPUReport *CPUReport `json:"cpu_report,omitempty"`
+
+	// Telemetry summarizes the windowed recording (Telemetry runs);
+	// LatencyProfiles carries the full percentile spectrum of each
+	// instrumented latency class. TelemetryRecorder is the recorder
+	// itself — export with WriteOpenMetrics (Prometheus/OpenMetrics
+	// text) or WriteCSV (per-window series); excluded from JSON.
+	Telemetry         *TelemetryInfo      `json:"telemetry,omitempty"`
+	LatencyProfiles   []LatencyProfile    `json:"latency_profiles,omitempty"`
+	TelemetryRecorder *telemetry.Recorder `json:"-"`
 
 	// Faults reports fault-injection and recovery activity over the
 	// window (nil for fault-free runs).
@@ -456,6 +492,36 @@ type CPUReport struct {
 	// VhostBusy is the profiler's vhost busy fraction of the vhost
 	// cores; equals Result.VhostCPU by construction.
 	VhostBusy float64 `json:"vhost_busy"`
+}
+
+// TelemetryInfo summarizes a windowed telemetry recording (see
+// ScenarioSpec.Telemetry).
+type TelemetryInfo struct {
+	// WindowMs is the sampling window in simulated milliseconds.
+	WindowMs float64 `json:"window_ms"`
+	// Windows is the number of closed sampling windows.
+	Windows int `json:"windows"`
+	// Series is the number of recorded series (probes + histograms).
+	Series int `json:"series"`
+}
+
+// LatencyProfile is the full percentile spectrum of one instrumented
+// latency class over the measurement window (see
+// ScenarioSpec.Telemetry). Classes: "irq-delivery" (APIC injection →
+// guest handler entry; labels "posted"/"emulated"), "vq-residency"
+// (avail-publish → vhost dequeue; one profile per TX queue) and
+// "vcpu-wakeup" (scheduler wakeup → running). Mean and Max are exact;
+// percentiles carry the histogram's sub-1% bucket error.
+type LatencyProfile struct {
+	Class string        `json:"class"`
+	Label string        `json:"label,omitempty"`
+	Count uint64        `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	P999  time.Duration `json:"p999_ns"`
+	Max   time.Duration `json:"max_ns"`
 }
 
 // FaultReport summarizes injected faults and the recovery work they

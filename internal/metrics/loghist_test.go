@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"es2/internal/sim"
+)
+
+func TestLogHistogramExactSmallValues(t *testing.T) {
+	h := NewLogHistogram()
+	for v := sim.Time(0); v < 128; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 128 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != 127 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	// Below the sub-bucket count every value has its own bucket, so
+	// quantiles are exact.
+	if got := h.Quantile(0.5); got != 63 {
+		t.Fatalf("p50 = %v, want 63", got)
+	}
+	if got := h.Quantile(1); got != 127 {
+		t.Fatalf("p100 = %v, want 127", got)
+	}
+}
+
+func TestLogHistogramMeanSumExact(t *testing.T) {
+	h := NewLogHistogram()
+	var sum sim.Time
+	for i := 0; i < 1000; i++ {
+		v := sim.Time(i*i*7 + 13)
+		h.Observe(v)
+		sum += v
+	}
+	if h.Sum() != sum {
+		t.Fatalf("sum = %v, want %v", h.Sum(), sum)
+	}
+	want := sim.Time(float64(sum) / 1000)
+	if h.Mean() != want {
+		t.Fatalf("mean = %v, want %v", h.Mean(), want)
+	}
+}
+
+// TestLogHistogramQuantileError checks the advertised bound: every
+// quantile is within 1% relative error of the exact order statistic.
+func TestLogHistogramQuantileError(t *testing.T) {
+	h := NewLogHistogram()
+	rng := sim.NewRand(42)
+	var all []sim.Time
+	for i := 0; i < 50000; i++ {
+		// Spread over six decades, as simulated latencies are.
+		v := sim.Time(1 + rng.Uint64()%uint64(math.Pow10(1+i%6)))
+		h.Observe(v)
+		all = append(all, v)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		idx := int(math.Ceil(q*float64(len(all)))) - 1
+		exact := float64(all[idx])
+		got := float64(h.Quantile(q))
+		if relErr := math.Abs(got-exact) / exact; relErr > 0.01 {
+			t.Errorf("q=%v: got %v exact %v relerr %.4f", q, got, exact, relErr)
+		}
+	}
+	if h.Quantile(1) != all[len(all)-1] {
+		t.Errorf("p100 = %v, want exact max %v", h.Quantile(1), all[len(all)-1])
+	}
+	if h.Quantile(0) != all[0] {
+		t.Errorf("p0 = %v, want exact min %v", h.Quantile(0), all[0])
+	}
+}
+
+func TestLogHistogramBucketsAndReset(t *testing.T) {
+	h := NewLogHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Observe(sim.Time(i * 37))
+	}
+	var n uint64
+	last := sim.Time(-1)
+	h.Buckets(func(upper sim.Time, count uint64) {
+		if upper <= last {
+			t.Fatalf("bucket uppers not ascending: %v after %v", upper, last)
+		}
+		last = upper
+		n += count
+	})
+	if n != h.Count() {
+		t.Fatalf("bucket counts sum to %d, count is %d", n, h.Count())
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 {
+		t.Fatalf("reset left state: %v", h.Summary())
+	}
+	h.Buckets(func(sim.Time, uint64) { t.Fatal("reset left buckets") })
+}
+
+func TestLogBucketIndexCoversInt64(t *testing.T) {
+	// Every power of two up to 2^62 must map inside the bucket array,
+	// and bounds must tile contiguously.
+	for e := 0; e <= 62; e++ {
+		v := sim.Time(1) << e
+		idx := logBucketIndex(v)
+		if idx < 0 || idx >= logNumBuckets {
+			t.Fatalf("2^%d: index %d out of range", e, idx)
+		}
+		low, width := logBucketBounds(idx)
+		if v < low || v >= low+width {
+			t.Fatalf("2^%d: not inside its bucket [%d,%d)", e, low, low+width)
+		}
+	}
+}

@@ -141,11 +141,15 @@ func (c *core) dispatch() {
 			c.cur = next
 			c.runStart = c.s.eng.Now()
 			c.s.ContextSwitches++
-			if p := c.s.path; p != nil {
+			if c.s.path != nil {
 				c.curStart = c.runStart
-				if next.wakePending {
-					next.wakePending = false
-					p.Observe(trace.StageSchedIn, trace.MechNone, c.runStart-next.wakeT)
+			}
+			if next.wakePending {
+				next.wakePending = false
+				d := c.runStart - next.wakeT
+				c.s.path.Observe(trace.StageSchedIn, trace.MechNone, d)
+				if next.WakeLat != nil {
+					next.WakeLat.Observe(d)
 				}
 			}
 			if next.SchedIn != nil {

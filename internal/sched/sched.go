@@ -20,6 +20,7 @@ package sched
 import (
 	"fmt"
 
+	"es2/internal/metrics"
 	"es2/internal/profile"
 	"es2/internal/sim"
 	"es2/internal/trace"
@@ -119,6 +120,10 @@ type Thread struct {
 	// drops the charge from the profile (never done by the built-in
 	// sources). Purely observational: must not mutate model state.
 	Prof func() *profile.Node
+	// WakeLat, if non-nil (telemetry runs), receives the wakeup-to-run
+	// delay of every Sleeping→Running transition of this thread.
+	// Purely observational.
+	WakeLat *metrics.LogHistogram
 
 	weight   int64
 	vruntime int64 // weighted virtual runtime, ns at nice-0 scale
@@ -231,7 +236,7 @@ func (s *Scheduler) Wake(t *Thread) {
 		t.vruntime = minv - bonus
 	}
 	t.state = Runnable
-	if s.path != nil {
+	if s.path != nil || t.WakeLat != nil {
 		t.wakeT = s.eng.Now()
 		t.wakePending = true
 	}

@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"es2/internal/metrics"
+	"es2/internal/sim"
+)
+
+// testRig is a small deterministic simulation: a counter that gains 2
+// every 3ms, a gauge mirroring the event count, and a fraction whose
+// numerator advances at half the denominator's rate.
+type testRig struct {
+	eng  *sim.Engine
+	rec  *Recorder
+	n    float64 // cumulative counter
+	g    float64 // gauge level
+	num  float64
+	den  float64
+	hist *metrics.LogHistogram
+}
+
+func newTestRig(window sim.Time) *testRig {
+	rig := &testRig{eng: sim.NewEngine(1), hist: metrics.NewLogHistogram()}
+	rig.rec = New(rig.eng, window)
+	rig.rec.Counter("t_ops", "Operations completed.",
+		[]Label{{Key: "cls", Value: "a,b"}}, func() float64 { return rig.n })
+	rig.rec.Gauge("t_depth", "Queue depth.", nil, func() float64 { return rig.g })
+	rig.rec.Fraction("t_busy", "Busy fraction.", nil,
+		func() float64 { return rig.num }, func() float64 { return rig.den })
+	rig.rec.Histogram("t_lat_seconds", "Latency spectrum.", nil, rig.hist)
+	var tick func()
+	tick = func() {
+		rig.n += 2
+		rig.g = rig.n / 2
+		rig.num += 1
+		rig.den += 2
+		rig.hist.Observe(sim.Time(1000 + int64(rig.n)*100))
+		rig.eng.After(3*sim.Millisecond, tick)
+	}
+	rig.eng.After(3*sim.Millisecond, tick)
+	return rig
+}
+
+func (rig *testRig) run(t *testing.T, end sim.Time) {
+	t.Helper()
+	rig.rec.Start(end)
+	rig.eng.Run(end)
+	rig.rec.Finalize()
+}
+
+func TestRecorderWindowsAndDeltas(t *testing.T) {
+	rig := newTestRig(10 * sim.Millisecond)
+	rig.run(t, 25*sim.Millisecond)
+
+	wins := rig.rec.Windows()
+	if len(wins) != 3 {
+		t.Fatalf("got %d windows, want 3", len(wins))
+	}
+	wantBounds := [][2]sim.Time{
+		{0, 10 * sim.Millisecond},
+		{10 * sim.Millisecond, 20 * sim.Millisecond},
+		{20 * sim.Millisecond, 25 * sim.Millisecond},
+	}
+	for i, w := range wins {
+		if w.Start != wantBounds[i][0] || w.End != wantBounds[i][1] {
+			t.Errorf("window %d spans [%v, %v], want [%v, %v]",
+				i, w.Start, w.End, wantBounds[i][0], wantBounds[i][1])
+		}
+	}
+
+	cols := rig.rec.Columns()
+	if cols[0] != `t_ops{cls="a,b"}` {
+		t.Errorf("counter column %q", cols[0])
+	}
+	var sum float64
+	for _, w := range wins {
+		sum += w.Values[0]
+	}
+	if total := rig.rec.Total(cols[0]); sum != total {
+		t.Errorf("windowed deltas sum to %v, Total reports %v", sum, total)
+	}
+	if rig.n == 0 || sum != rig.n {
+		t.Errorf("deltas sum to %v, cumulative counter is %v", sum, rig.n)
+	}
+	// The gauge's final sample is the level at the horizon; the fraction
+	// is Δnum/Δden = 0.5 in every window with events.
+	if got := wins[2].Values[1]; got != rig.g {
+		t.Errorf("final gauge sample %v, level is %v", got, rig.g)
+	}
+	for i, w := range wins {
+		if w.Values[2] != 0.5 {
+			t.Errorf("window %d fraction %v, want 0.5", i, w.Values[2])
+		}
+	}
+}
+
+func TestRecorderBaselinesAtStart(t *testing.T) {
+	rig := newTestRig(10 * sim.Millisecond)
+	// Let activity accumulate before Start: the recorder must baseline
+	// it away so windows only see in-measurement deltas.
+	rig.eng.Run(9 * sim.Millisecond)
+	pre := rig.n
+	if pre == 0 {
+		t.Fatal("no pre-measurement activity")
+	}
+	rig.run(t, 29*sim.Millisecond)
+	var sum float64
+	for _, w := range rig.rec.Windows() {
+		sum += w.Values[0]
+	}
+	if sum != rig.n-pre {
+		t.Errorf("deltas sum to %v, want %v (cumulative %v minus baseline %v)",
+			sum, rig.n-pre, rig.n, pre)
+	}
+}
+
+func TestRecorderCSV(t *testing.T) {
+	rig := newTestRig(10 * sim.Millisecond)
+	rig.run(t, 25*sim.Millisecond)
+	var buf bytes.Buffer
+	if err := rig.rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 1+3 {
+		t.Fatalf("got %d CSV lines, want header + 3 windows:\n%s", len(lines), buf.String())
+	}
+	// The counter column's comma-bearing label forces RFC 4180 quoting.
+	wantHeader := `window,start_s,end_s,"t_ops{cls=""a,b""}",t_depth,t_busy`
+	if lines[0] != wantHeader {
+		t.Errorf("header %q, want %q", lines[0], wantHeader)
+	}
+	// Counter cells are per-second rates: window 0 spans 10ms and saw
+	// deltas of 2 every 3ms (3ms, 6ms, 9ms) = 6 ops -> 600 ops/s.
+	if !strings.HasPrefix(lines[1], "0,0,0.01,600,") {
+		t.Errorf("window 0 row %q, want prefix %q", lines[1], "0,0,0.01,600,")
+	}
+}
+
+func TestRecorderDeterministicExports(t *testing.T) {
+	render := func() (string, string) {
+		rig := newTestRig(7 * sim.Millisecond)
+		rig.run(t, 40*sim.Millisecond)
+		var prom, csv bytes.Buffer
+		if err := rig.rec.WriteOpenMetrics(&prom); err != nil {
+			t.Fatal(err)
+		}
+		if err := rig.rec.WriteCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		return prom.String(), csv.String()
+	}
+	p1, c1 := render()
+	p2, c2 := render()
+	if p1 != p2 {
+		t.Error("OpenMetrics exposition differs between identical runs")
+	}
+	if c1 != c2 {
+		t.Error("CSV export differs between identical runs")
+	}
+}
+
+func TestRecorderFinalizeIdempotent(t *testing.T) {
+	rig := newTestRig(10 * sim.Millisecond)
+	rig.run(t, 25*sim.Millisecond)
+	n := len(rig.rec.Windows())
+	rig.rec.Finalize()
+	if len(rig.rec.Windows()) != n {
+		t.Error("second Finalize appended a window")
+	}
+}
+
+func TestRecorderExactBoundaryNoPartialWindow(t *testing.T) {
+	// A horizon landing exactly on a boundary must not produce an empty
+	// trailing window.
+	rig := newTestRig(10 * sim.Millisecond)
+	rig.run(t, 30*sim.Millisecond)
+	wins := rig.rec.Windows()
+	if len(wins) != 3 {
+		t.Fatalf("got %d windows, want 3", len(wins))
+	}
+	if last := wins[2]; last.Start != 20*sim.Millisecond || last.End != 30*sim.Millisecond {
+		t.Errorf("last window [%v, %v], want [20ms, 30ms]", last.Start, last.End)
+	}
+}

@@ -18,6 +18,7 @@ package virtio
 import (
 	"fmt"
 
+	"es2/internal/metrics"
 	"es2/internal/sim"
 )
 
@@ -35,6 +36,10 @@ type Desc struct {
 	// when tracing is disabled; opaque to the queue itself.
 	SpanT    sim.Time
 	SpanMech uint8
+
+	// resT is the avail-publish instant, stamped by Add when the
+	// queue's residency probe is installed (telemetry runs).
+	resT sim.Time
 }
 
 // Virtqueue is one split virtqueue.
@@ -61,6 +66,13 @@ type Virtqueue struct {
 	// arrives. Nil in normal operation.
 	DropKick   func() bool
 	DropSignal func() bool
+
+	// resLat/resNow implement the residency probe: when installed,
+	// every descriptor is stamped at Add and its avail-ring residency
+	// (publish → device dequeue) observed at Pop. Purely
+	// observational; nil in normal operation.
+	resLat *metrics.LogHistogram
+	resNow func() sim.Time
 
 	// Statistics.
 	Kicks             uint64 // kicks actually delivered (each is a VM exit)
@@ -129,6 +141,9 @@ func (q *Virtqueue) UsedLen() int { return len(q.used) }
 func (q *Virtqueue) Add(d Desc) bool {
 	if q.Full() {
 		return false
+	}
+	if q.resLat != nil {
+		d.resT = q.resNow()
 	}
 	q.avail = append(q.avail, d)
 	q.Added++
@@ -206,6 +221,9 @@ func (q *Virtqueue) Pop() (Desc, bool) {
 	q.avail = q.avail[:rest]
 	q.inflight++
 	q.Popped++
+	if q.resLat != nil {
+		q.resLat.Observe(q.resNow() - d.resT)
+	}
 	return d, true
 }
 
@@ -249,6 +267,18 @@ func (q *Virtqueue) CheckInvariants() error {
 		return fmt.Errorf("vq %s: Added-Popped=%d but avail holds %d", q.name, q.Added-q.Popped, len(q.avail))
 	}
 	return nil
+}
+
+// SetResidencyProbe installs the telemetry residency probe: h receives
+// the avail-ring residency (publish → device dequeue) of every
+// descriptor, timed by now. Install during deterministic build, before
+// any descriptor is posted, so every Pop sees a stamped descriptor.
+func (q *Virtqueue) SetResidencyProbe(h *metrics.LogHistogram, now func() sim.Time) {
+	if h == nil || now == nil {
+		panic("virtio: residency probe needs a histogram and a clock")
+	}
+	q.resLat = h
+	q.resNow = now
 }
 
 // SetNoNotify lets the device suppress (true) or re-enable (false)

@@ -2,6 +2,7 @@ package vmm
 
 import (
 	"es2/internal/apic"
+	"es2/internal/metrics"
 	"es2/internal/profile"
 	"es2/internal/sched"
 	"es2/internal/sim"
@@ -41,6 +42,12 @@ type KVM struct {
 	// vCPU (guest task vs. exit handling by reason). Set before
 	// creating VMs so contexts intern in deterministic build order.
 	Prof *profile.Profiler
+	// IRQLatPosted / IRQLatEmulated, when non-nil (telemetry runs),
+	// record the interrupt-delivery latency — APIC injection to guest
+	// handler entry — split by delivery path. Both are set together;
+	// nil costs nothing.
+	IRQLatPosted   *metrics.LogHistogram
+	IRQLatEmulated *metrics.LogHistogram
 
 	rng *sim.Rand
 	vms []*VM
@@ -108,12 +115,18 @@ func (k *KVM) InjectMSI(vm *VM, msi apic.MSIMessage) {
 func (k *KVM) DeliverLocal(v *VCPU, vec apic.Vector) {
 	if k.UsePI {
 		if v.PID.Available() {
+			if k.IRQLatPosted != nil {
+				v.irqStamps.Mark(vec, apic.StampPosted, k.Eng.Now())
+			}
 			k.postInterrupt(v, vec)
 			return
 		}
 		// Graceful degradation: the PI facility is down for this vCPU,
 		// so deliver through the emulated LAPIC until it recovers.
 		k.PIFallbacks++
+	}
+	if k.IRQLatEmulated != nil {
+		v.irqStamps.Mark(vec, apic.StampEmulated, k.Eng.Now())
 	}
 	k.injectEmulated(v, vec)
 }

@@ -74,6 +74,11 @@ type VCPU struct {
 	piPostT       sim.Time
 	piPostPending bool
 
+	// irqStamps carries the per-vector injection timestamps for the
+	// interrupt-delivery latency histograms (stamped only when
+	// K.IRQLatPosted/IRQLatEmulated are set).
+	irqStamps apic.VectorStamps
+
 	// track is this vCPU's timeline track (NoTrack when no timeline).
 	track trace.TrackID
 
@@ -257,6 +262,16 @@ func clampChunk(r sim.Time) sim.Time {
 // handler at PrioIRQ.
 func (v *VCPU) startHandler(vec apic.Vector) {
 	v.VAPIC.Accept(vec)
+	if k := v.VM.K; k.IRQLatPosted != nil {
+		if t0, mech, ok := v.irqStamps.Take(vec); ok {
+			d := k.Eng.Now() - t0
+			if mech == apic.StampPosted {
+				k.IRQLatPosted.Observe(d)
+			} else {
+				k.IRQLatEmulated.Observe(d)
+			}
+		}
+	}
 	v.IRQAccepted++
 	v.VM.noteAccepted(v, vec)
 	h := v.VM.idt[vec]

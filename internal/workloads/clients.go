@@ -19,7 +19,7 @@ type Memaslap struct {
 
 	// Completed counts responses; Lat aggregates request latencies.
 	Completed uint64
-	Lat       *metrics.Histogram
+	Lat       *metrics.LogHistogram
 
 	started map[int64]sim.Time
 
@@ -34,7 +34,7 @@ type Memaslap struct {
 // concurrency requests outstanding.
 func StartMemaslap(pe *Peer, ids *FlowIDs, conns, concurrency int) *Memaslap {
 	m := &Memaslap{
-		peer: pe, Lat: metrics.NewHistogram(0), started: make(map[int64]sim.Time),
+		peer: pe, Lat: metrics.NewLogHistogram(), started: make(map[int64]sim.Time),
 		GetReqBytes: 105, GetRespBytes: 1088,
 		SetReqBytes: 1130, SetRespBytes: 71,
 		GetEvery: 10,
@@ -93,7 +93,7 @@ type ApacheBench struct {
 	// Completed counts full responses; BytesReceived counts payload.
 	Completed     uint64
 	BytesReceived uint64
-	ConnTime      *metrics.Histogram
+	ConnTime      *metrics.LogHistogram
 
 	PageBytes   int
 	ReqBytes    int
@@ -118,7 +118,7 @@ type abWorker struct {
 func StartApacheBench(pe *Peer, ids *FlowIDs, concurrency, pageBytes int) *ApacheBench {
 	ab := &ApacheBench{
 		peer: pe, PageBytes: pageBytes, ReqBytes: 120,
-		SYNTimeout: 1 * sim.Second, ConnTime: metrics.NewHistogram(0),
+		SYNTimeout: 1 * sim.Second, ConnTime: metrics.NewLogHistogram(),
 	}
 	for i := 0; i < concurrency; i++ {
 		w := &abWorker{ab: ab, flow: ids.Next()}
@@ -193,7 +193,7 @@ type Httperf struct {
 	SYNTimeout sim.Time
 
 	// ConnTime aggregates per-connection establishment times.
-	ConnTime *metrics.Histogram
+	ConnTime *metrics.LogHistogram
 	// Initiated and Established count connections.
 	Initiated   uint64
 	Established uint64
@@ -216,7 +216,7 @@ type httperfConn struct {
 func StartHttperf(pe *Peer, ids *FlowIDs, rate float64, pageBytes int) *Httperf {
 	h := &Httperf{
 		peer: pe, Rate: rate, PageBytes: pageBytes,
-		SYNTimeout: 1 * sim.Second, ConnTime: metrics.NewHistogram(0), ids: ids,
+		SYNTimeout: 1 * sim.Second, ConnTime: metrics.NewLogHistogram(), ids: ids,
 	}
 	interval := sim.Time(1e9 / rate)
 	var tick func()

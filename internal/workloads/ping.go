@@ -23,7 +23,7 @@ type Pinger struct {
 	// (one point per reply, timestamped at the reply's arrival).
 	RTTs metrics.Series
 	// Hist aggregates the same RTTs for percentile reporting.
-	Hist *metrics.Histogram
+	Hist *metrics.LogHistogram
 	// Lost counts echo requests with no reply by the end of the run
 	// (still outstanding when inspected).
 	Sent uint64
@@ -37,7 +37,7 @@ func StartPing(kern *guest.Kernel, pe *Peer, flowID int, interval sim.Time) *Pin
 	p := &Pinger{
 		peer: pe, flowID: flowID, interval: interval, bytes: 98,
 		sentAt: make(map[int64]sim.Time),
-		Hist:   metrics.NewHistogram(0),
+		Hist:   metrics.NewLogHistogram(),
 	}
 	pe.Register(flowID, p)
 	p.tick()

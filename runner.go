@@ -106,6 +106,9 @@ func (s ScenarioSpec) withDefaults() ScenarioSpec {
 			w.ServiceCost = 10 * time.Microsecond
 		}
 	}
+	if s.Telemetry && s.TelemetryWindow <= 0 {
+		s.TelemetryWindow = 10 * time.Millisecond
+	}
 	// The paper selects quota 4 for TCP streams and 8 for UDP streams
 	// (Section VI-B); default accordingly when hybrid is on.
 	if s.Config.Hybrid && s.Config.Quota <= 0 {
@@ -143,6 +146,9 @@ type testbed struct {
 	// Fault-injection and invariant-checking state (nil when off).
 	inj *faults.Injector
 	chk *faults.Checker
+
+	// Windowed-telemetry state (nil unless spec.Telemetry).
+	tel *telemetryState
 
 	// Simulated-CPU profiler (nil unless spec.CPUProfile).
 	prof *profile.Profiler
@@ -234,10 +240,19 @@ func Run(spec ScenarioSpec) (*Result, error) {
 		// exactly (both sides see the same charge boundaries).
 		tb.prof.Reset()
 	}
+	if tb.tel != nil {
+		// The recorder baselines every counter here, so its windowed
+		// deltas integrate exactly to the scalars computed below.
+		tb.startTelemetry(warmup + window)
+	}
 	if col.onWarmupEnd != nil {
 		col.onWarmupEnd()
 	}
 	tb.eng.Run(warmup + window)
+	if tb.tel != nil {
+		// Close the final (possibly partial) window at the horizon.
+		tb.tel.rec.Finalize()
+	}
 
 	var vhostBusy sim.Time
 	for _, io := range tb.ios {
@@ -339,6 +354,9 @@ func Run(spec ScenarioSpec) (*Result, error) {
 		tb.prof.Finalize(window)
 		r.CPUProfile = tb.prof
 		r.CPUReport = buildCPUReport(tb.prof, spec, window)
+	}
+	if tb.tel != nil {
+		tb.fillTelemetry(r)
 	}
 	col.fill(r, window)
 	return r, nil
@@ -498,6 +516,11 @@ func build(spec ScenarioSpec) (*testbed, error) {
 	}
 	if tb.tl != nil {
 		tb.probeTrack = tb.tl.Track("probes", "probes")
+	}
+	if spec.Telemetry {
+		// Latency hooks must be installed before the workload posts its
+		// first descriptor (see setupTelemetry).
+		tb.setupTelemetry()
 	}
 	return tb, nil
 }
@@ -829,6 +852,9 @@ func fillLatency(r *Result, h interface {
 	Max() sim.Time
 }) {
 	r.MeanLatency = time.Duration(h.Mean())
+	r.P50Latency = time.Duration(h.Quantile(0.5))
+	r.P90Latency = time.Duration(h.Quantile(0.9))
 	r.P99Latency = time.Duration(h.Quantile(0.99))
+	r.P999Latency = time.Duration(h.Quantile(0.999))
 	r.MaxLatency = time.Duration(h.Max())
 }

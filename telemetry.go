@@ -1,0 +1,249 @@
+package es2
+
+// Windowed-telemetry wiring: the hooks installed at build time (latency
+// histograms at the three instrumented points) and the recorder
+// assembled at the start of the measurement window. Everything here is
+// purely observational — the probes snapshot counters the simulation
+// already maintains, and the recorder's boundary events draw no
+// randomness — so a telemetry run is bit-identical to a plain run.
+
+import (
+	"fmt"
+	"time"
+
+	"es2/internal/metrics"
+	"es2/internal/sim"
+	"es2/internal/telemetry"
+	"es2/internal/vmm"
+)
+
+// telemetryState holds the recorder and the latency histograms hooked
+// into the simulation layers for the tested VM.
+type telemetryState struct {
+	rec *telemetry.Recorder
+
+	irqPosted   *metrics.LogHistogram   // APIC injection → handler entry, posted path
+	irqEmulated *metrics.LogHistogram   // same span, emulated-injection path
+	resLats     []*metrics.LogHistogram // TX avail-publish → vhost dequeue, per queue
+	wakeLat     *metrics.LogHistogram   // scheduler wakeup → running, vm0 vCPUs
+	vhostWake   *metrics.LogHistogram   // same span for the vhost I/O threads
+}
+
+// setupTelemetry installs the latency hooks during the deterministic
+// build, before any workload runs: the histograms must exist before the
+// first interrupt is injected or descriptor posted so every observation
+// has a matching stamp. The histograms are reset at warmup end.
+func (tb *testbed) setupTelemetry() {
+	tel := &telemetryState{
+		irqPosted:   metrics.NewLogHistogram(),
+		irqEmulated: metrics.NewLogHistogram(),
+		wakeLat:     metrics.NewLogHistogram(),
+		vhostWake:   metrics.NewLogHistogram(),
+	}
+	tb.k.IRQLatPosted = tel.irqPosted
+	tb.k.IRQLatEmulated = tel.irqEmulated
+	for _, pair := range tb.kerns[0].Dev.Pairs {
+		h := metrics.NewLogHistogram()
+		pair.TX.SetResidencyProbe(h, tb.eng.Now)
+		tel.resLats = append(tel.resLats, h)
+	}
+	for _, v := range tb.vms[0].VCPUs {
+		v.Thread.WakeLat = tel.wakeLat
+	}
+	// vCPU threads sleep only when they run out of guest tasks (the burn
+	// filler usually keeps them runnable); the vhost I/O threads are the
+	// hot wakeup path — every kick on an idle queue is one — so they get
+	// their own spectrum.
+	for _, io := range tb.ios {
+		io.Thread.WakeLat = tel.vhostWake
+	}
+	tb.tel = tel
+}
+
+// startTelemetry begins the windowed recording at the start of the
+// measurement window: the latency histograms drop their warm-up
+// observations and every headline counter is registered as a series,
+// base-lined at this instant so windowed deltas integrate exactly to
+// the end-of-run scalars.
+func (tb *testbed) startTelemetry(end sim.Time) {
+	tel := tb.tel
+	tel.irqPosted.Reset()
+	tel.irqEmulated.Reset()
+	for _, h := range tel.resLats {
+		h.Reset()
+	}
+	tel.wakeLat.Reset()
+	tel.vhostWake.Reset()
+
+	rec := telemetry.New(tb.eng, sim.DurationOf(tb.spec.TelemetryWindow))
+	tel.rec = rec
+	vm := tb.vms[0]
+
+	for i := 0; i < vmm.NumExitReasons; i++ {
+		i := i
+		rec.Counter("es2_exits", "VM exits of the tested VM by reason.",
+			[]telemetry.Label{{Key: "reason", Value: vmm.ExitReason(i).String()}},
+			func() float64 { return float64(vm.Exits.Count(i)) })
+	}
+	guestSec := func() float64 {
+		var g sim.Time
+		for _, v := range vm.VCPUs {
+			g += v.GuestTime
+		}
+		return g.Seconds()
+	}
+	modeSec := func() float64 {
+		var t sim.Time
+		for _, v := range vm.VCPUs {
+			t += v.GuestTime + v.HostTime
+		}
+		return t.Seconds()
+	}
+	rec.Counter("es2_guest_seconds", "Guest-mode (VMX non-root) CPU seconds of the tested VM.",
+		nil, guestSec)
+	rec.Counter("es2_host_seconds", "Host-mode CPU seconds charged to the tested VM's vCPU threads.",
+		nil, func() float64 { return modeSec() - guestSec() })
+	rec.Fraction("es2_tig", "Time-in-guest fraction of the tested VM over the window.",
+		nil, guestSec, modeSec)
+
+	busySec := func() float64 {
+		var b sim.Time
+		for _, io := range tb.ios {
+			b += io.Thread.SumExec()
+		}
+		return b.Seconds()
+	}
+	rec.Counter("es2_vhost_busy_seconds", "CPU seconds consumed by all vhost I/O threads.",
+		nil, busySec)
+	if tb.spec.VhostCores > 0 {
+		cores := float64(tb.spec.VhostCores)
+		rec.Fraction("es2_vhost_busy", "Vhost core busy fraction over the window.",
+			nil, busySec, func() float64 { return tb.eng.Now().Seconds() * cores })
+	}
+	rec.Counter("es2_dev_irqs", "Device interrupts delivered to the tested VM.",
+		nil, func() float64 { return float64(vm.DevIRQDelivered.Value()) })
+	if red := tb.es.Redirector; red != nil {
+		rec.Counter("es2_irq_redirected", "Device interrupts redirected to an online vCPU.",
+			nil, func() float64 { return float64(red.Redirected) })
+		rec.Counter("es2_irq_kept_affinity", "Device interrupts that kept their configured affinity.",
+			nil, func() float64 { return float64(red.KeptAffinity) })
+		rec.Counter("es2_offline_predicts", "Redirector target choices predicted from the offline list.",
+			nil, func() float64 { return float64(red.OfflinePredicts) })
+		rec.Counter("es2_online_hits", "Redirector target choices satisfied from the online list.",
+			nil, func() float64 { return float64(red.OnlineHits) })
+	}
+	rec.Counter("es2_tcp_retransmits", "TCP retransmission timeouts on both ends of the wire.",
+		nil, func() float64 { return float64(tb.sumRetransmits()) })
+
+	for qi, d := range tb.devsByVM[0] {
+		d := d
+		ql := []telemetry.Label{{Key: "queue", Value: fmt.Sprintf("%d", qi)}}
+		rec.Gauge("es2_vq_avail", "TX descriptors awaiting vhost, sampled at window end.",
+			ql, func() float64 { return float64(d.TXQ.AvailLen()) })
+		rec.Gauge("es2_vq_used", "RX completions awaiting the guest driver, sampled at window end.",
+			ql, func() float64 { return float64(d.RXQ.UsedLen()) })
+		rec.Gauge("es2_vhost_backlog", "Packets queued inside the vhost device, sampled at window end.",
+			ql, func() float64 { return float64(d.Backlog()) })
+	}
+
+	if inj := tb.inj; inj != nil {
+		for _, fc := range []struct {
+			kind string
+			get  func() uint64
+		}{
+			{"wire_drop", func() uint64 { return inj.Counters.WireDrops }},
+			{"wire_dup", func() uint64 { return inj.Counters.WireDups }},
+			{"lost_kick", func() uint64 { return inj.Counters.LostKicks }},
+			{"lost_signal", func() uint64 { return inj.Counters.LostSignals }},
+			{"vhost_stall", func() uint64 { return inj.Counters.VhostStalls }},
+			{"pi_outage", func() uint64 { return inj.Counters.PIOutages }},
+			{"preempt_storm", func() uint64 { return inj.Counters.PreemptStorms }},
+		} {
+			get := fc.get
+			rec.Counter("es2_faults_injected", "Faults injected, by kind.",
+				[]telemetry.Label{{Key: "kind", Value: fc.kind}},
+				func() float64 { return float64(get()) })
+		}
+		for _, rc := range []struct {
+			kind string
+			get  func() uint64
+		}{
+			{"retransmit", tb.sumRetransmits},
+			{"watchdog", tb.sumWatchdogFires},
+			{"repoll", tb.sumRePolls},
+			{"pi_fallback", func() uint64 { return tb.k.PIFallbacks }},
+		} {
+			get := rc.get
+			rec.Counter("es2_recoveries", "Recovery-mechanism activations, by mechanism.",
+				[]telemetry.Label{{Key: "kind", Value: rc.kind}},
+				func() float64 { return float64(get()) })
+		}
+		rec.Gauge("es2_pi_unavailable_vcpus", "vCPUs whose posted-interrupt descriptor is currently unavailable (active PI outage).",
+			nil, func() float64 {
+				n := 0
+				for _, m := range tb.vms {
+					for _, v := range m.VCPUs {
+						if !v.PID.Available() {
+							n++
+						}
+					}
+				}
+				return float64(n)
+			})
+	}
+
+	rec.Histogram("es2_irq_delivery_latency_seconds",
+		"Interrupt delivery latency, APIC injection to guest handler entry.",
+		[]telemetry.Label{{Key: "path", Value: "posted"}}, tel.irqPosted)
+	rec.Histogram("es2_irq_delivery_latency_seconds",
+		"Interrupt delivery latency, APIC injection to guest handler entry.",
+		[]telemetry.Label{{Key: "path", Value: "emulated"}}, tel.irqEmulated)
+	for qi, h := range tel.resLats {
+		rec.Histogram("es2_vq_residency_seconds",
+			"TX descriptor residency, avail-publish to vhost dequeue.",
+			[]telemetry.Label{{Key: "queue", Value: fmt.Sprintf("%d", qi)}}, h)
+	}
+	rec.Histogram("es2_vcpu_wakeup_seconds",
+		"vCPU thread wakeup-to-run delay on the tested VM.",
+		nil, tel.wakeLat)
+	rec.Histogram("es2_vhost_wakeup_seconds",
+		"vhost I/O thread wakeup-to-run delay.",
+		nil, tel.vhostWake)
+
+	rec.Start(end)
+}
+
+// fillTelemetry publishes the finalized recording into the result.
+func (tb *testbed) fillTelemetry(r *Result) {
+	tel := tb.tel
+	r.TelemetryRecorder = tel.rec
+	r.Telemetry = &TelemetryInfo{
+		WindowMs: tb.spec.TelemetryWindow.Seconds() * 1e3,
+		Windows:  len(tel.rec.Windows()),
+		Series:   tel.rec.SeriesCount(),
+	}
+	r.LatencyProfiles = append(r.LatencyProfiles,
+		latencyProfile("irq-delivery", "posted", tel.irqPosted),
+		latencyProfile("irq-delivery", "emulated", tel.irqEmulated))
+	for qi, h := range tel.resLats {
+		r.LatencyProfiles = append(r.LatencyProfiles,
+			latencyProfile("vq-residency", fmt.Sprintf("txq%d", qi), h))
+	}
+	r.LatencyProfiles = append(r.LatencyProfiles,
+		latencyProfile("vcpu-wakeup", "", tel.wakeLat),
+		latencyProfile("vhost-wakeup", "", tel.vhostWake))
+}
+
+func latencyProfile(class, label string, h *metrics.LogHistogram) LatencyProfile {
+	return LatencyProfile{
+		Class: class,
+		Label: label,
+		Count: h.Count(),
+		Mean:  time.Duration(h.Mean()),
+		P50:   time.Duration(h.Quantile(0.5)),
+		P90:   time.Duration(h.Quantile(0.9)),
+		P99:   time.Duration(h.Quantile(0.99)),
+		P999:  time.Duration(h.Quantile(0.999)),
+		Max:   time.Duration(h.Max()),
+	}
+}

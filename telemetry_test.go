@@ -1,0 +1,215 @@
+package es2
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+// telSpec is the canonical telemetry test scenario.
+func telSpec() ScenarioSpec {
+	s := short(Full(4), WorkloadSpec{Kind: NetperfTCPSend, MsgBytes: 1024})
+	s.Telemetry = true
+	return s
+}
+
+// faultedTelSpec adds deterministic fault injection on top.
+func faultedTelSpec() ScenarioSpec {
+	s := telSpec()
+	s.Faults = FaultSpec{
+		PacketLossProb: 0.002,
+		LostKickProb:   0.001,
+		PIOutageEvery:  40 * time.Millisecond,
+		PIOutage:       2 * time.Millisecond,
+	}
+	return s
+}
+
+// exports renders both telemetry exports of one run.
+func exports(t *testing.T, s ScenarioSpec) (prom, csv string) {
+	t.Helper()
+	r := mustRun(t, s)
+	var p, c bytes.Buffer
+	if err := r.TelemetryRecorder.WriteOpenMetrics(&p); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.TelemetryRecorder.WriteCSV(&c); err != nil {
+		t.Fatal(err)
+	}
+	return p.String(), c.String()
+}
+
+func TestTelemetryExportsByteIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec ScenarioSpec
+	}{
+		{"plain", telSpec()},
+		{"faulted", faultedTelSpec()},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			p1, c1 := exports(t, tc.spec)
+			p2, c2 := exports(t, tc.spec)
+			if p1 != p2 {
+				t.Error("OpenMetrics exposition differs between same-seed runs")
+			}
+			if c1 != c2 {
+				t.Error("CSV export differs between same-seed runs")
+			}
+			if len(p1) == 0 || len(c1) == 0 {
+				t.Fatal("empty export")
+			}
+		})
+	}
+}
+
+func TestTelemetryDoesNotPerturbResults(t *testing.T) {
+	plain := telSpec()
+	plain.Telemetry = false
+	a := mustRun(t, plain)
+	b := mustRun(t, telSpec())
+	if a.TotalExitRate != b.TotalExitRate || a.TIG != b.TIG ||
+		a.ThroughputMbps != b.ThroughputMbps || a.TxPkts != b.TxPkts ||
+		a.RxPkts != b.RxPkts || a.VhostCPU != b.VhostCPU ||
+		a.DevIRQRate != b.DevIRQRate {
+		t.Fatalf("telemetry perturbed the simulation:\nplain: %+v\ntelem: %+v", a, b)
+	}
+	if a.TelemetryRecorder != nil || a.Telemetry != nil {
+		t.Error("plain run carries telemetry state")
+	}
+	if b.TelemetryRecorder == nil || b.Telemetry == nil {
+		t.Error("telemetry run lacks recorder or summary")
+	}
+}
+
+// TestTelemetryReconcilesWithScalars checks the acceptance bar: the
+// windowed series integrate to the Result's scalar aggregates within
+// 0.1% — exit counts by reason against ExitRates x window, and the TIG
+// scalar against the guest/host second series.
+func TestTelemetryReconcilesWithScalars(t *testing.T) {
+	r := mustRun(t, telSpec())
+	rec := r.TelemetryRecorder
+	window := r.MeasuredSeconds
+
+	cols := rec.Columns()
+	kinds := rec.Kinds()
+	wins := rec.Windows()
+	if len(wins) == 0 {
+		t.Fatal("no telemetry windows")
+	}
+	sums := make([]float64, len(cols))
+	for _, w := range wins {
+		for i, v := range w.Values {
+			sums[i] += v
+		}
+	}
+	within := func(name string, got, want, tol float64) {
+		t.Helper()
+		if want == 0 {
+			if got != 0 {
+				t.Errorf("%s: series integrate to %v, scalar is 0", name, got)
+			}
+			return
+		}
+		if rel := math.Abs(got-want) / math.Abs(want); rel > tol {
+			t.Errorf("%s: series integrate to %v, scalar implies %v (rel err %.4f)", name, got, want, rel)
+		}
+	}
+
+	var guestSum, hostSum float64
+	matched := 0
+	for i, col := range cols {
+		if kinds[i] != 0 { // only counters integrate
+			switch col {
+			case "es2_guest_seconds", "es2_host_seconds":
+				t.Errorf("%s registered as non-counter", col)
+			}
+			continue
+		}
+		switch {
+		case col == "es2_guest_seconds":
+			guestSum = sums[i]
+		case col == "es2_host_seconds":
+			hostSum = sums[i]
+		case col == "es2_dev_irqs":
+			within(col, sums[i], r.DevIRQRate*window, 0.001)
+		case len(col) > len("es2_exits{") && col[:len("es2_exits{")] == "es2_exits{":
+			reason := col[len(`es2_exits{reason="`) : len(col)-2]
+			rate, ok := r.ExitRates[reason]
+			if !ok {
+				t.Fatalf("series %q has no ExitRates entry", col)
+			}
+			within(col, sums[i], rate*window, 0.001)
+			matched++
+		}
+		// Every counter's windowed deltas must also sum to its own
+		// cumulative total — exactly, not within tolerance.
+		if diff := math.Abs(sums[i] - rec.Total(col)); diff > 1e-9*math.Abs(rec.Total(col))+1e-12 {
+			t.Errorf("%s: deltas sum to %v, Total is %v", col, sums[i], rec.Total(col))
+		}
+	}
+	if matched == 0 {
+		t.Fatal("no es2_exits series found")
+	}
+	tig := guestSum / (guestSum + hostSum)
+	within("es2_tig", tig, r.TIG, 0.001)
+}
+
+func TestTelemetryLatencyProfiles(t *testing.T) {
+	r := mustRun(t, telSpec())
+	classes := map[string]bool{}
+	for _, p := range r.LatencyProfiles {
+		classes[p.Class] = true
+		if p.Count > 0 {
+			if p.P50 > p.P90 || p.P90 > p.P99 || p.P99 > p.P999 || p.P999 > p.Max {
+				t.Errorf("%s/%s: percentiles not monotone: %+v", p.Class, p.Label, p)
+			}
+			if p.Mean <= 0 && p.Max > 0 {
+				t.Errorf("%s/%s: zero mean with nonzero max", p.Class, p.Label)
+			}
+		}
+	}
+	for _, want := range []string{"irq-delivery", "vq-residency", "vcpu-wakeup", "vhost-wakeup"} {
+		if !classes[want] {
+			t.Errorf("latency class %q missing from profiles", want)
+		}
+	}
+	// The ES2 full configuration posts interrupts and streams TCP: the
+	// posted-IRQ and residency spectra must carry real observations.
+	counts := map[string]uint64{}
+	for _, p := range r.LatencyProfiles {
+		counts[p.Class+"/"+p.Label] += p.Count
+	}
+	if counts["irq-delivery/posted"] == 0 {
+		t.Error("posted irq-delivery spectrum is empty under the full config")
+	}
+	if counts["vq-residency/txq0"] == 0 {
+		t.Error("vq-residency spectrum is empty under a TCP stream")
+	}
+	// Workload latency percentiles (satellite of the same histograms).
+	m := mustRun(t, short(Full(4), WorkloadSpec{Kind: Memcached}))
+	if m.P50Latency <= 0 || m.P50Latency > m.P90Latency ||
+		m.P90Latency > m.P99Latency || m.P99Latency > m.P999Latency ||
+		m.P999Latency > m.MaxLatency {
+		t.Errorf("workload latency spectrum not monotone: p50=%v p90=%v p99=%v p99.9=%v max=%v",
+			m.P50Latency, m.P90Latency, m.P99Latency, m.P999Latency, m.MaxLatency)
+	}
+}
+
+func TestTelemetryWindowValidation(t *testing.T) {
+	s := telSpec()
+	s.TelemetryWindow = 10 * time.Microsecond
+	if _, err := Run(s); err == nil {
+		t.Error("sub-100µs telemetry window accepted")
+	}
+	s.TelemetryWindow = 50 * time.Millisecond
+	r := mustRun(t, s)
+	if r.Telemetry.WindowMs != 50 {
+		t.Errorf("window %vms, want 50", r.Telemetry.WindowMs)
+	}
+	if r.Telemetry.Windows != 8 {
+		t.Errorf("got %d windows over 400ms at 50ms, want 8", r.Telemetry.Windows)
+	}
+}

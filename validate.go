@@ -81,6 +81,16 @@ func (s ScenarioSpec) validate() error {
 	if s.Duration > maxDuration {
 		return specErr("Duration", "%v exceeds the supported maximum %v", s.Duration, maxDuration)
 	}
+	if s.Telemetry {
+		// The floor keeps the number of windows (and export size)
+		// bounded; withDefaults has already filled the zero value.
+		if s.TelemetryWindow < 100*time.Microsecond {
+			return specErr("TelemetryWindow", "%v below the supported minimum 100µs", s.TelemetryWindow)
+		}
+		if s.TelemetryWindow > maxDuration {
+			return specErr("TelemetryWindow", "%v exceeds the supported maximum %v", s.TelemetryWindow, maxDuration)
+		}
+	}
 
 	w := s.Workload
 	if w.Kind < IdleBurn || w.Kind > Httperf {
