@@ -1,0 +1,372 @@
+package es2
+
+import (
+	"math"
+	"time"
+
+	"es2/internal/telemetry"
+)
+
+// FabricSpec configures the rack fabric (see internal/fabric). Zero
+// fields take the defaults noted per field.
+type FabricSpec struct {
+	// PortGbps is the per-host NIC/switch-port line rate (default 40).
+	PortGbps float64
+	// UplinkGbps is the switch's shared backplane rate; every
+	// host-to-host frame crosses it once. Zero (the default) models a
+	// non-blocking switch; a finite value models oversubscription.
+	UplinkGbps float64
+	// Delay is the port-to-port forwarding latency (default 4µs).
+	Delay time.Duration
+	// QueueCap bounds each egress port queue in frames (tail drop
+	// beyond it; default 4096).
+	QueueCap int
+}
+
+// ClusterWorkloadSpec parameterizes the cluster's scale workload:
+// closed-loop RPC flows issued from client VMs and load-balanced
+// round-robin across the server VMs on the remaining hosts, every
+// request and response crossing the fabric.
+type ClusterWorkloadSpec struct {
+	// Flows is the total number of client flows (default 64 per client
+	// VM). Each keeps one request outstanding.
+	Flows int
+	// ReqBytes and RespBytes size the messages (defaults 128 and
+	// 1024).
+	ReqBytes  int
+	RespBytes int
+	// ServiceCost is the server's per-request application CPU
+	// (default 6µs).
+	ServiceCost time.Duration
+	// StartSpread staggers first requests uniformly over this span so
+	// the warmup ramp is not a synchronized burst (default 2ms).
+	StartSpread time.Duration
+}
+
+// ClusterSpec describes one simulated rack: Hosts independent machines
+// — each with its own cores, CFS scheduler, KVM, vhost back-end and
+// VMs — connected by one switch, with VM-to-VM RPC traffic between
+// them. The same spec and seed reproduce bit-identical results.
+type ClusterSpec struct {
+	// Name labels the run in results.
+	Name string
+	// Seed drives all randomness.
+	Seed uint64
+
+	// Config is the event-path configuration installed on every host.
+	Config Config
+	// HostConfigs, when non-empty, overrides Config per host (length
+	// must equal Hosts) — for mixed-fleet studies.
+	HostConfigs []Config
+
+	// Hosts is the number of machines (default 2). The first
+	// ClientHosts run client VMs; the rest run server VMs.
+	Hosts int
+	// ClientHosts is the number of client machines (default Hosts/2,
+	// at least 1; must leave at least one server host).
+	ClientHosts int
+
+	// VMsPerHost, VCPUs, VMCores, VhostCores and Queues mirror the
+	// single-host ScenarioSpec fields, applied to every host
+	// (defaults: 2 VMs, 1 vCPU, VMCores=VCPUs, VhostCores=min(VMs,4),
+	// 1 queue).
+	VMsPerHost int
+	VCPUs      int
+	VMCores    int
+	VhostCores int
+	Queues     int
+
+	// Fabric configures the switch.
+	Fabric FabricSpec
+	// Workload configures the RPC scale workload.
+	Workload ClusterWorkloadSpec
+
+	// Telemetry enables the windowed recorder across the cluster: the
+	// headline per-host series carry a host="hN" label, fabric-level
+	// series cover the switch, and per-host RPC latency spectra are
+	// reported in the aggregate Result's LatencyProfiles. Exports are
+	// byte-identical under a fixed seed.
+	Telemetry bool
+	// TelemetryWindow is the sampling window (default 10ms).
+	TelemetryWindow time.Duration
+	// CPUProfile enables one simulated-CPU profiler per host
+	// (PerHost[i].CPUProfile / CPUReport).
+	CPUProfile bool
+	// PathTrace enables per-host event-path span tracing
+	// (PerHost[i].PathBreakdown).
+	PathTrace bool
+
+	// Faults configures deterministic fault injection, applied across
+	// all hosts and the fabric ports from one injector stream.
+	Faults FaultSpec
+	// Check enables the runtime invariant checker on every host's
+	// structures (also via ES2_CHECK).
+	Check bool
+
+	// Warmup precedes measurement (default 100ms of simulated time);
+	// Duration is the measurement window (default 300ms).
+	Warmup   time.Duration
+	Duration time.Duration
+}
+
+// withClusterDefaults fills zero fields.
+func (s ClusterSpec) withClusterDefaults() ClusterSpec {
+	if s.Hosts <= 0 {
+		s.Hosts = 2
+	}
+	if s.ClientHosts <= 0 {
+		s.ClientHosts = s.Hosts / 2
+		if s.ClientHosts < 1 {
+			s.ClientHosts = 1
+		}
+	}
+	if s.VMsPerHost <= 0 {
+		s.VMsPerHost = 2
+	}
+	if s.VCPUs <= 0 {
+		s.VCPUs = 1
+	}
+	if s.VMCores <= 0 {
+		s.VMCores = s.VCPUs
+	}
+	if s.VhostCores <= 0 {
+		s.VhostCores = s.VMsPerHost
+		if s.VhostCores > 4 {
+			s.VhostCores = 4
+		}
+	}
+	if s.Queues <= 0 {
+		s.Queues = 1
+	}
+	if s.Fabric.PortGbps <= 0 {
+		s.Fabric.PortGbps = 40
+	}
+	if s.Fabric.Delay <= 0 {
+		s.Fabric.Delay = 4 * time.Microsecond
+	}
+	if s.Fabric.QueueCap <= 0 {
+		s.Fabric.QueueCap = 4096
+	}
+	w := &s.Workload
+	if w.Flows <= 0 {
+		w.Flows = 64 * s.ClientHosts * s.VMsPerHost
+	}
+	if w.ReqBytes <= 0 {
+		w.ReqBytes = 128
+	}
+	if w.RespBytes <= 0 {
+		w.RespBytes = 1024
+	}
+	if w.ServiceCost <= 0 {
+		w.ServiceCost = 6 * time.Microsecond
+	}
+	if w.StartSpread <= 0 {
+		w.StartSpread = 2 * time.Millisecond
+	}
+	if s.Telemetry && s.TelemetryWindow <= 0 {
+		s.TelemetryWindow = 10 * time.Millisecond
+	}
+	if s.Config.Hybrid && s.Config.Quota <= 0 {
+		s.Config.Quota = 4
+	}
+	for i := range s.HostConfigs {
+		if s.HostConfigs[i].Hybrid && s.HostConfigs[i].Quota <= 0 {
+			s.HostConfigs[i].Quota = 4
+		}
+	}
+	if s.Warmup <= 0 {
+		s.Warmup = 100 * time.Millisecond
+	}
+	if s.Duration <= 0 {
+		s.Duration = 300 * time.Millisecond
+	}
+	return s
+}
+
+// Cluster-scale resource caps, on top of the per-host caps shared with
+// ScenarioSpec.
+const (
+	maxHosts      = 64
+	maxClusterVMs = 256
+)
+
+// validate checks a defaulted cluster spec.
+func (s ClusterSpec) validate() error {
+	if s.Hosts > maxHosts {
+		return specErr("Hosts", "%d exceeds the supported maximum %d", s.Hosts, maxHosts)
+	}
+	if s.Hosts < 2 {
+		return specErr("Hosts", "a cluster needs at least 2 hosts, got %d", s.Hosts)
+	}
+	if s.ClientHosts >= s.Hosts {
+		return specErr("ClientHosts", "%d leaves no server host (Hosts=%d)", s.ClientHosts, s.Hosts)
+	}
+	if len(s.HostConfigs) > 0 && len(s.HostConfigs) != s.Hosts {
+		return specErr("HostConfigs", "length %d does not match Hosts=%d", len(s.HostConfigs), s.Hosts)
+	}
+	if s.Hosts*s.VMsPerHost > maxClusterVMs {
+		return specErr("VMsPerHost", "%d hosts x %d VMs exceeds the supported maximum %d",
+			s.Hosts, s.VMsPerHost, maxClusterVMs)
+	}
+	if s.VMsPerHost > maxVMs {
+		return specErr("VMsPerHost", "%d exceeds the supported maximum %d", s.VMsPerHost, maxVMs)
+	}
+	if s.VCPUs > maxVCPUs {
+		return specErr("VCPUs", "%d exceeds the supported maximum %d", s.VCPUs, maxVCPUs)
+	}
+	if s.VMCores > maxCores {
+		return specErr("VMCores", "%d exceeds the supported maximum %d", s.VMCores, maxCores)
+	}
+	if s.VhostCores > maxCores {
+		return specErr("VhostCores", "%d exceeds the supported maximum %d", s.VhostCores, maxCores)
+	}
+	if s.VCPUs > s.VMCores*4 {
+		return specErr("VCPUs", "%d vCPUs over %d cores exceeds supported multiplexing", s.VCPUs, s.VMCores)
+	}
+	if s.Queues > maxQueues {
+		return specErr("Queues", "%d exceeds the supported maximum %d", s.Queues, maxQueues)
+	}
+
+	f := s.Fabric
+	if math.IsNaN(f.PortGbps) || math.IsInf(f.PortGbps, 0) || f.PortGbps > 1000 {
+		return specErr("Fabric.PortGbps", "%g outside (0, 1000]", f.PortGbps)
+	}
+	if math.IsNaN(f.UplinkGbps) || math.IsInf(f.UplinkGbps, 0) || f.UplinkGbps < 0 || f.UplinkGbps > 100_000 {
+		return specErr("Fabric.UplinkGbps", "%g outside [0, 100000]", f.UplinkGbps)
+	}
+	if f.Delay > time.Second {
+		return specErr("Fabric.Delay", "%v exceeds the supported maximum 1s", f.Delay)
+	}
+	if f.QueueCap > maxBytes {
+		return specErr("Fabric.QueueCap", "%d exceeds the supported maximum %d", f.QueueCap, maxBytes)
+	}
+
+	w := s.Workload
+	if w.Flows > maxCount {
+		return specErr("Workload.Flows", "%d exceeds the supported maximum %d", w.Flows, maxCount)
+	}
+	if w.ReqBytes > maxBytes {
+		return specErr("Workload.ReqBytes", "%d exceeds the supported maximum %d", w.ReqBytes, maxBytes)
+	}
+	if w.RespBytes > maxBytes {
+		return specErr("Workload.RespBytes", "%d exceeds the supported maximum %d", w.RespBytes, maxBytes)
+	}
+	if w.ServiceCost > time.Second {
+		return specErr("Workload.ServiceCost", "%v exceeds the supported maximum 1s", w.ServiceCost)
+	}
+	if w.StartSpread > maxDuration {
+		return specErr("Workload.StartSpread", "%v exceeds the supported maximum %v", w.StartSpread, maxDuration)
+	}
+
+	if s.Warmup > maxDuration {
+		return specErr("Warmup", "%v exceeds the supported maximum %v", s.Warmup, maxDuration)
+	}
+	if s.Duration > maxDuration {
+		return specErr("Duration", "%v exceeds the supported maximum %v", s.Duration, maxDuration)
+	}
+	if s.Telemetry {
+		if s.TelemetryWindow < 100*time.Microsecond {
+			return specErr("TelemetryWindow", "%v below the supported minimum 100µs", s.TelemetryWindow)
+		}
+		if s.TelemetryWindow > maxDuration {
+			return specErr("TelemetryWindow", "%v exceeds the supported maximum %v", s.TelemetryWindow, maxDuration)
+		}
+	}
+	if err := s.Faults.Validate(); err != nil {
+		return &SpecError{Field: "Faults", Reason: err.Error()}
+	}
+	totalCores := s.VMCores + s.VhostCores
+	for _, c := range s.Faults.StormCores {
+		if c < 0 || c >= totalCores {
+			return specErr("Faults.StormCores", "core %d outside [0, %d) (per-host cores)", c, totalCores)
+		}
+	}
+	return nil
+}
+
+// Validate reports whether the cluster spec (after defaulting) is
+// runnable; RunCluster calls it internally.
+func (s ClusterSpec) Validate() error {
+	return s.withClusterDefaults().validate()
+}
+
+// FabricPortReport is one switch port's traffic over the measurement
+// window (port i is host i's NIC).
+type FabricPortReport struct {
+	Port        int    `json:"port"`
+	Name        string `json:"name"`
+	TxPkts      uint64 `json:"tx_pkts"`
+	TxBytes     uint64 `json:"tx_bytes"`
+	RxPkts      uint64 `json:"rx_pkts"`
+	RxBytes     uint64 `json:"rx_bytes"`
+	EgressDrops uint64 `json:"egress_drops"`
+}
+
+// FabricReport summarizes the switch over the measurement window.
+type FabricReport struct {
+	// Ports is the port count (= hosts).
+	Ports int `json:"ports"`
+	// Forwarded counts frames that reached an egress wire.
+	Forwarded uint64 `json:"forwarded"`
+	// RouteDrops and EgressDrops count frames lost in the fabric.
+	RouteDrops  uint64 `json:"route_drops"`
+	EgressDrops uint64 `json:"egress_drops"`
+	// UplinkBytes is backplane traffic; UplinkUtilization is the
+	// shared uplink's busy fraction of the window (0 when the switch
+	// is non-blocking).
+	UplinkBytes       uint64  `json:"uplink_bytes"`
+	UplinkUtilization float64 `json:"uplink_utilization"`
+	// PerPort lists per-host port traffic in host order.
+	PerPort []FabricPortReport `json:"per_port"`
+}
+
+// FlowFairness summarizes the per-flow latency scalars across all
+// client flows — the tail-vs-median spread the load balancer achieves.
+type FlowFairness struct {
+	// Flows is the number of flows that completed at least one request
+	// in the window.
+	Flows int `json:"flows"`
+	// MeanOfMeans averages the per-flow mean latencies; MinMean and
+	// MaxMean bound them; MaxMax is the worst single request anywhere.
+	MeanOfMeans time.Duration `json:"mean_of_means_ns"`
+	MinMean     time.Duration `json:"min_mean_ns"`
+	MaxMean     time.Duration `json:"max_mean_ns"`
+	MaxMax      time.Duration `json:"max_max_ns"`
+}
+
+// ClusterResult carries the outcome of one cluster run: the aggregate
+// over all hosts, one Result per host (client hosts carry the latency
+// and throughput fields; every host carries its exit/TIG/vhost/IRQ
+// metrics), and the fabric's view of the traffic.
+type ClusterResult struct {
+	Name   string `json:"name"`
+	Config Config `json:"config"`
+	// MeasuredSeconds is the measurement window length.
+	MeasuredSeconds float64 `json:"measured_seconds"`
+	// Hosts, VMs and Flows describe the built topology.
+	Hosts int `json:"hosts"`
+	VMs   int `json:"vms"`
+	Flows int `json:"flows"`
+
+	// Aggregate sums/merges across all hosts: exit rates and TIG over
+	// every VM, vhost busy over every vhost core, RPC throughput and
+	// the cluster-wide latency spectrum.
+	Aggregate *Result `json:"aggregate"`
+	// PerHost holds one Result per host, in host order, named
+	// "<name>/hN".
+	PerHost []*Result `json:"per_host"`
+	// Fabric summarizes the switch.
+	Fabric *FabricReport `json:"fabric"`
+	// FlowFairness summarizes the per-flow latency spread.
+	FlowFairness *FlowFairness `json:"flow_fairness,omitempty"`
+
+	// Faults reports cluster-wide injection/recovery activity (nil for
+	// fault-free runs); InvariantChecks counts checker sweeps.
+	Faults          *FaultReport `json:"faults,omitempty"`
+	InvariantChecks uint64       `json:"invariant_checks,omitempty"`
+
+	// Telemetry summarizes the windowed recording (Telemetry runs);
+	// the recorder itself is exported separately.
+	Telemetry         *TelemetryInfo      `json:"telemetry,omitempty"`
+	TelemetryRecorder *telemetry.Recorder `json:"-"`
+}

@@ -1,0 +1,665 @@
+package es2
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"es2/internal/core"
+	"es2/internal/fabric"
+	"es2/internal/faults"
+	"es2/internal/guest"
+	"es2/internal/metrics"
+	"es2/internal/netsim"
+	"es2/internal/profile"
+	"es2/internal/sched"
+	"es2/internal/sim"
+	"es2/internal/trace"
+	"es2/internal/vhost"
+	"es2/internal/vmm"
+	"es2/internal/workloads"
+)
+
+// clusterHost is one fully wired machine of the rack: its own
+// scheduler, KVM, ES2 installation, VMs, guest kernels and vhost
+// back-end, attached to the fabric through one NIC port.
+type clusterHost struct {
+	index int
+	cfg   Config
+
+	sch      *sched.Scheduler
+	k        *vmm.KVM
+	es       *core.ES2
+	vms      []*vmm.VM
+	kerns    []*guest.Kernel
+	devs     []*vhost.Device
+	devsByVM [][]*vhost.Device
+	ios      []*vhost.IOThread
+
+	port  *fabric.Port
+	demux *hostDemux
+
+	// Client hosts run one RPC client per VM and aggregate their
+	// latency into lat; server hosts run one Server per VM.
+	clients []*workloads.RPCClient
+	servers []*workloads.Server
+	lat     *metrics.LogHistogram
+
+	prof *profile.Profiler
+	path *trace.PathTracer
+
+	// Warmup-end baselines.
+	vhostBusy0                             sim.Time
+	redirBase, keptBase, onBase, offBase   uint64
+	retransBase, wdBase, repollBase, piFbB uint64
+}
+
+// hostDemux is a host NIC's receive side: ingress frames are fanned to
+// the owning VM's per-queue vhost device by the cluster flow table
+// (receive-side steering with an exact-match table).
+type hostDemux struct {
+	byFlow map[int]*vhost.Device
+
+	// Drops counts frames for unknown flows (none in a correctly wired
+	// cluster).
+	Drops uint64
+}
+
+// Receive implements netsim.Endpoint.
+func (d *hostDemux) Receive(p *netsim.Packet) {
+	if dev, ok := d.byFlow[p.Flow]; ok {
+		dev.Receive(p)
+		return
+	}
+	d.Drops++
+}
+
+// clusterBed is one fully wired rack.
+type clusterBed struct {
+	spec  ClusterSpec
+	eng   *sim.Engine
+	sw    *fabric.Switch
+	hosts []*clusterHost
+
+	// flowPorts maps flow id -> [client port index, server port index]
+	// and drives the switch's routing decision.
+	flowPorts map[int][2]int
+
+	clusterLat *metrics.LogHistogram
+
+	inj *faults.Injector
+	chk *faults.Checker
+	tel *clusterTelemetry
+}
+
+// hostConfig returns host i's event-path configuration.
+func (s ClusterSpec) hostConfig(i int) Config {
+	if len(s.HostConfigs) > 0 {
+		return s.HostConfigs[i]
+	}
+	return s.Config
+}
+
+// RunCluster executes one cluster scenario to completion. All hosts
+// share a single event engine, so cross-host timing (fabric
+// contention, skewed schedulers) is exact; the same spec and seed
+// yield byte-identical results.
+func RunCluster(spec ClusterSpec) (*ClusterResult, error) {
+	spec = spec.withClusterDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	cb, err := buildCluster(spec)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Check || os.Getenv("ES2_CHECK") != "" {
+		cb.chk = faults.NewChecker(cb.eng, checkerTick)
+		cb.registerInvariants(cb.chk)
+		cb.chk.Start()
+	}
+
+	warmup := sim.DurationOf(spec.Warmup)
+	window := sim.DurationOf(spec.Duration)
+	cb.eng.Run(warmup)
+	cb.resetAtWarmupEnd()
+	if cb.tel != nil {
+		cb.startTelemetry(warmup + window)
+	}
+	cb.eng.Run(warmup + window)
+	if cb.tel != nil {
+		cb.tel.rec.Finalize()
+	}
+	return cb.collect(window), nil
+}
+
+// RunManyCluster executes cluster scenarios concurrently (parallelism
+// <= 0 selects GOMAXPROCS), preserving input order. Each scenario runs
+// on its own engine, so results are identical to sequential runs.
+func RunManyCluster(specs []ClusterSpec, parallelism int) ([]*ClusterResult, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	results := make([]*ClusterResult, len(specs))
+	errs := make([]error, len(specs))
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i, s := range specs {
+		i, s := i, s
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = RunCluster(s)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// buildCluster wires the rack in deterministic order: the switch, then
+// each host (scheduler, KVM, ES2, VMs, kernels, vhost devices, NIC
+// port), then the flow table and workloads, then fault injection.
+func buildCluster(spec ClusterSpec) (*clusterBed, error) {
+	eng := sim.NewEngine(spec.Seed)
+	cb := &clusterBed{
+		spec:       spec,
+		eng:        eng,
+		flowPorts:  make(map[int][2]int),
+		clusterLat: metrics.NewLogHistogram(),
+	}
+	cb.sw = fabric.New(eng, fabric.Params{
+		PortGbps:   spec.Fabric.PortGbps,
+		UplinkGbps: spec.Fabric.UplinkGbps,
+		Delay:      sim.DurationOf(spec.Fabric.Delay),
+		QueueCap:   spec.Fabric.QueueCap,
+	})
+	cb.sw.SetRouter(func(src *fabric.Port, p *netsim.Packet) (int, bool) {
+		pp, ok := cb.flowPorts[p.Flow]
+		if !ok {
+			return 0, false
+		}
+		if src.Index() == pp[0] {
+			return pp[1], true
+		}
+		return pp[0], true
+	})
+
+	gcosts := guest.DefaultCosts()
+	vparams := vhost.DefaultParams()
+	totalCores := spec.VMCores + spec.VhostCores
+
+	for hi := 0; hi < spec.Hosts; hi++ {
+		cfg := spec.hostConfig(hi)
+		h := &clusterHost{index: hi, cfg: cfg}
+		h.sch = sched.New(eng, totalCores, sched.DefaultParams())
+		h.k = vmm.NewKVM(eng, h.sch, vmm.DefaultCosts())
+		h.es = core.Install(h.k, cfg)
+		if spec.PathTrace {
+			h.path = trace.NewPathTracer(nil)
+			h.sch.SetPathTracer(h.path)
+			h.k.Path = h.path
+		}
+		if spec.CPUProfile {
+			h.prof = profile.New(totalCores)
+			h.k.Prof = h.prof
+		}
+		h.demux = &hostDemux{byFlow: make(map[int]*vhost.Device)}
+		h.port = cb.sw.AddPort(fmt.Sprintf("h%d", hi), h.demux)
+		h.lat = metrics.NewLogHistogram()
+
+		hybrid := cfg.Hybrid
+		for vi := 0; vi < spec.VMsPerHost; vi++ {
+			cores := make([]int, spec.VCPUs)
+			for j := range cores {
+				cores[j] = (vi + j) % spec.VMCores
+			}
+			vm := h.k.NewVM(fmt.Sprintf("h%d/vm%d", hi, vi), cores)
+			kern := guest.NewKernelQueues(vm, gcosts, 1024, spec.Queues)
+			kern.StartBurnAll()
+			h.es.AttachVM(vm)
+
+			var vmDevs []*vhost.Device
+			for qi, pair := range kern.Dev.Pairs {
+				name := fmt.Sprintf("vhost-h%d.%d.%d", hi, vi, qi)
+				io := vhost.NewIOThread(name, h.sch, spec.VMCores+((vi+qi)%spec.VhostCores), vparams)
+				io.SetPath(h.path)
+				if h.prof != nil {
+					io.EnableProfiling(h.prof)
+				}
+				dev, err := vhost.NewDevice(name, io, pair.TX, pair.RX, h.port, hybrid, cfg.Quota)
+				if err != nil {
+					return nil, err
+				}
+				dev.Path = h.path
+				vmDevs = append(vmDevs, dev)
+				h.devs = append(h.devs, dev)
+				h.ios = append(h.ios, io)
+			}
+			vm.Start()
+			h.vms = append(h.vms, vm)
+			h.kerns = append(h.kerns, kern)
+			h.devsByVM = append(h.devsByVM, vmDevs)
+		}
+		cb.hosts = append(cb.hosts, h)
+	}
+
+	// Workloads: the first ClientHosts hosts run RPC clients, the rest
+	// run servers. Flow f is issued by client VM f%nc and served by
+	// server VM (f/nc)%ns, so each client fans out over all servers —
+	// round-robin load balancing across hosts.
+	srvCfg := workloads.DefaultServerConfig()
+	srvCfg.ServiceCost = sim.DurationOf(spec.Workload.ServiceCost)
+	type vmRef struct {
+		h  *clusterHost
+		vi int
+	}
+	var clientVMs, serverVMs []vmRef
+	for _, h := range cb.hosts {
+		for vi := range h.vms {
+			if h.index < spec.ClientHosts {
+				clientVMs = append(clientVMs, vmRef{h, vi})
+			} else {
+				serverVMs = append(serverVMs, vmRef{h, vi})
+			}
+		}
+	}
+	for _, r := range clientVMs {
+		c := workloads.NewRPCClient(r.h.kerns[r.vi], r.h.lat, cb.clusterLat)
+		r.h.clients = append(r.h.clients, c)
+	}
+	for _, r := range serverVMs {
+		r.h.servers = append(r.h.servers, workloads.StartServer(r.h.kerns[r.vi], srvCfg))
+	}
+
+	var ids workloads.FlowIDs
+	spread := sim.DurationOf(spec.Workload.StartSpread)
+	nc, ns := len(clientVMs), len(serverVMs)
+	for f := 0; f < spec.Workload.Flows; f++ {
+		flowID := ids.Next()
+		cr := clientVMs[f%nc]
+		sr := serverVMs[(f/nc)%ns]
+		qi := flowID % spec.Queues
+		cr.h.demux.byFlow[flowID] = cr.h.devsByVM[cr.vi][qi]
+		sr.h.demux.byFlow[flowID] = sr.h.devsByVM[sr.vi][qi]
+		cb.flowPorts[flowID] = [2]int{cr.h.port.Index(), sr.h.port.Index()}
+		start := spread * sim.Time(f) / sim.Time(spec.Workload.Flows)
+		// The client for this VM was appended in clientVMs order; each
+		// client VM has exactly one RPCClient.
+		cr.h.clients[cr.vi].AddFlow(flowID, spec.Workload.ReqBytes, spec.Workload.RespBytes, start)
+	}
+
+	if spec.Faults.Enabled() {
+		// One injector (one RNG fork) covers the whole rack; attach
+		// order is the deterministic host order.
+		cb.inj = faults.NewInjector(eng, eng.Rand(), spec.Faults)
+		for _, h := range cb.hosts {
+			h := h
+			cb.inj.AttachWire(func(fault func() netsim.FaultAction) { h.port.SendFault = fault })
+			for _, d := range h.devs {
+				cb.inj.AttachQueue(d.TXQ)
+				cb.inj.AttachQueue(d.RXQ)
+			}
+			for _, io := range h.ios {
+				cb.inj.AttachIOThread(io)
+			}
+			for _, vm := range h.vms {
+				for _, v := range vm.VCPUs {
+					cb.inj.AttachVCPU(v)
+				}
+			}
+			cores := spec.Faults.StormCores
+			if len(cores) == 0 {
+				for c := 0; c < spec.VMCores; c++ {
+					cores = append(cores, c)
+				}
+			}
+			cb.inj.SetupStorms(h.sch, cores)
+			if h.prof != nil {
+				cb.inj.EnableProfilingFor(h.sch, h.prof)
+			}
+		}
+		cb.inj.Start()
+		if !spec.Faults.NoRecovery {
+			for _, h := range cb.hosts {
+				for _, kern := range h.kerns {
+					kern.RetransmitRTO = retransmitRTO
+					kern.Dev.StartTxWatchdog(txWatchdogTick)
+				}
+				for _, d := range h.devs {
+					d.StartRePoll(vhostRePollTick)
+				}
+			}
+		}
+	}
+	if spec.Telemetry {
+		cb.setupClusterTelemetry()
+	}
+	return cb, nil
+}
+
+// registerInvariants wires every checkable structure of every host
+// into the invariant checker.
+func (cb *clusterBed) registerInvariants(chk *faults.Checker) {
+	for _, h := range cb.hosts {
+		for _, d := range h.devs {
+			d := d
+			chk.Add("virtqueue/"+d.Name+"/tx", d.TXQ.CheckInvariants)
+			chk.Add("virtqueue/"+d.Name+"/rx", d.RXQ.CheckInvariants)
+		}
+		for _, vm := range h.vms {
+			vm := vm
+			for _, v := range vm.VCPUs {
+				v := v
+				chk.Add(fmt.Sprintf("apic/%s/vcpu%d", vm.Name, v.ID), v.VAPIC.CheckInvariants)
+			}
+			if h.es.Watcher != nil {
+				w := h.es.Watcher
+				chk.Add("schedwatcher/"+vm.Name, func() error {
+					return w.CheckConsistency(vm)
+				})
+			}
+		}
+	}
+}
+
+// resetAtWarmupEnd zeroes every windowed statistic at the start of the
+// measurement window.
+func (cb *clusterBed) resetAtWarmupEnd() {
+	for _, h := range cb.hosts {
+		for _, vm := range h.vms {
+			vm.ResetStats()
+		}
+		for _, d := range h.devs {
+			d.ResetStats()
+		}
+		h.vhostBusy0 = 0
+		for _, io := range h.ios {
+			h.vhostBusy0 += io.Thread.SumExec()
+		}
+		if red := h.es.Redirector; red != nil {
+			h.redirBase, h.keptBase = red.Redirected, red.KeptAffinity
+			h.onBase, h.offBase = red.OnlineHits, red.OfflinePredicts
+		}
+		for _, c := range h.clients {
+			c.ResetStats()
+		}
+		h.lat.Reset()
+		if h.path != nil {
+			h.path.Reset()
+		}
+		if h.prof != nil {
+			h.prof.Reset()
+		}
+		if cb.inj != nil {
+			h.retransBase, h.wdBase = h.sumRetransmits(), h.sumWatchdogFires()
+			h.repollBase, h.piFbB = h.sumRePolls(), h.k.PIFallbacks
+		}
+	}
+	cb.sw.ResetStats()
+	cb.clusterLat.Reset()
+	if cb.inj != nil {
+		cb.inj.ResetCounters()
+	}
+}
+
+func (h *clusterHost) sumRetransmits() uint64 {
+	var n uint64
+	for _, kern := range h.kerns {
+		n += kern.TCPRetransmits
+	}
+	return n
+}
+
+func (h *clusterHost) sumWatchdogFires() uint64 {
+	var n uint64
+	for _, kern := range h.kerns {
+		n += kern.Dev.WatchdogFires
+	}
+	return n
+}
+
+func (h *clusterHost) sumRePolls() uint64 {
+	var n uint64
+	for _, d := range h.devs {
+		n += d.RePolls
+	}
+	return n
+}
+
+// hostResult assembles host h's per-host Result over the window.
+func (cb *clusterBed) hostResult(h *clusterHost, window sim.Time) *Result {
+	spec := cb.spec
+	r := &Result{
+		Name:            fmt.Sprintf("%s/h%d", spec.Name, h.index),
+		Config:          h.cfg,
+		MeasuredSeconds: window.Seconds(),
+		ExitRates:       make(map[string]float64),
+	}
+	var guestT, totalT sim.Time
+	for _, vm := range h.vms {
+		for i := 0; i < vmm.NumExitReasons; i++ {
+			r.ExitRates[vmm.ExitReason(i).String()] += vm.Exits.Rate(i, window)
+		}
+		r.TotalExitRate += vm.Exits.TotalRate(window)
+		r.IOExitRate += vm.Exits.Rate(int(vmm.ExitIOInstruction), window)
+		r.DevIRQRate += vm.DevIRQDelivered.Rate(window)
+		for _, v := range vm.VCPUs {
+			guestT += v.GuestTime
+			totalT += v.GuestTime + v.HostTime
+		}
+	}
+	if totalT > 0 {
+		r.TIG = float64(guestT) / float64(totalT)
+	}
+	var busy sim.Time
+	for _, io := range h.ios {
+		busy += io.Thread.SumExec()
+	}
+	if spec.VhostCores > 0 && window > 0 {
+		r.VhostCPU = float64(busy-h.vhostBusy0) / (float64(window) * float64(spec.VhostCores))
+	}
+	if red := h.es.Redirector; red != nil {
+		redir := red.Redirected - h.redirBase
+		kept := red.KeptAffinity - h.keptBase
+		if redir+kept > 0 {
+			r.RedirectRate = float64(redir) / float64(redir+kept)
+		}
+		online := red.OnlineHits - h.onBase
+		offline := red.OfflinePredicts - h.offBase
+		if online+offline > 0 {
+			r.OfflinePredictRate = float64(offline) / float64(online+offline)
+		}
+	}
+	var done, bytes uint64
+	for _, c := range h.clients {
+		done += c.Completed
+		bytes += c.BytesReceived
+	}
+	if len(h.clients) > 0 {
+		r.OpsPerSec = rate(done, window)
+		r.ThroughputMbps = mbps(bytes, window)
+		fillLatency(r, h.lat)
+	}
+	for _, d := range h.devs {
+		r.TxPkts += d.TxPkts
+		r.RxPkts += d.RxPkts
+		r.Drops += d.BacklogDrops
+	}
+	for _, kern := range h.kerns {
+		r.Drops += kern.Dev.LocalDrops
+	}
+	r.Drops += h.demux.Drops
+	if h.path != nil {
+		for _, st := range h.path.Stats() {
+			r.PathBreakdown = append(r.PathBreakdown, PathStage{
+				Stage: st.Stage.String(), Mechanism: st.Mechanism.String(),
+				Count: st.Count, Mean: time.Duration(st.Mean),
+				P50: time.Duration(st.P50), P99: time.Duration(st.P99),
+				Max: time.Duration(st.Max),
+			})
+		}
+	}
+	if h.prof != nil {
+		h.prof.Finalize(window)
+		r.CPUProfile = h.prof
+		r.CPUReport = buildCPUReport(h.prof, ScenarioSpec{VhostCores: spec.VhostCores}, window)
+	}
+	return r
+}
+
+// collect assembles the ClusterResult at the horizon.
+func (cb *clusterBed) collect(window sim.Time) *ClusterResult {
+	spec := cb.spec
+	res := &ClusterResult{
+		Name:            spec.Name,
+		Config:          spec.Config,
+		MeasuredSeconds: window.Seconds(),
+		Hosts:           spec.Hosts,
+		VMs:             spec.Hosts * spec.VMsPerHost,
+		Flows:           spec.Workload.Flows,
+	}
+	agg := &Result{
+		Name:            spec.Name,
+		Config:          spec.Config,
+		MeasuredSeconds: window.Seconds(),
+		ExitRates:       make(map[string]float64),
+	}
+	var guestT, totalT, busy sim.Time
+	var redir, kept, online, offline uint64
+	for _, h := range cb.hosts {
+		hr := cb.hostResult(h, window)
+		res.PerHost = append(res.PerHost, hr)
+		for k, v := range hr.ExitRates {
+			agg.ExitRates[k] += v
+		}
+		agg.TotalExitRate += hr.TotalExitRate
+		agg.IOExitRate += hr.IOExitRate
+		agg.DevIRQRate += hr.DevIRQRate
+		agg.OpsPerSec += hr.OpsPerSec
+		agg.ThroughputMbps += hr.ThroughputMbps
+		agg.TxPkts += hr.TxPkts
+		agg.RxPkts += hr.RxPkts
+		agg.Drops += hr.Drops
+		for _, vm := range h.vms {
+			for _, v := range vm.VCPUs {
+				guestT += v.GuestTime
+				totalT += v.GuestTime + v.HostTime
+			}
+		}
+		for _, io := range h.ios {
+			busy += io.Thread.SumExec()
+		}
+		busy -= h.vhostBusy0
+		if red := h.es.Redirector; red != nil {
+			redir += red.Redirected - h.redirBase
+			kept += red.KeptAffinity - h.keptBase
+			online += red.OnlineHits - h.onBase
+			offline += red.OfflinePredicts - h.offBase
+		}
+	}
+	if totalT > 0 {
+		agg.TIG = float64(guestT) / float64(totalT)
+	}
+	if spec.VhostCores > 0 && window > 0 {
+		agg.VhostCPU = float64(busy) / (float64(window) * float64(spec.VhostCores*spec.Hosts))
+	}
+	if redir+kept > 0 {
+		agg.RedirectRate = float64(redir) / float64(redir+kept)
+	}
+	if online+offline > 0 {
+		agg.OfflinePredictRate = float64(offline) / float64(online+offline)
+	}
+	fillLatency(agg, cb.clusterLat)
+	res.Aggregate = agg
+
+	// Per-flow fairness over every client flow that completed work.
+	ff := &FlowFairness{}
+	var sumMeans sim.Time
+	for _, h := range cb.hosts {
+		for _, c := range h.clients {
+			for _, f := range c.Flows() {
+				if f.Completed == 0 {
+					continue
+				}
+				mean := f.LatSum / sim.Time(f.Completed)
+				if ff.Flows == 0 || time.Duration(mean) < ff.MinMean {
+					ff.MinMean = time.Duration(mean)
+				}
+				if time.Duration(mean) > ff.MaxMean {
+					ff.MaxMean = time.Duration(mean)
+				}
+				if time.Duration(f.LatMax) > ff.MaxMax {
+					ff.MaxMax = time.Duration(f.LatMax)
+				}
+				sumMeans += mean
+				ff.Flows++
+			}
+		}
+	}
+	if ff.Flows > 0 {
+		ff.MeanOfMeans = time.Duration(sumMeans / sim.Time(ff.Flows))
+		res.FlowFairness = ff
+	}
+
+	fr := &FabricReport{
+		Ports:       cb.sw.NumPorts(),
+		Forwarded:   cb.sw.Forwarded,
+		RouteDrops:  cb.sw.RouteDrops,
+		UplinkBytes: cb.sw.UplinkBytes,
+	}
+	if window > 0 && cb.spec.Fabric.UplinkGbps > 0 {
+		fr.UplinkUtilization = float64(cb.sw.UplinkBusy) / float64(window)
+	}
+	for i := 0; i < cb.sw.NumPorts(); i++ {
+		p := cb.sw.Port(i)
+		fr.EgressDrops += p.EgressDrops
+		fr.PerPort = append(fr.PerPort, FabricPortReport{
+			Port: i, Name: p.Name(),
+			TxPkts: p.TxPkts, TxBytes: p.TxBytes,
+			RxPkts: p.RxPkts, RxBytes: p.RxBytes,
+			EgressDrops: p.EgressDrops,
+		})
+	}
+	res.Fabric = fr
+
+	if cb.inj != nil {
+		c := cb.inj.Counters
+		var retrans, wd, repoll, piFb uint64
+		for _, h := range cb.hosts {
+			retrans += h.sumRetransmits() - h.retransBase
+			wd += h.sumWatchdogFires() - h.wdBase
+			repoll += h.sumRePolls() - h.repollBase
+			piFb += h.k.PIFallbacks - h.piFbB
+		}
+		res.Faults = &FaultReport{
+			Injected:      c.Injected(),
+			WireDrops:     c.WireDrops,
+			WireDups:      c.WireDups,
+			LostKicks:     c.LostKicks,
+			LostSignals:   c.LostSignals,
+			VhostStalls:   c.VhostStalls,
+			PIOutages:     c.PIOutages,
+			PreemptStorms: c.PreemptStorms,
+			Retransmits:   retrans,
+			WatchdogFires: wd,
+			VhostRePolls:  repoll,
+			PIFallbacks:   piFb,
+		}
+	}
+	if cb.chk != nil {
+		res.InvariantChecks = cb.chk.Ticks
+	}
+	if cb.tel != nil {
+		cb.fillClusterTelemetry(res)
+	}
+	return res
+}

@@ -1,0 +1,177 @@
+package es2
+
+import (
+	"fmt"
+
+	"es2/internal/sim"
+	"es2/internal/telemetry"
+)
+
+// Cluster-scale windowed telemetry: one recorder spans the rack, with
+// per-host headline series distinguished by a host="hN" label and
+// fabric-level series for the switch. Like the single-host wiring,
+// everything here is observational — the probes read counters the
+// simulation already maintains — so a telemetry run is bit-identical
+// to a plain run of the same spec.
+
+// clusterTelemetry holds the cluster recorder. The RPC latency
+// histograms it exports are the per-host and cluster-wide spectra the
+// runner already owns (clusterHost.lat, clusterBed.clusterLat).
+type clusterTelemetry struct {
+	rec *telemetry.Recorder
+}
+
+// setupClusterTelemetry marks telemetry on; the recorder itself is
+// assembled at warmup end, after the shared histograms reset.
+func (cb *clusterBed) setupClusterTelemetry() {
+	cb.tel = &clusterTelemetry{}
+}
+
+// startTelemetry registers every series and begins recording. Called at
+// the start of the measurement window, after resetAtWarmupEnd, so the
+// recorder's baselines coincide with the scalar result's.
+func (cb *clusterBed) startTelemetry(end sim.Time) {
+	rec := telemetry.New(cb.eng, sim.DurationOf(cb.spec.TelemetryWindow))
+	cb.tel.rec = rec
+
+	for _, h := range cb.hosts {
+		h := h
+		hl := []telemetry.Label{{Key: "host", Value: fmt.Sprintf("h%d", h.index)}}
+		rec.Counter("es2_cluster_exits", "VM exits per host, all VMs and reasons.",
+			hl, func() float64 {
+				var n uint64
+				for _, vm := range h.vms {
+					n += vm.Exits.Total()
+				}
+				return float64(n)
+			})
+		guestSec := func() float64 {
+			var g sim.Time
+			for _, vm := range h.vms {
+				for _, v := range vm.VCPUs {
+					g += v.GuestTime
+				}
+			}
+			return g.Seconds()
+		}
+		modeSec := func() float64 {
+			var t sim.Time
+			for _, vm := range h.vms {
+				for _, v := range vm.VCPUs {
+					t += v.GuestTime + v.HostTime
+				}
+			}
+			return t.Seconds()
+		}
+		rec.Fraction("es2_cluster_tig", "Time-in-guest fraction per host over the window.",
+			hl, guestSec, modeSec)
+		rec.Counter("es2_cluster_vhost_busy_seconds", "CPU seconds of the host's vhost I/O threads.",
+			hl, func() float64 {
+				var b sim.Time
+				for _, io := range h.ios {
+					b += io.Thread.SumExec()
+				}
+				return b.Seconds()
+			})
+		rec.Counter("es2_cluster_dev_irqs", "Device interrupts delivered to the host's VMs.",
+			hl, func() float64 {
+				var n uint64
+				for _, vm := range h.vms {
+					n += vm.DevIRQDelivered.Value()
+				}
+				return float64(n)
+			})
+		if red := h.es.Redirector; red != nil {
+			rec.Counter("es2_cluster_irq_redirected", "Device interrupts redirected to an online vCPU, per host.",
+				hl, func() float64 { return float64(red.Redirected) })
+		}
+		if len(h.clients) > 0 {
+			rec.Counter("es2_cluster_rpc_completed", "RPC requests completed by the host's client VMs.",
+				hl, func() float64 {
+					var n uint64
+					for _, c := range h.clients {
+						n += c.Completed
+					}
+					return float64(n)
+				})
+		}
+	}
+
+	sw := cb.sw
+	rec.Counter("es2_fabric_forwarded", "Frames forwarded by the switch.",
+		nil, func() float64 { return float64(sw.Forwarded) })
+	rec.Counter("es2_fabric_route_drops", "Frames dropped for lack of a route.",
+		nil, func() float64 { return float64(sw.RouteDrops) })
+	rec.Counter("es2_fabric_egress_drops", "Frames tail-dropped at egress queues, all ports.",
+		nil, func() float64 {
+			var n uint64
+			for i := 0; i < sw.NumPorts(); i++ {
+				n += sw.Port(i).EgressDrops
+			}
+			return float64(n)
+		})
+	rec.Counter("es2_fabric_uplink_bytes", "Bytes crossing the shared backplane.",
+		nil, func() float64 { return float64(sw.UplinkBytes) })
+	for i := 0; i < sw.NumPorts(); i++ {
+		p := sw.Port(i)
+		rec.Gauge("es2_fabric_egress_queued", "Frames queued at the port's egress, sampled at window end.",
+			[]telemetry.Label{{Key: "port", Value: p.Name()}},
+			func() float64 { return float64(p.EgressQueued()) })
+	}
+
+	if inj := cb.inj; inj != nil {
+		for _, fc := range []struct {
+			kind string
+			get  func() uint64
+		}{
+			{"wire_drop", func() uint64 { return inj.Counters.WireDrops }},
+			{"wire_dup", func() uint64 { return inj.Counters.WireDups }},
+			{"lost_kick", func() uint64 { return inj.Counters.LostKicks }},
+			{"lost_signal", func() uint64 { return inj.Counters.LostSignals }},
+			{"vhost_stall", func() uint64 { return inj.Counters.VhostStalls }},
+			{"pi_outage", func() uint64 { return inj.Counters.PIOutages }},
+			{"preempt_storm", func() uint64 { return inj.Counters.PreemptStorms }},
+		} {
+			get := fc.get
+			rec.Counter("es2_faults_injected", "Faults injected across the cluster, by kind.",
+				[]telemetry.Label{{Key: "kind", Value: fc.kind}},
+				func() float64 { return float64(get()) })
+		}
+	}
+
+	for _, h := range cb.hosts {
+		if len(h.clients) == 0 {
+			continue
+		}
+		rec.Histogram("es2_cluster_rpc_latency_seconds",
+			"End-to-end RPC latency as seen by the host's client VMs.",
+			[]telemetry.Label{{Key: "host", Value: fmt.Sprintf("h%d", h.index)}}, h.lat)
+	}
+	rec.Histogram("es2_cluster_rpc_latency_seconds",
+		"End-to-end RPC latency across all client VMs.",
+		[]telemetry.Label{{Key: "host", Value: "all"}}, cb.clusterLat)
+
+	rec.Start(end)
+}
+
+// fillClusterTelemetry publishes the finalized recording into the
+// result: summary info, the recorder for export, and per-host plus
+// cluster-wide RPC latency profiles on the aggregate Result.
+func (cb *clusterBed) fillClusterTelemetry(res *ClusterResult) {
+	rec := cb.tel.rec
+	res.TelemetryRecorder = rec
+	res.Telemetry = &TelemetryInfo{
+		WindowMs: cb.spec.TelemetryWindow.Seconds() * 1e3,
+		Windows:  len(rec.Windows()),
+		Series:   rec.SeriesCount(),
+	}
+	for _, h := range cb.hosts {
+		if len(h.clients) == 0 {
+			continue
+		}
+		res.Aggregate.LatencyProfiles = append(res.Aggregate.LatencyProfiles,
+			latencyProfile("rpc", fmt.Sprintf("h%d", h.index), h.lat))
+	}
+	res.Aggregate.LatencyProfiles = append(res.Aggregate.LatencyProfiles,
+		latencyProfile("rpc", "cluster", cb.clusterLat))
+}

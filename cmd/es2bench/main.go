@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"strings"
@@ -244,9 +245,13 @@ func writeProfiles(base string, r *es2.Result) error {
 	return err
 }
 
-// sanitize maps a scenario name to a safe file-name fragment.
+// sanitize maps a scenario name to a safe file-name fragment. Names
+// that differ only in remapped runes (e.g. "a/b" and "a:b") get
+// distinct fragments — an FNV tag of the original is appended whenever
+// any rune was remapped — so no two scenarios can overwrite each
+// other's artifacts.
 func sanitize(s string) string {
-	return strings.Map(func(r rune) rune {
+	mapped := strings.Map(func(r rune) rune {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
 			return r
@@ -254,6 +259,12 @@ func sanitize(s string) string {
 			return '_'
 		}
 	}, s)
+	if mapped == s {
+		return mapped
+	}
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return fmt.Sprintf("%s-%08x", mapped, h.Sum32())
 }
 
 func writeTimeline(path string, r *es2.Result) error {

@@ -1,0 +1,200 @@
+// Command es2cluster runs the rack-scale cluster scenarios: many
+// simulated hosts — each with its own cores, scheduler, vhost back-end
+// and VMs — joined by one switch fabric, with closed-loop RPC flows
+// load-balanced across the server VMs.
+//
+// Usage:
+//
+//	es2cluster [-exp all|rack1] [-parallel N] [-seed S] [-scale F]
+//	           [-list] [-json FILE] [-telemetry-dir DIR] [-check]
+//
+// -scale F (> 1) divides each scenario's flow count and measurement
+// window by F, for smoke runs on constrained CI.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"es2"
+	"es2/experiments"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "cluster experiment id or 'all'")
+	parallel := flag.Int("parallel", 0, "parallel scenario runs (0 = GOMAXPROCS)")
+	seed := flag.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
+	scale := flag.Float64("scale", 1, "shrink factor: divide flows and measurement window by F (CI smoke)")
+	telemetryDir := flag.String("telemetry-dir", "", "write one OpenMetrics exposition (.prom) and windowed CSV (.csv) per scenario into DIR")
+	jsonOut := flag.String("json", "", "write all cluster results as machine-readable JSON to FILE ('-' for stdout)")
+	check := flag.Bool("check", false, "enable the runtime invariant checker on every host (also: ES2_CHECK=1)")
+	list := flag.Bool("list", false, "list cluster experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.ClusterExperiments() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var exps []experiments.ClusterExperiment
+	if *expFlag == "all" {
+		exps = experiments.ClusterExperiments()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, ok := experiments.ClusterByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "es2cluster: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	if *telemetryDir != "" {
+		if err := os.MkdirAll(*telemetryDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "es2cluster: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	report := jsonReport{Schema: "es2cluster/v1", Seed: *seed, Scale: *scale}
+	for _, e := range exps {
+		e = experiments.ScaleCluster(e, *scale)
+		for i := range e.Specs {
+			if *seed != 0 {
+				e.Specs[i].Seed = *seed
+			}
+			if *telemetryDir != "" {
+				e.Specs[i].Telemetry = true
+			}
+			if *check {
+				e.Specs[i].Check = true
+			}
+		}
+		start := time.Now()
+		results, err := es2.RunManyCluster(e.Specs, *parallel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "es2cluster: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *telemetryDir != "" {
+			for i, r := range results {
+				base := fmt.Sprintf("%s-%02d-%s", e.ID, i, sanitize(r.Name))
+				if err := writeTelemetry(filepath.Join(*telemetryDir, base), r); err != nil {
+					fmt.Fprintf(os.Stderr, "es2cluster: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		if *jsonOut != "" {
+			report.Experiments = append(report.Experiments, jsonExperiment{
+				ID: e.ID, Title: e.Title, PaperClaim: e.PaperClaim, Results: results,
+			})
+		}
+		fmt.Printf("=== %s — %s\n", e.ID, e.Title)
+		fmt.Printf("    paper: %s\n\n", e.PaperClaim)
+		fmt.Println(indent(e.Render(results), "    "))
+		fmt.Printf("    (%d scenarios in %v wall time)\n\n", len(e.Specs), time.Since(start).Round(time.Millisecond))
+	}
+
+	if *jsonOut != "" {
+		if err := writeJSONReport(*jsonOut, report); err != nil {
+			fmt.Fprintf(os.Stderr, "es2cluster: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// jsonReport is the -json envelope ("Cluster scenarios" in
+// EXPERIMENTS.md).
+type jsonReport struct {
+	Schema string `json:"schema"`
+	// Seed is the -seed override (0 = each experiment's default seed);
+	// Scale is the -scale shrink factor the run used.
+	Seed        uint64           `json:"seed"`
+	Scale       float64          `json:"scale"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
+
+type jsonExperiment struct {
+	ID         string               `json:"id"`
+	Title      string               `json:"title"`
+	PaperClaim string               `json:"paper_claim"`
+	Results    []*es2.ClusterResult `json:"results"`
+}
+
+func writeJSONReport(path string, rep jsonReport) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// writeTelemetry writes base.prom (OpenMetrics exposition) and base.csv
+// (windowed series) for one cluster result.
+func writeTelemetry(base string, r *es2.ClusterResult) error {
+	f, err := os.Create(base + ".prom")
+	if err != nil {
+		return err
+	}
+	err = r.TelemetryRecorder.WriteOpenMetrics(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	f, err = os.Create(base + ".csv")
+	if err != nil {
+		return err
+	}
+	err = r.TelemetryRecorder.WriteCSV(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// sanitize maps a scenario name to a safe file-name fragment. Names
+// that differ only in remapped runes get distinct fragments (an FNV
+// tag of the original), so no two scenarios share an artifact path.
+func sanitize(s string) string {
+	mapped := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+	if mapped == s {
+		return mapped
+	}
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return fmt.Sprintf("%s-%08x", mapped, h.Sum32())
+}
+
+func indent(s, pre string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = pre + l
+	}
+	return strings.Join(lines, "\n")
+}

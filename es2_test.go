@@ -1,6 +1,8 @@
 package es2
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
 	"testing"
 	"time"
@@ -195,7 +197,7 @@ func TestRunManyPreservesOrderAndDeterminism(t *testing.T) {
 		short(PIOnly(), WorkloadSpec{Kind: NetperfUDPSend, MsgBytes: 256}),
 		short(PIH(8), WorkloadSpec{Kind: NetperfUDPSend, MsgBytes: 256}),
 	}
-	par, err := RunMany(specs, 3)
+	par, err := RunMany(specs, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,10 +205,24 @@ func TestRunManyPreservesOrderAndDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range specs {
-		if par[i].TotalExitRate != seq[i].TotalExitRate {
-			t.Fatalf("parallel vs sequential diverged at %d", i)
+	// Parallelism must not perturb anything: the full JSON result set is
+	// byte-identical between sequential and 8-way execution, in input
+	// order.
+	pj, err := json.Marshal(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, err := json.Marshal(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pj, sj) {
+		for i := range specs {
+			if par[i].TotalExitRate != seq[i].TotalExitRate {
+				t.Errorf("parallel vs sequential diverged at %d", i)
+			}
 		}
+		t.Fatal("RunMany results differ between parallelism 1 and 8")
 	}
 	if par[0].Config.PI || !par[1].Config.PI {
 		t.Fatal("result order scrambled")

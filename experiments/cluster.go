@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"es2"
+)
+
+// ClusterExperiment is one rack-scale scenario set: the cluster
+// analogue of Experiment, run with es2.RunManyCluster.
+type ClusterExperiment struct {
+	// ID is the short handle ("rack1").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// PaperClaim summarizes the claim under test.
+	PaperClaim string
+	// Specs are the cluster scenarios to run (order matters to Render).
+	Specs []es2.ClusterSpec
+	// Render formats the results (same order as Specs).
+	Render func(results []*es2.ClusterResult) string
+}
+
+// rack1Configs are the event-path configurations rack1 sweeps.
+var rack1Configs = []struct {
+	Name string
+	Cfg  es2.Config
+}{
+	{"Baseline", es2.Baseline()},
+	{"PI", es2.PIOnly()},
+	{"PI+H+R", es2.Full(4)},
+}
+
+// Rack1 is the rack-scale scenario: eight hosts (four client, four
+// server), four 2-vCPU VMs per host time-sharing two cores (4x vCPU
+// multiplexing, the Section VI-D consolidation regime), vhost on two
+// dedicated cores per host, and 2048 closed-loop RPC flows
+// load-balanced from every client VM across every server VM through
+// one 40G switch. Every request and response traverses the full
+// virtual I/O event path on both ends plus the fabric, so the paper's
+// per-host savings compound across the rack.
+func Rack1() ClusterExperiment {
+	var specs []es2.ClusterSpec
+	for _, c := range rack1Configs {
+		specs = append(specs, es2.ClusterSpec{
+			Name:        "rack1/" + c.Name,
+			Seed:        Seed,
+			Config:      c.Cfg,
+			Hosts:       8,
+			ClientHosts: 4,
+			VMsPerHost:  4,
+			VCPUs:       2,
+			VMCores:     2,
+			VhostCores:  2,
+			Workload:    es2.ClusterWorkloadSpec{Flows: 2048},
+			Warmup:      80 * time.Millisecond,
+			Duration:    150 * time.Millisecond,
+		})
+	}
+	return ClusterExperiment{
+		ID:    "rack1",
+		Title: "Rack-scale: 8 hosts, 32 VMs, 2048 RPC flows through one switch",
+		PaperClaim: "the conclusion aims at 'scalability in large cloud " +
+			"infrastructures'; with both RPC endpoints virtualized, eliminating " +
+			"exits and redirecting interrupts on every host should raise " +
+			"cluster throughput and cut tail latency rack-wide",
+		Specs: specs,
+		Render: func(rs []*es2.ClusterResult) string {
+			var b strings.Builder
+			fmt.Fprintf(&b, "%-10s %12s %12s %12s %12s %8s %10s %10s\n",
+				"Config", "RPCs/s", "p50", "p99", "Exits/s", "TIG", "VhostCPU", "Redirect")
+			for i, c := range rack1Configs {
+				a := rs[i].Aggregate
+				fmt.Fprintf(&b, "%-10s %12.0f %12v %12v %12.0f %7.1f%% %9.1f%% %9.1f%%\n",
+					c.Name, a.OpsPerSec,
+					a.P50Latency.Round(time.Microsecond),
+					a.P99Latency.Round(time.Microsecond),
+					a.TotalExitRate, 100*a.TIG, 100*a.VhostCPU, 100*a.RedirectRate)
+			}
+			if ff := rs[len(rs)-1].FlowFairness; ff != nil {
+				fmt.Fprintf(&b, "\nPI+H+R per-flow means: min %v / avg %v / max %v over %d flows\n",
+					ff.MinMean.Round(time.Microsecond),
+					ff.MeanOfMeans.Round(time.Microsecond),
+					ff.MaxMean.Round(time.Microsecond), ff.Flows)
+			}
+			fb := rs[len(rs)-1].Fabric
+			fmt.Fprintf(&b, "Fabric: %d frames forwarded, %d egress drops, %d route drops\n",
+				fb.Forwarded, fb.EgressDrops, fb.RouteDrops)
+			return b.String()
+		},
+	}
+}
+
+// ClusterExperiments returns every rack-scale experiment.
+func ClusterExperiments() []ClusterExperiment {
+	return []ClusterExperiment{Rack1()}
+}
+
+// ClusterByID looks a cluster experiment up by its short handle.
+func ClusterByID(id string) (ClusterExperiment, bool) {
+	for _, e := range ClusterExperiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return ClusterExperiment{}, false
+}
+
+// ScaleCluster shrinks an experiment by the given factor (> 1 divides
+// flow count and measurement window) for smoke runs on constrained CI;
+// factor <= 1 returns the experiment unchanged.
+func ScaleCluster(e ClusterExperiment, factor float64) ClusterExperiment {
+	if factor <= 1 {
+		return e
+	}
+	for i := range e.Specs {
+		s := &e.Specs[i]
+		s.Workload.Flows = int(float64(s.Workload.Flows) / factor)
+		if s.Workload.Flows < 1 {
+			s.Workload.Flows = 1
+		}
+		s.Warmup = time.Duration(float64(s.Warmup) / factor)
+		s.Duration = time.Duration(float64(s.Duration) / factor)
+	}
+	return e
+}

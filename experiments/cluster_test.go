@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"es2"
+)
+
+func TestClusterRegistryWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range ClusterExperiments() {
+		if e.ID == "" || e.Title == "" || e.PaperClaim == "" {
+			t.Fatalf("cluster experiment %q missing metadata", e.ID)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate cluster experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if len(e.Specs) == 0 || e.Render == nil {
+			t.Fatalf("cluster experiment %q incomplete", e.ID)
+		}
+		for _, s := range e.Specs {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("cluster experiment %q spec %q invalid: %v", e.ID, s.Name, err)
+			}
+		}
+	}
+	if _, ok := ClusterByID("rack1"); !ok {
+		t.Fatal("ClusterByID(rack1) failed")
+	}
+	if _, ok := ClusterByID("nope"); ok {
+		t.Fatal("ClusterByID should reject unknown ids")
+	}
+}
+
+func TestScaleCluster(t *testing.T) {
+	e := ScaleCluster(Rack1(), 4)
+	orig := Rack1()
+	for i, s := range e.Specs {
+		if s.Workload.Flows != orig.Specs[i].Workload.Flows/4 {
+			t.Errorf("spec %d flows = %d, want %d", i, s.Workload.Flows, orig.Specs[i].Workload.Flows/4)
+		}
+		if s.Duration != orig.Specs[i].Duration/4 {
+			t.Errorf("spec %d duration = %v, want %v", i, s.Duration, orig.Specs[i].Duration/4)
+		}
+	}
+	same := ScaleCluster(Rack1(), 1)
+	if same.Specs[0].Workload.Flows != orig.Specs[0].Workload.Flows {
+		t.Error("scale 1 must leave the experiment unchanged")
+	}
+	tiny := Rack1()
+	tiny.Specs[0].Workload.Flows = 2
+	if got := ScaleCluster(tiny, 100).Specs[0].Workload.Flows; got != 1 {
+		t.Errorf("flows floored at %d, want 1", got)
+	}
+}
+
+// TestRack1Improvement is the rack-scale headline: the full ES2
+// configuration must cut the aggregate VM-exit rate and the p99 RPC
+// latency versus Baseline across the 8-host, 32-VM rack. Run at
+// reduced scale (the same shrink the CI smoke job uses); the seed is
+// fixed, so the comparison is exact, not statistical.
+func TestRack1Improvement(t *testing.T) {
+	e := ScaleCluster(Rack1(), 4)
+	rs, err := es2.RunManyCluster(e.Specs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Hosts < 8 || rs[0].VMs < 32 {
+		t.Fatalf("rack1 runs %d hosts / %d VMs, want >= 8 / >= 32", rs[0].Hosts, rs[0].VMs)
+	}
+	base, full := rs[0].Aggregate, rs[len(rs)-1].Aggregate
+	if full.TotalExitRate >= base.TotalExitRate {
+		t.Errorf("Full exit rate %.0f/s not below Baseline %.0f/s",
+			full.TotalExitRate, base.TotalExitRate)
+	}
+	if full.P99Latency >= base.P99Latency {
+		t.Errorf("Full p99 %v not below Baseline %v", full.P99Latency, base.P99Latency)
+	}
+	if full.OpsPerSec <= base.OpsPerSec {
+		t.Errorf("Full throughput %.0f/s not above Baseline %.0f/s",
+			full.OpsPerSec, base.OpsPerSec)
+	}
+	if full.RedirectRate <= 0 {
+		t.Error("Full config never redirected an interrupt")
+	}
+	out := e.Render(rs)
+	for _, want := range []string{"Baseline", "PI+H+R", "Fabric", "per-flow means"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"es2"
+)
+
+func TestMultiqueueStudyRenders(t *testing.T) {
+	e := shrink(MultiqueueStudy(), len(MultiqueueStudy().Specs))
+	// Throttle the offered loads so the smoke run stays fast; the
+	// renderer and plumbing are what is under test, not the contention
+	// levels.
+	for i := range e.Specs {
+		w := &e.Specs[i].Workload
+		if w.UDPRatePPS > 0 {
+			w.UDPRatePPS = 300_000
+		}
+		if w.Kind == es2.NetperfUDPSend {
+			w.SendRatePPS = 300_000
+		}
+	}
+	rs, err := es2.RunMany(e.Specs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := e.Render(rs)
+	for _, want := range []string{"Queues", "RecvMbps", "SendMbps", "VhostCPU"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// One header plus one row per queue count.
+	if lines := strings.Count(strings.TrimSpace(out), "\n") + 1; lines != 4 {
+		t.Fatalf("render has %d lines, want 4:\n%s", lines, out)
+	}
+	for _, r := range rs {
+		if r.ThroughputMbps <= 0 {
+			t.Errorf("%s moved no traffic", r.Name)
+		}
+	}
+}
+
+func TestSidecoreStudyRenders(t *testing.T) {
+	e := shrink(SidecoreStudy(), len(SidecoreStudy().Specs))
+	rs, err := es2.RunMany(e.Specs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := e.Render(rs)
+	for _, want := range []string{"OfferedPPS", "notification", "sidecore", "hybrid", "max"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// The study's point: dedicated-core polling burns its core even at
+	// the lowest offered load, where the notification path is nearly
+	// idle (rs[0] = 1k pps notification, rs[1] = 1k pps sidecore).
+	if rs[1].VhostCPU < 0.5 {
+		t.Errorf("sidecore VhostCPU at 1k pps = %.2f, want near-saturated", rs[1].VhostCPU)
+	}
+	if rs[0].VhostCPU > 0.5*rs[1].VhostCPU {
+		t.Errorf("notification VhostCPU %.2f not clearly below sidecore %.2f",
+			rs[0].VhostCPU, rs[1].VhostCPU)
+	}
+}
+
+func TestByIDWithExtensionsLookup(t *testing.T) {
+	for _, id := range []string{"sidecore", "multiqueue", "stacking", "table1"} {
+		e, ok := ByIDWithExtensions(id)
+		if !ok || e.ID != id {
+			t.Fatalf("ByIDWithExtensions(%q) = (%q, %v)", id, e.ID, ok)
+		}
+	}
+	if e, ok := ByIDWithExtensions("no-such-experiment"); ok {
+		t.Fatalf("unknown id resolved to %q", e.ID)
+	}
+}

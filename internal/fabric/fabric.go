@@ -1,0 +1,274 @@
+// Package fabric models a rack-scale switched network: an
+// output-queued top-of-rack switch connecting many host NICs, with
+// per-port serialization, optional shared-uplink (backplane)
+// contention, bounded egress queues and deterministic FIFO
+// arbitration. It generalizes netsim's two-endpoint point-to-point
+// Link to N endpoints; a fabric Port satisfies netsim.Sender, so the
+// vhost back-end transmits through it exactly as through a Link port.
+//
+// The switch is output-queued: a frame arriving on an ingress port is
+// serialized at the ingress line rate, optionally crosses the shared
+// uplink (whose finite rate models an oversubscribed backplane), is
+// routed to an egress port, and then waits for that port's wire. All
+// contention is resolved at Send time through per-resource busy-until
+// bookkeeping — the same technique netsim.Port uses — so arbitration
+// is FIFO in event order and the whole fabric stays deterministic
+// under the engine's (time, seq) ordering.
+package fabric
+
+import (
+	"fmt"
+
+	"es2/internal/netsim"
+	"es2/internal/sim"
+)
+
+// Params configures the switch.
+type Params struct {
+	// PortGbps is the per-port line rate in gigabits per second
+	// (default 40, matching the paper's 40GbE NICs).
+	PortGbps float64
+	// UplinkGbps is the shared backplane rate crossed by every
+	// forwarded frame. Zero (the default) models a non-blocking
+	// switch; a finite value models oversubscription.
+	UplinkGbps float64
+	// Delay is the port-to-port forwarding latency (propagation plus
+	// switch pipeline; default 4µs — two NIC hops and a store-and-
+	// forward stage).
+	Delay sim.Time
+	// QueueCap bounds each egress port's queue in frames; a frame
+	// routed to a full egress queue is dropped (tail drop, default
+	// 4096).
+	QueueCap int
+}
+
+// DefaultParams returns the defaults described on Params.
+func DefaultParams() Params {
+	return Params{PortGbps: 40, Delay: 4 * sim.Microsecond, QueueCap: 4096}
+}
+
+// Router decides the egress port index for a frame arriving from src.
+// Returning ok=false drops the frame (no route).
+type Router func(src *Port, p *netsim.Packet) (egress int, ok bool)
+
+// Switch is one output-queued switch.
+type Switch struct {
+	eng    *sim.Engine
+	params Params
+	// rates in bytes per nanosecond (uplinkRate 0 = non-blocking).
+	portRate   float64
+	uplinkRate float64
+	ports      []*Port
+	router     Router
+
+	uplinkBusyUntil sim.Time
+
+	// Forwarded counts frames that reached an egress wire; RouteDrops
+	// counts frames the router refused; UplinkBytes counts traffic
+	// crossing the backplane; UplinkBusy accumulates backplane
+	// serialization time (utilization = UplinkBusy / window after a
+	// ResetStats at window start).
+	Forwarded   uint64
+	RouteDrops  uint64
+	UplinkBytes uint64
+	UplinkBusy  sim.Time
+}
+
+// New creates a switch. Ports are added with AddPort and the
+// forwarding decision installed with SetRouter before traffic flows.
+func New(eng *sim.Engine, params Params) *Switch {
+	if params.PortGbps <= 0 {
+		params.PortGbps = 40
+	}
+	if params.QueueCap <= 0 {
+		params.QueueCap = 4096
+	}
+	sw := &Switch{
+		eng:      eng,
+		params:   params,
+		portRate: params.PortGbps / 8.0, // Gbit/s == bit/ns; /8 for bytes
+	}
+	if params.UplinkGbps > 0 {
+		sw.uplinkRate = params.UplinkGbps / 8.0
+	}
+	return sw
+}
+
+// SetRouter installs the forwarding decision.
+func (sw *Switch) SetRouter(r Router) { sw.router = r }
+
+// AddPort attaches an endpoint (a host NIC's receive side) and returns
+// its port, whose Send is the NIC's transmit side. Ports are indexed
+// in creation order.
+func (sw *Switch) AddPort(name string, dst netsim.Endpoint) *Port {
+	p := &Port{sw: sw, index: len(sw.ports), name: name, dst: dst}
+	sw.ports = append(sw.ports, p)
+	return p
+}
+
+// NumPorts returns the port count.
+func (sw *Switch) NumPorts() int { return len(sw.ports) }
+
+// Port returns port i.
+func (sw *Switch) Port(i int) *Port { return sw.ports[i] }
+
+// Params returns the configured parameters (after defaulting).
+func (sw *Switch) Params() Params { return sw.params }
+
+// ResetStats zeroes the switch-level and per-port counters (called at
+// the start of the measurement window). Busy-until bookkeeping is
+// untouched: in-flight frames keep their timing.
+func (sw *Switch) ResetStats() {
+	sw.Forwarded, sw.RouteDrops, sw.UplinkBytes, sw.UplinkBusy = 0, 0, 0, 0
+	for _, p := range sw.ports {
+		p.TxPkts, p.TxBytes, p.RxPkts, p.RxBytes, p.EgressDrops = 0, 0, 0, 0, 0
+	}
+}
+
+// Port is one switch port: a host NIC's attachment point. Send is the
+// host's transmit direction; frames routed here are delivered to the
+// attached endpoint.
+type Port struct {
+	sw    *Switch
+	index int
+	name  string
+	dst   netsim.Endpoint
+
+	ingressBusyUntil sim.Time
+	egressBusyUntil  sim.Time
+	egressQueued     int
+
+	// TxPkts/TxBytes count frames sent into the switch by this port's
+	// host; RxPkts/RxBytes count frames delivered out to it;
+	// EgressDrops counts tail drops at this port's egress queue.
+	TxPkts, TxBytes uint64
+	RxPkts, RxBytes uint64
+	EgressDrops     uint64
+
+	// SendFault, when non-nil, is consulted once per frame after the
+	// send is counted — the same wire-fault hook netsim.Port exposes;
+	// the fault injector owns the closure and its accounting.
+	SendFault func() netsim.FaultAction
+}
+
+// Index returns the port's index in creation order.
+func (p *Port) Index() int { return p.index }
+
+// Name returns the port's label.
+func (p *Port) Name() string { return p.name }
+
+// serTime returns the serialization time of n bytes at rate bytes/ns,
+// floored at 1ns like netsim.
+func serTime(n int, rate float64) sim.Time {
+	t := sim.Time(float64(n) / rate)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Send implements netsim.Sender: the frame is serialized at the
+// ingress wire, crosses the shared uplink, is routed, queues at the
+// egress port, is serialized there and delivered after the forwarding
+// delay. All resource bookkeeping happens synchronously here, so
+// frames arbitrate FIFO in event order.
+func (p *Port) Send(pkt *netsim.Packet) {
+	sw := p.sw
+	if sw.router == nil {
+		panic("fabric: switch has no router")
+	}
+	now := sw.eng.Now()
+	pkt.Sent = now
+	p.TxPkts++
+	p.TxBytes += uint64(pkt.Bytes)
+
+	// Ingress serialization at the sending NIC's line rate. The wire
+	// time is paid before the fault hook fires, mirroring netsim.Port:
+	// a dropped frame still occupied the sender's wire.
+	start := now
+	if p.ingressBusyUntil > start {
+		start = p.ingressBusyUntil
+	}
+	inDone := start + serTime(pkt.Bytes, sw.portRate)
+	p.ingressBusyUntil = inDone
+
+	dup := false
+	if p.SendFault != nil {
+		switch p.SendFault() {
+		case netsim.FaultDrop:
+			return
+		case netsim.FaultDup:
+			dup = true
+		}
+	}
+
+	// Shared uplink: every forwarded frame crosses the backplane once.
+	upDone := inDone
+	if sw.uplinkRate > 0 {
+		us := upDone
+		if sw.uplinkBusyUntil > us {
+			us = sw.uplinkBusyUntil
+		}
+		ut := serTime(pkt.Bytes, sw.uplinkRate)
+		upDone = us + ut
+		sw.uplinkBusyUntil = upDone
+		sw.UplinkBusy += ut
+	}
+	sw.UplinkBytes += uint64(pkt.Bytes)
+
+	ei, ok := sw.router(p, pkt)
+	if !ok || ei < 0 || ei >= len(sw.ports) {
+		sw.RouteDrops++
+		return
+	}
+	out := sw.ports[ei]
+	if out.dst == nil {
+		panic(fmt.Sprintf("fabric: port %d (%s) has no attached endpoint", ei, out.name))
+	}
+
+	// Egress admission: tail drop at a full output queue.
+	if out.egressQueued >= sw.params.QueueCap {
+		out.EgressDrops++
+		return
+	}
+	out.egressQueued++
+
+	es := upDone
+	if out.egressBusyUntil > es {
+		es = out.egressBusyUntil
+	}
+	outDone := es + serTime(pkt.Bytes, sw.portRate)
+	out.egressBusyUntil = outDone
+	sw.Forwarded++
+
+	deliverAt := outDone + sw.params.Delay
+	dst := out.dst
+	if dup {
+		// Link-level duplication: the copy rides the same egress slot.
+		q := *pkt
+		sw.eng.At(deliverAt, func() {
+			out.RxPkts++
+			out.RxBytes += uint64(q.Bytes)
+			dst.Receive(&q)
+		})
+	}
+	sw.eng.At(deliverAt, func() {
+		out.egressQueued--
+		out.RxPkts++
+		out.RxBytes += uint64(pkt.Bytes)
+		dst.Receive(pkt)
+	})
+}
+
+// QueueDelay reports how long a frame sent now would wait before its
+// ingress serialization starts.
+func (p *Port) QueueDelay() sim.Time {
+	if d := p.ingressBusyUntil - p.sw.eng.Now(); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// EgressQueued reports frames currently committed to this port's
+// egress queue (scheduled but not yet delivered).
+func (p *Port) EgressQueued() int { return p.egressQueued }

@@ -36,7 +36,6 @@ type Injector struct {
 	vcpus       []*vmm.VCPU
 	piDownUntil []sim.Time
 	storms      []*stormSource
-	sch         *sched.Scheduler
 
 	// Counters is reset at warmup end so Result reports only the
 	// measured window.
@@ -53,11 +52,19 @@ func NewInjector(eng *sim.Engine, rng *sim.Rand, spec Spec) *Injector {
 
 // AttachPort installs wire loss/duplication on one netsim port.
 func (inj *Injector) AttachPort(p *netsim.Port) {
+	inj.AttachWire(func(fault func() netsim.FaultAction) { p.SendFault = fault })
+}
+
+// AttachWire installs wire loss/duplication through a setter owned by
+// any wire-like layer exposing netsim's SendFault hook (a link port or
+// a fabric switch port). The setter is not called when the spec
+// injects no wire faults.
+func (inj *Injector) AttachWire(install func(fault func() netsim.FaultAction)) {
 	loss, dup := inj.spec.PacketLossProb, inj.spec.PacketDupProb
 	if loss <= 0 && dup <= 0 {
 		return
 	}
-	p.SendFault = func() netsim.FaultAction {
+	install(func() netsim.FaultAction {
 		u := inj.rng.Float64()
 		switch {
 		case u < loss:
@@ -69,7 +76,7 @@ func (inj *Injector) AttachPort(p *netsim.Port) {
 		default:
 			return netsim.FaultNone
 		}
-	}
+	})
 }
 
 // AttachQueue installs lost-kick and lost-signal faults on one
@@ -109,7 +116,10 @@ func (inj *Injector) AttachVCPU(v *vmm.VCPU) {
 }
 
 // stormSource is a plain WorkSource burning CPU during storm episodes.
+// It remembers its owning scheduler so a cluster run can storm several
+// hosts (one scheduler each) from one injector.
 type stormSource struct {
+	sch       *sched.Scheduler
 	thread    *sched.Thread
 	remaining sim.Time
 }
@@ -133,15 +143,15 @@ func (s *stormSource) Ran(d sim.Time) {
 
 func (s *stormSource) ChunkDone() {}
 
-// SetupStorms creates one burner thread per listed core. Call once,
-// during deterministic build.
+// SetupStorms creates one burner thread per listed core of the given
+// scheduler. Call during deterministic build; a cluster calls it once
+// per host.
 func (inj *Injector) SetupStorms(sch *sched.Scheduler, cores []int) {
 	if inj.spec.PreemptStormEvery <= 0 {
 		return
 	}
-	inj.sch = sch
 	for _, c := range cores {
-		src := &stormSource{}
+		src := &stormSource{sch: sch}
 		src.thread = sch.NewThread(fmt.Sprintf("storm/core%d", c), c, stormWeight, src)
 		inj.storms = append(inj.storms, src)
 	}
@@ -152,6 +162,19 @@ func (inj *Injector) SetupStorms(sch *sched.Scheduler, cores []int) {
 // profile instead of leaking into idle. Call after SetupStorms.
 func (inj *Injector) EnableProfiling(p *profile.Profiler) {
 	for _, s := range inj.storms {
+		n := p.Core(s.thread.Core()).Child("storm")
+		s.thread.Prof = func() *profile.Node { return n }
+	}
+}
+
+// EnableProfilingFor is EnableProfiling restricted to the burners of
+// one scheduler — a cluster run holds one profiler per host, so each
+// host's storms must attribute into its own profile.
+func (inj *Injector) EnableProfilingFor(sch *sched.Scheduler, p *profile.Profiler) {
+	for _, s := range inj.storms {
+		if s.sch != sch {
+			continue
+		}
 		n := p.Core(s.thread.Core()).Child("storm")
 		s.thread.Prof = func() *profile.Node { return n }
 	}
@@ -219,7 +242,7 @@ func (inj *Injector) armStorm() {
 		inj.Counters.PreemptStorms++
 		for _, s := range inj.storms {
 			s.remaining += inj.exp(sim.DurationOf(inj.spec.PreemptStorm))
-			inj.sch.Wake(s.thread)
+			s.sch.Wake(s.thread)
 		}
 		inj.armStorm()
 	})

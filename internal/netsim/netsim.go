@@ -49,6 +49,14 @@ type Endpoint interface {
 	Receive(p *Packet)
 }
 
+// Sender transmits packets onto a wire: a point-to-point link Port or
+// a switch-fabric ingress port (internal/fabric). The vhost back-end
+// holds a Sender for its egress, so the same device works back-to-back
+// and rack-scale.
+type Sender interface {
+	Send(p *Packet)
+}
+
 // EndpointFunc adapts a function to the Endpoint interface.
 type EndpointFunc func(p *Packet)
 

@@ -18,7 +18,7 @@ type Device struct {
 	IO     *IOThread
 	TXQ    *virtio.Virtqueue
 	RXQ    *virtio.Virtqueue
-	Port   *netsim.Port
+	Port   netsim.Sender
 	Params Params
 
 	// Hybrid enables ES2's hybrid I/O handling (Algorithm 1) with the
@@ -77,7 +77,7 @@ const rxBudget = 64
 // NewDevice wires a vhost device to its virtqueues, worker thread and
 // wire port. quota is only meaningful with hybrid=true; the paper's
 // poll_quota module parameter.
-func NewDevice(name string, io *IOThread, txq, rxq *virtio.Virtqueue, port *netsim.Port, hybrid bool, quota int) (*Device, error) {
+func NewDevice(name string, io *IOThread, txq, rxq *virtio.Virtqueue, port netsim.Sender, hybrid bool, quota int) (*Device, error) {
 	if hybrid && quota <= 0 {
 		return nil, fmt.Errorf("vhost: hybrid mode requires a positive quota")
 	}

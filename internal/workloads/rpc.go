@@ -1,0 +1,148 @@
+package workloads
+
+import (
+	"es2/internal/guest"
+	"es2/internal/metrics"
+	"es2/internal/netsim"
+	"es2/internal/sim"
+	"es2/internal/vmm"
+)
+
+// RPCClient drives closed-loop request/response flows from inside a
+// guest VM toward server VMs (which run the ordinary Server) reached
+// across the wire — in the cluster runner, through the switch fabric.
+// Each flow keeps exactly one request outstanding: the response's last
+// segment triggers the next request. Unlike the external generators
+// (Memaslap, ApacheBench), the client's side of the event path is
+// itself virtualized, so ES2's savings apply on both ends of every
+// RPC.
+type RPCClient struct {
+	Kern *guest.Kernel
+
+	// Completed and Sent count requests across all flows;
+	// BytesReceived counts response payload.
+	Completed     uint64
+	Sent          uint64
+	BytesReceived uint64
+
+	// hists receive every completed request's latency (the per-host
+	// and cluster-wide spectra in the cluster runner).
+	hists []*metrics.LogHistogram
+
+	flows []*RPCFlow
+}
+
+// RPCFlow is one closed-loop connection. It implements
+// guest.FlowHandler for the response direction and keeps per-flow
+// latency scalars (count/sum/max), cheap enough to hold for thousands
+// of flows where a full histogram per flow would not be.
+type RPCFlow struct {
+	c  *RPCClient
+	ID int
+	v  *vmm.VCPU
+
+	reqBytes  int
+	respBytes int
+
+	reqID   int64
+	started sim.Time
+
+	// Completed counts this flow's finished requests; LatSum and
+	// LatMax summarize its latency over the measurement window.
+	Completed uint64
+	LatSum    sim.Time
+	LatMax    sim.Time
+}
+
+// NewRPCClient creates a client on kern whose completions observe into
+// every given histogram.
+func NewRPCClient(kern *guest.Kernel, hists ...*metrics.LogHistogram) *RPCClient {
+	return &RPCClient{Kern: kern, hists: hists}
+}
+
+// AddFlow registers one closed-loop flow issuing reqBytes requests and
+// expecting respBytes responses, pinned to the vCPU flows hash to
+// (flow id modulo vCPU count, mirroring how connections hash to
+// processes). The first request is issued `start` after creation;
+// staggering flow starts avoids a synthetic thundering herd at t=0.
+func (c *RPCClient) AddFlow(id, reqBytes, respBytes int, start sim.Time) *RPCFlow {
+	vcpus := c.Kern.VM.VCPUs
+	f := &RPCFlow{
+		c: c, ID: id, v: vcpus[id%len(vcpus)],
+		reqBytes: reqBytes, respBytes: respBytes,
+	}
+	c.Kern.RegisterFlow(id, f)
+	c.flows = append(c.flows, f)
+	eng := c.Kern.Engine()
+	eng.After(start+1, f.sendNext)
+	return f
+}
+
+// Flows returns the registered flows in creation order.
+func (c *RPCClient) Flows() []*RPCFlow { return c.flows }
+
+// ResetStats zeroes the client-side counters and per-flow scalars
+// (called at warmup end; the histograms are reset by their owner).
+func (c *RPCClient) ResetStats() {
+	c.Completed, c.Sent, c.BytesReceived = 0, 0, 0
+	for _, f := range c.flows {
+		f.Completed, f.LatSum, f.LatMax = 0, 0, 0
+	}
+}
+
+// sendNext issues the flow's next request: the latency clock starts
+// here (request initiation), so the measured RPC time includes the
+// client's own stack and scheduling delays — the end-to-end view a
+// user of the cluster would see.
+func (f *RPCFlow) sendNext() {
+	kern := f.c.Kern
+	f.reqID++
+	id := f.reqID
+	f.started = kern.Engine().Now()
+	cost := kern.JitterCost(kern.Costs.TXCost(f.reqBytes, true))
+	f.v.EnqueueTask(vmm.NewTask("rpc-req", vmm.PrioTask, cost, func() {
+		f.transmit(id)
+	}))
+}
+
+// transmit posts the request, resuming via WaitTX on a full ring.
+func (f *RPCFlow) transmit(id int64) {
+	pkt := &netsim.Packet{
+		Bytes: f.reqBytes, Kind: guest.KindRequest, Flow: f.ID,
+		Payload: &Req{ID: id, RespBytes: f.respBytes},
+	}
+	if !f.c.Kern.Dev.Transmit(f.v, pkt) {
+		f.c.Kern.Dev.WaitTXFlow(f.ID, func() { f.transmit(id) })
+		return
+	}
+	f.c.Sent++
+}
+
+// RXCost implements guest.FlowHandler.
+func (f *RPCFlow) RXCost(p *netsim.Packet) sim.Time {
+	return f.c.Kern.Costs.RXCost(p.Bytes)
+}
+
+// HandleRX implements guest.FlowHandler: the response's last segment
+// completes the request and immediately issues the next (closed loop).
+func (f *RPCFlow) HandleRX(p *netsim.Packet, v *vmm.VCPU) {
+	if p.Kind != guest.KindResponse {
+		return
+	}
+	f.c.BytesReceived += uint64(p.Bytes)
+	r, _ := p.Payload.(*Resp)
+	if r == nil || r.ReqID != f.reqID || r.Seg != r.Segs-1 {
+		return
+	}
+	d := f.c.Kern.Engine().Now() - f.started
+	f.Completed++
+	f.LatSum += d
+	if d > f.LatMax {
+		f.LatMax = d
+	}
+	f.c.Completed++
+	for _, h := range f.c.hists {
+		h.Observe(d)
+	}
+	f.sendNext()
+}
