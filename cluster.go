@@ -95,6 +95,16 @@ type ClusterSpec struct {
 	// PathTrace enables per-host event-path span tracing
 	// (PerHost[i].PathBreakdown).
 	PathTrace bool
+	// CritPath enables the causal critical-path analyzer across the
+	// rack: every completed RPC threads one chain through both hosts
+	// and the fabric, and ClusterResult.CriticalPath reports the
+	// aggregate blame profile plus per-(stage, host) rows labeled
+	// "hN", tail exemplars and what-if estimates. Purely
+	// observational; results replay byte-identically.
+	CritPath bool
+	// CritPathExemplars is the number of slowest RPCs retained with
+	// full cross-host timelines (default 8, max 1024).
+	CritPathExemplars int
 
 	// Faults configures deterministic fault injection, applied across
 	// all hosts and the fabric ports from one injector stream.
@@ -166,6 +176,9 @@ func (s ClusterSpec) withClusterDefaults() ClusterSpec {
 	if s.Telemetry && s.TelemetryWindow <= 0 {
 		s.TelemetryWindow = 10 * time.Millisecond
 	}
+	if s.CritPath && s.CritPathExemplars <= 0 {
+		s.CritPathExemplars = 8
+	}
 	if s.Config.Hybrid && s.Config.Quota <= 0 {
 		s.Config.Quota = 4
 	}
@@ -225,6 +238,9 @@ func (s ClusterSpec) validate() error {
 	}
 	if s.Queues > maxQueues {
 		return specErr("Queues", "%d exceeds the supported maximum %d", s.Queues, maxQueues)
+	}
+	if s.CritPathExemplars < 0 || s.CritPathExemplars > 1024 {
+		return specErr("CritPathExemplars", "%d outside [0, 1024]", s.CritPathExemplars)
 	}
 
 	f := s.Fabric
@@ -359,6 +375,12 @@ type ClusterResult struct {
 	Fabric *FabricReport `json:"fabric"`
 	// FlowFairness summarizes the per-flow latency spread.
 	FlowFairness *FlowFairness `json:"flow_fairness,omitempty"`
+
+	// CriticalPath is the rack-wide causal critical-path analysis
+	// (CritPath runs): aggregate blame, per-(stage, host) rows labeled
+	// "hN", tail exemplars with cross-host timelines, and what-if
+	// estimates.
+	CriticalPath *CriticalPath `json:"critical_path,omitempty"`
 
 	// Faults reports cluster-wide injection/recovery activity (nil for
 	// fault-free runs); InvariantChecks counts checker sweeps.

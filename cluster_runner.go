@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"es2/internal/causal"
 	"es2/internal/core"
 	"es2/internal/fabric"
 	"es2/internal/faults"
@@ -88,6 +89,7 @@ type clusterBed struct {
 	flowPorts map[int][2]int
 
 	clusterLat *metrics.LogHistogram
+	crit       *causal.Tracker
 
 	inj *faults.Injector
 	chk *faults.Checker
@@ -197,11 +199,17 @@ func buildCluster(spec ClusterSpec) (*clusterBed, error) {
 	vparams := vhost.DefaultParams()
 	totalCores := spec.VMCores + spec.VhostCores
 
+	if spec.CritPath {
+		cb.crit = causal.NewTracker(spec.CritPathExemplars)
+		cb.crit.LabelHosts = true
+	}
+
 	for hi := 0; hi < spec.Hosts; hi++ {
 		cfg := spec.hostConfig(hi)
 		h := &clusterHost{index: hi, cfg: cfg}
 		h.sch = sched.New(eng, totalCores, sched.DefaultParams())
 		h.k = vmm.NewKVM(eng, h.sch, vmm.DefaultCosts())
+		h.k.Causal = cb.crit.Probe(uint8(hi))
 		h.es = core.Install(h.k, cfg)
 		if spec.PathTrace {
 			h.path = trace.NewPathTracer(nil)
@@ -240,6 +248,7 @@ func buildCluster(spec ClusterSpec) (*clusterBed, error) {
 					return nil, err
 				}
 				dev.Path = h.path
+				dev.Causal = cb.crit.Probe(uint8(hi))
 				vmDevs = append(vmDevs, dev)
 				h.devs = append(h.devs, dev)
 				h.ios = append(h.ios, io)
@@ -274,6 +283,7 @@ func buildCluster(spec ClusterSpec) (*clusterBed, error) {
 	}
 	for _, r := range clientVMs {
 		c := workloads.NewRPCClient(r.h.kerns[r.vi], r.h.lat, cb.clusterLat)
+		c.Causal = cb.crit.Probe(uint8(r.h.index))
 		r.h.clients = append(r.h.clients, c)
 	}
 	for _, r := range serverVMs {
@@ -406,6 +416,7 @@ func (cb *clusterBed) resetAtWarmupEnd() {
 	}
 	cb.sw.ResetStats()
 	cb.clusterLat.Reset()
+	cb.crit.Reset()
 	if cb.inj != nil {
 		cb.inj.ResetCounters()
 	}
@@ -630,6 +641,10 @@ func (cb *clusterBed) collect(window sim.Time) *ClusterResult {
 		})
 	}
 	res.Fabric = fr
+
+	if cb.crit != nil {
+		res.CriticalPath = cb.crit.Report()
+	}
 
 	if cb.inj != nil {
 		c := cb.inj.Counters

@@ -32,6 +32,7 @@ func main() {
 	timelineDir := flag.String("timeline-dir", "", "write one Perfetto/Chrome-trace JSON timeline per scenario into DIR")
 	profileDir := flag.String("profile-dir", "", "write one pprof CPU profile (.pb.gz) and folded stacks (.folded) per scenario into DIR")
 	telemetryDir := flag.String("telemetry-dir", "", "write one OpenMetrics exposition (.prom) and windowed CSV (.csv) per scenario into DIR")
+	critDir := flag.String("critpath-dir", "", "enable the causal critical-path analyzer and write one blame/exemplar/what-if JSON per scenario into DIR")
 	jsonOut := flag.String("json", "", "write all experiment results as machine-readable JSON to FILE ('-' for stdout; schema in EXPERIMENTS.md)")
 	check := flag.Bool("check", false, "enable the runtime invariant checker in every scenario (also: ES2_CHECK=1)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
@@ -61,7 +62,7 @@ func main() {
 		}
 	}
 
-	for _, dir := range []string{*timelineDir, *profileDir, *telemetryDir} {
+	for _, dir := range []string{*timelineDir, *profileDir, *telemetryDir, *critDir} {
 		if dir == "" {
 			continue
 		}
@@ -87,6 +88,9 @@ func main() {
 			}
 			if *telemetryDir != "" {
 				e.Specs[i].Telemetry = true
+			}
+			if *critDir != "" {
+				e.Specs[i].CritPath = true
 			}
 			if *check {
 				e.Specs[i].Check = true
@@ -118,6 +122,12 @@ func main() {
 					os.Exit(1)
 				}
 			}
+			if *critDir != "" {
+				if err := writeCritPath(filepath.Join(*critDir, base+".json"), r); err != nil {
+					fmt.Fprintf(os.Stderr, "es2bench: %v\n", err)
+					os.Exit(1)
+				}
+			}
 		}
 		if *jsonOut != "" {
 			report.Experiments = append(report.Experiments, jsonExperiment{
@@ -141,6 +151,12 @@ func main() {
 		// whole run.
 		if *jsonOut != "-" {
 			if err := writeTable1Report(*jsonOut, report); err != nil {
+				fmt.Fprintf(os.Stderr, "es2bench: %v\n", err)
+				os.Exit(1)
+			}
+			// Likewise the critical-path study: BENCH_critpath.json is the
+			// artifact CI's blame-share regression gate validates.
+			if err := writeCritpathReport(*jsonOut, report); err != nil {
 				fmt.Fprintf(os.Stderr, "es2bench: %v\n", err)
 				os.Exit(1)
 			}
@@ -193,6 +209,37 @@ func writeTable1Report(jsonPath string, rep jsonReport) error {
 		return nil
 	}
 	return writeJSONReport(filepath.Join(filepath.Dir(jsonPath), "BENCH_table1.json"), sub)
+}
+
+// writeCritpathReport extracts the critpath experiment from the full
+// report and writes it as BENCH_critpath.json next to the -json
+// output. A run that did not include critpath writes nothing.
+func writeCritpathReport(jsonPath string, rep jsonReport) error {
+	sub := jsonReport{Schema: rep.Schema, Seed: rep.Seed}
+	for _, e := range rep.Experiments {
+		if e.ID == "critpath" {
+			sub.Experiments = append(sub.Experiments, e)
+		}
+	}
+	if len(sub.Experiments) == 0 {
+		return nil
+	}
+	return writeJSONReport(filepath.Join(filepath.Dir(jsonPath), "BENCH_critpath.json"), sub)
+}
+
+// writeCritPath writes one scenario's critical-path report as JSON.
+func writeCritPath(path string, r *es2.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(r.CriticalPath)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // writeTelemetry writes base.prom (OpenMetrics exposition) and base.csv

@@ -28,10 +28,14 @@ import (
 
 func main() {
 	expFlag := flag.String("exp", "all", "cluster experiment id or 'all'")
+	specFile := flag.String("spec", "", "run one JSON ClusterSpec file instead of the named experiments")
 	parallel := flag.Int("parallel", 0, "parallel scenario runs (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
 	scale := flag.Float64("scale", 1, "shrink factor: divide flows and measurement window by F (CI smoke)")
 	telemetryDir := flag.String("telemetry-dir", "", "write one OpenMetrics exposition (.prom) and windowed CSV (.csv) per scenario into DIR")
+	metricsOut := flag.String("metrics", "", "write a single OpenMetrics exposition to FILE (the run must produce exactly one scenario)")
+	critpath := flag.Bool("critpath", false, "enable the causal critical-path analyzer on every scenario")
+	critDir := flag.String("critpath-dir", "", "write one critical-path JSON per scenario into DIR (implies -critpath)")
 	jsonOut := flag.String("json", "", "write all cluster results as machine-readable JSON to FILE ('-' for stdout)")
 	check := flag.Bool("check", false, "enable the runtime invariant checker on every host (also: ES2_CHECK=1)")
 	list := flag.Bool("list", false, "list cluster experiment ids and exit")
@@ -40,6 +44,63 @@ func main() {
 	if *list {
 		for _, e := range experiments.ClusterExperiments() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	for _, d := range []string{*telemetryDir, *critDir} {
+		if d != "" {
+			if err := os.MkdirAll(d, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "es2cluster: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *specFile != "" {
+		spec, err := es2.LoadClusterSpec(*specFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "es2cluster: %v\n", err)
+			os.Exit(1)
+		}
+		if *seed != 0 {
+			spec.Seed = *seed
+		}
+		spec.Telemetry = spec.Telemetry || *telemetryDir != "" || *metricsOut != ""
+		spec.Check = spec.Check || *check
+		spec.CritPath = spec.CritPath || *critpath || *critDir != ""
+		r, err := es2.RunCluster(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "es2cluster: %v\n", err)
+			os.Exit(1)
+		}
+		printClusterSummary(r)
+		base := fmt.Sprintf("spec-00-%s", sanitize(r.Name))
+		if *telemetryDir != "" {
+			if err := writeTelemetry(filepath.Join(*telemetryDir, base), r); err != nil {
+				fmt.Fprintf(os.Stderr, "es2cluster: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *critDir != "" {
+			if err := writeCritPath(filepath.Join(*critDir, base+".json"), r); err != nil {
+				fmt.Fprintf(os.Stderr, "es2cluster: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *metricsOut != "" {
+			if err := writeMetricsFile(*metricsOut, r); err != nil {
+				fmt.Fprintf(os.Stderr, "es2cluster: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *jsonOut != "" {
+			rep := jsonReport{Schema: "es2cluster/v1", Seed: *seed, Scale: 1,
+				Experiments: []jsonExperiment{{ID: "spec", Title: spec.Name, Results: []*es2.ClusterResult{r}}}}
+			if err := writeJSONReport(*jsonOut, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "es2cluster: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}
@@ -58,22 +119,19 @@ func main() {
 		}
 	}
 
-	if *telemetryDir != "" {
-		if err := os.MkdirAll(*telemetryDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "es2cluster: %v\n", err)
-			os.Exit(1)
-		}
-	}
-
 	report := jsonReport{Schema: "es2cluster/v1", Seed: *seed, Scale: *scale}
+	var allResults []*es2.ClusterResult
 	for _, e := range exps {
 		e = experiments.ScaleCluster(e, *scale)
 		for i := range e.Specs {
 			if *seed != 0 {
 				e.Specs[i].Seed = *seed
 			}
-			if *telemetryDir != "" {
+			if *telemetryDir != "" || *metricsOut != "" {
 				e.Specs[i].Telemetry = true
+			}
+			if *critpath || *critDir != "" {
+				e.Specs[i].CritPath = true
 			}
 			if *check {
 				e.Specs[i].Check = true
@@ -85,10 +143,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "es2cluster: %s failed: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		if *telemetryDir != "" {
-			for i, r := range results {
-				base := fmt.Sprintf("%s-%02d-%s", e.ID, i, sanitize(r.Name))
+		allResults = append(allResults, results...)
+		for i, r := range results {
+			base := fmt.Sprintf("%s-%02d-%s", e.ID, i, sanitize(r.Name))
+			if *telemetryDir != "" {
 				if err := writeTelemetry(filepath.Join(*telemetryDir, base), r); err != nil {
+					fmt.Fprintf(os.Stderr, "es2cluster: %v\n", err)
+					os.Exit(1)
+				}
+			}
+			if *critDir != "" {
+				if err := writeCritPath(filepath.Join(*critDir, base+".json"), r); err != nil {
 					fmt.Fprintf(os.Stderr, "es2cluster: %v\n", err)
 					os.Exit(1)
 				}
@@ -105,12 +170,86 @@ func main() {
 		fmt.Printf("    (%d scenarios in %v wall time)\n\n", len(e.Specs), time.Since(start).Round(time.Millisecond))
 	}
 
+	if *metricsOut != "" {
+		if len(allResults) != 1 {
+			fmt.Fprintf(os.Stderr, "es2cluster: -metrics needs exactly one scenario, got %d (narrow -exp or use -spec)\n", len(allResults))
+			os.Exit(2)
+		}
+		if err := writeMetricsFile(*metricsOut, allResults[0]); err != nil {
+			fmt.Fprintf(os.Stderr, "es2cluster: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if *jsonOut != "" {
 		if err := writeJSONReport(*jsonOut, report); err != nil {
 			fmt.Fprintf(os.Stderr, "es2cluster: %v\n", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// printClusterSummary renders one -spec run: aggregate figures plus
+// the critical-path blame tables when enabled.
+func printClusterSummary(r *es2.ClusterResult) {
+	fmt.Printf("cluster    %s: hosts=%d vms=%d flows=%d window=%.3fs\n",
+		r.Name, r.Hosts, r.VMs, r.Flows, r.MeasuredSeconds)
+	if a := r.Aggregate; a != nil {
+		fmt.Printf("aggregate  ops=%.0f/s tput=%.1fMbps mean=%v p99=%v drops=%d\n",
+			a.OpsPerSec, a.ThroughputMbps, a.MeanLatency, a.P99Latency, a.Drops)
+	}
+	if cp := r.CriticalPath; cp != nil {
+		fmt.Printf("critical path: %d requests, mean=%v p50=%v p99=%v max=%v (stage-sum err %.2g)\n",
+			cp.Requests,
+			time.Duration(cp.MeanNs), time.Duration(cp.P50Ns),
+			time.Duration(cp.P99Ns), time.Duration(cp.MaxNs), cp.MaxSumRelErr)
+		fmt.Printf("  %-14s %-4s %10s %12s %7s\n", "stage", "host", "count", "mean", "share")
+		for _, s := range cp.Stages {
+			fmt.Printf("  %-14s %-4s %10d %12v %6.1f%%\n",
+				s.Stage, "-", s.Count, time.Duration(s.MeanNs), 100*s.Share)
+		}
+		for _, s := range cp.HostStages {
+			fmt.Printf("  %-14s %-4s %10d %12v %6.1f%%\n",
+				s.Stage, s.Host, s.Count, time.Duration(s.MeanNs), 100*s.Share)
+		}
+		if len(cp.WhatIf) > 0 {
+			fmt.Println("what-if (stage 50% faster):")
+			fmt.Printf("  %-14s %12s %12s\n", "stage", "dP50", "dP99")
+			for _, w := range cp.WhatIf {
+				fmt.Printf("  %-14s %12v %12v\n", w.Stage,
+					time.Duration(w.P50DeltaNs), time.Duration(w.P99DeltaNs))
+			}
+		}
+	}
+}
+
+// writeCritPath writes one scenario's critical-path report as JSON.
+func writeCritPath(path string, r *es2.ClusterResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(r.CriticalPath)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeMetricsFile writes the single-scenario OpenMetrics exposition
+// (the -metrics contract: one file, one scenario).
+func writeMetricsFile(path string, r *es2.ClusterResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = r.TelemetryRecorder.WriteOpenMetrics(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // jsonReport is the -json envelope ("Cluster scenarios" in

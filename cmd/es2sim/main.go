@@ -23,6 +23,9 @@ import (
 
 func main() {
 	var (
+		specFile = flag.String("spec", "", "load the scenario from a JSON ScenarioSpec file (scenario flags ignored; output flags still apply)")
+		critpath = flag.Bool("critpath", false, "enable the causal critical-path analyzer (blame profile, tail exemplars, what-if)")
+		critEx   = flag.Int("critpath-exemplars", 0, "slowest-request exemplars to retain (0 = default 8)")
 		name     = flag.String("name", "es2sim", "scenario name")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		cfgName  = flag.String("config", "full", "baseline|pi|pih|full")
@@ -72,6 +75,20 @@ func main() {
 	)
 	flag.Parse()
 
+	if *specFile != "" {
+		spec, err := es2.LoadScenarioSpec(*specFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "es2sim: %v\n", err)
+			os.Exit(1)
+		}
+		run(spec, outputFlags{
+			timeline: *timeline, cpuprof: *cpuprof, folded: *folded,
+			telDir: *telDir, metrics: *metrics, telWin: *telWin,
+			critpath: *critpath, critEx: *critEx, asJSON: *asJSON,
+		})
+		return
+	}
+
 	var cfg es2.Config
 	switch *cfgName {
 	case "baseline":
@@ -116,7 +133,7 @@ func main() {
 		}
 	}
 
-	res, err := es2.Run(es2.ScenarioSpec{
+	spec := es2.ScenarioSpec{
 		Name: *name, Seed: *seed, Config: cfg,
 		Workload: es2.WorkloadSpec{
 			Kind: kind, MsgBytes: *msg, Threads: *threads, Window: *window,
@@ -126,12 +143,9 @@ func main() {
 		VMs: *vms, VCPUs: *vcpus, VMCores: *vmCores, Queues: *queues,
 		CoalesceCount: *coalCnt, CoalesceTimer: *coalTim,
 		DirectAssign: *direct, Sidecore: *sidecore, TraceCapacity: *traceCap,
-		PathTrace: *pathOn, Timeline: *timeline != "",
-		CPUProfile: *cpuprof != "" || *folded != "",
-		Warmup:     *warmup, Duration: *dur,
-		Telemetry:       *telDir != "" || *metrics != "" || *telWin > 0,
-		TelemetryWindow: *telWin,
-		Check:           *check,
+		PathTrace: *pathOn,
+		Warmup:    *warmup, Duration: *dur,
+		Check: *check,
 		Faults: es2.FaultSpec{
 			PacketLossProb: *fLoss, PacketDupProb: *fDup,
 			LostKickProb: *fKick, LostSignalProb: *fSignal,
@@ -140,11 +154,46 @@ func main() {
 			PreemptStormEvery: *fStormEvy, PreemptStorm: *fStorm,
 			StormCores: stormCores, NoRecovery: *fNoRec,
 		},
+	}
+	run(spec, outputFlags{
+		timeline: *timeline, cpuprof: *cpuprof, folded: *folded,
+		telDir: *telDir, metrics: *metrics, telWin: *telWin,
+		critpath: *critpath, critEx: *critEx, asJSON: *asJSON,
 	})
+}
+
+// outputFlags are the flags that select outputs rather than describe
+// the scenario; they apply on top of a -spec file too.
+type outputFlags struct {
+	timeline, cpuprof, folded string
+	telDir, metrics           string
+	telWin                    time.Duration
+	critpath                  bool
+	critEx                    int
+	asJSON                    bool
+}
+
+func run(spec es2.ScenarioSpec, out outputFlags) {
+	spec.Timeline = spec.Timeline || out.timeline != ""
+	spec.CPUProfile = spec.CPUProfile || out.cpuprof != "" || out.folded != ""
+	spec.Telemetry = spec.Telemetry || out.telDir != "" || out.metrics != "" || out.telWin > 0
+	if out.telWin > 0 {
+		spec.TelemetryWindow = out.telWin
+	}
+	spec.CritPath = spec.CritPath || out.critpath
+	if out.critEx > 0 {
+		spec.CritPathExemplars = out.critEx
+	}
+
+	res, err := es2.Run(spec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "es2sim: %v\n", err)
 		os.Exit(1)
 	}
+
+	timeline, cpuprof, folded := &out.timeline, &out.cpuprof, &out.folded
+	telDir, metrics, asJSON := &out.telDir, &out.metrics, &out.asJSON
+	kind := spec.Workload.Kind
 
 	if *timeline != "" {
 		f, ferr := os.Create(*timeline)
@@ -255,6 +304,9 @@ func main() {
 				p.Class, p.Label, p.Count, p.P50, p.P90, p.P99, p.P999, p.Max)
 		}
 	}
+	if res.CriticalPath != nil {
+		printCritPath(res.CriticalPath)
+	}
 	if ti := res.Telemetry; ti != nil {
 		fmt.Printf("telemetry  %d series over %d windows of %gms\n", ti.Series, ti.Windows, ti.WindowMs)
 	}
@@ -269,5 +321,46 @@ func main() {
 	}
 	if *cpuprof != "" {
 		fmt.Printf("cpuprofile %s (go tool pprof -top %s)\n", *cpuprof, *cpuprof)
+	}
+}
+
+// printCritPath renders the causal critical-path report: blame
+// profile, tail exemplars, and the what-if grid.
+func printCritPath(cp *es2.CriticalPath) {
+	fmt.Printf("critical path: %d requests, mean=%v p50=%v p99=%v max=%v (stage-sum err %.2g)\n",
+		cp.Requests,
+		time.Duration(cp.MeanNs), time.Duration(cp.P50Ns),
+		time.Duration(cp.P99Ns), time.Duration(cp.MaxNs), cp.MaxSumRelErr)
+	fmt.Printf("  %-14s %-4s %10s %12s %12s %7s\n", "stage", "host", "count", "total", "mean", "share")
+	for _, s := range cp.Stages {
+		fmt.Printf("  %-14s %-4s %10d %12v %12v %6.1f%%\n",
+			s.Stage, "-", s.Count, time.Duration(s.TotalNs), time.Duration(s.MeanNs), 100*s.Share)
+	}
+	for _, s := range cp.HostStages {
+		fmt.Printf("  %-14s %-4s %10d %12v %12v %6.1f%%\n",
+			s.Stage, s.Host, s.Count, time.Duration(s.TotalNs), time.Duration(s.MeanNs), 100*s.Share)
+	}
+	if len(cp.WhatIf) > 0 {
+		fmt.Printf("what-if (stage %.0f%% faster):\n", 100*es2.DefaultWhatIfSpeedup)
+		fmt.Printf("  %-14s %12s %12s %12s\n", "stage", "dP50", "dP99", "dMean")
+		for _, w := range cp.WhatIf {
+			fmt.Printf("  %-14s %12v %12v %12v\n", w.Stage,
+				time.Duration(w.P50DeltaNs), time.Duration(w.P99DeltaNs), time.Duration(w.MeanDeltaNs))
+		}
+	}
+	for i, ex := range cp.Exemplars {
+		fmt.Printf("exemplar %d: flow %d seq %d e2e=%v start=%v",
+			i, ex.Flow, ex.Seq, time.Duration(ex.E2ENs), time.Duration(ex.StartNs))
+		if ex.FabricHops > 0 {
+			fmt.Printf(" hops=%d", ex.FabricHops)
+		}
+		fmt.Println()
+		for _, m := range ex.Marks {
+			host := m.Host
+			if host == "" {
+				host = "-"
+			}
+			fmt.Printf("  %-14s %-4s at=%-14v +%v\n", m.Stage, host, time.Duration(m.AtNs), time.Duration(m.DurNs))
+		}
 	}
 }

@@ -28,11 +28,13 @@ package es2
 import (
 	"time"
 
+	"es2/internal/causal"
 	"es2/internal/core"
 	"es2/internal/faults"
 	"es2/internal/profile"
 	"es2/internal/telemetry"
 	"es2/internal/trace"
+	"es2/internal/vmm"
 )
 
 // Config selects the event-path configuration, mirroring the paper's
@@ -266,6 +268,29 @@ type ScenarioSpec struct {
 	// the cost of proportionally more rows in the exports.
 	TelemetryWindow time.Duration
 
+	// CritPath enables the causal critical-path analyzer: every
+	// completed request/response pair of the Ping and Memcached
+	// workloads (and of the cluster runner's RPC flows) threads a
+	// causal chain through the full event
+	// path (TX doorbell → vhost dequeue → wire → service → return →
+	// interrupt delivery → wakeup → guest RX), and Result.CriticalPath
+	// reports the per-stage blame profile, the slowest requests with
+	// their full stage timelines, and Coz-style what-if estimates of
+	// the end-to-end effect of speeding any one stage up. Per-stage
+	// durations telescope to exactly the measured end-to-end latency.
+	// Off by default; tracking is purely observational — results are
+	// bit-identical with and without it, and the report replays
+	// byte-identically under a fixed seed.
+	CritPath bool
+	// CritPathExemplars is the number of slowest requests retained with
+	// full timelines (default 8, max 1024).
+	CritPathExemplars int
+
+	// testCosts, when non-nil, overrides the hypervisor cost model.
+	// Unexported: only the what-if validation tests use it, to compare
+	// a predicted speedup against an actually-cheapened mechanism.
+	testCosts *vmm.CostModel
+
 	// Faults configures deterministic fault injection: wire loss and
 	// duplication, lost kicks/signals, vhost stalls, PI outages and
 	// preemption storms, each paired with the recovery mechanism the
@@ -440,6 +465,10 @@ type Result struct {
 	LatencyProfiles   []LatencyProfile    `json:"latency_profiles,omitempty"`
 	TelemetryRecorder *telemetry.Recorder `json:"-"`
 
+	// CriticalPath is the causal critical-path analysis (CritPath
+	// runs): per-stage blame, tail exemplars and what-if estimates.
+	CriticalPath *CriticalPath `json:"critical_path,omitempty"`
+
 	// Faults reports fault-injection and recovery activity over the
 	// window (nil for fault-free runs).
 	Faults *FaultReport `json:"faults,omitempty"`
@@ -523,6 +552,29 @@ type LatencyProfile struct {
 	P999  time.Duration `json:"p999_ns"`
 	Max   time.Duration `json:"max_ns"`
 }
+
+// CriticalPath is the causal critical-path analysis of one run (see
+// ScenarioSpec.CritPath): the per-stage blame profile (with per-host
+// rows in cluster runs), the slowest requests with their full stage
+// timelines, and Coz-style what-if speedup estimates. JSON keys are
+// stable snake_case with _ns duration suffixes, like the rest of
+// Result.
+type CriticalPath = causal.Report
+
+// CriticalPathStage is one (stage[, host]) blame row.
+type CriticalPathStage = causal.StageBlame
+
+// CriticalPathExemplar is one retained slowest request with its full
+// stage timeline.
+type CriticalPathExemplar = causal.Exemplar
+
+// CriticalPathWhatIf is one Coz-style what-if estimate: the predicted
+// end-to-end percentile shifts from speeding one stage up.
+type CriticalPathWhatIf = causal.WhatIf
+
+// DefaultWhatIfSpeedup is the virtual speedup Report evaluates for
+// every traversed stage.
+const DefaultWhatIfSpeedup = causal.DefaultWhatIfSpeedup
 
 // FaultReport summarizes injected faults and the recovery work they
 // triggered, measured over the scenario's measurement window.

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"es2"
+)
+
+// critpathConfigs are the mechanism points whose blame profiles the
+// analysis contrasts: each configuration moves latency between stages
+// rather than only shrinking the total, and the per-stage shares make
+// that movement visible.
+var critpathConfigs = []struct {
+	name string
+	cfg  es2.Config
+}{
+	{"Baseline", es2.Baseline()},
+	{"PI", es2.PIOnly()},
+	{"Full", es2.Full(4)},
+}
+
+// Critpath runs the causal critical-path analysis across the
+// mechanism configurations: per-stage blame for the Fig. 7 ping probe
+// under Baseline/PI/Full, plus the memcached RPC path under Full with
+// its what-if grid.
+func Critpath() Experiment {
+	var specs []es2.ScenarioSpec
+	for _, c := range critpathConfigs {
+		s := upVM("critpath/ping/"+c.name, c.cfg,
+			es2.WorkloadSpec{Kind: es2.Ping, PingInterval: time.Millisecond})
+		s.CritPath = true
+		specs = append(specs, s)
+	}
+	m := upVM("critpath/memcached/Full", es2.Full(4), es2.WorkloadSpec{Kind: es2.Memcached})
+	m.CritPath = true
+	specs = append(specs, m)
+
+	return Experiment{
+		ID:    "critpath",
+		Title: "Study: causal critical-path blame across event-path configurations",
+		PaperClaim: "the virtual I/O event path spends its time in notifications and " +
+			"interrupt delivery; PI removes the delivery exits and the hybrid scheme " +
+			"the notification exits, shifting blame onto the wire and the application",
+		Specs: specs,
+		Render: func(rs []*es2.Result) string {
+			var b strings.Builder
+			b.WriteString(renderBlameTable(rs[:len(critpathConfigs)], func(i int) string {
+				return critpathConfigs[i].name
+			}))
+			mc := rs[len(critpathConfigs)]
+			fmt.Fprintf(&b, "\nMemcached under Full (p99 %v):\n",
+				time.Duration(mc.CriticalPath.P99Ns).Round(time.Microsecond))
+			b.WriteString(renderWhatIf(mc.CriticalPath, 3))
+			return b.String()
+		},
+	}
+}
+
+// renderBlameTable formats one stage-share row set per result: stages
+// are the union across results, rows in fixed stage order.
+func renderBlameTable(rs []*es2.Result, label func(int) string) string {
+	var stages []string
+	seen := map[string]bool{}
+	for _, r := range rs {
+		if r.CriticalPath == nil {
+			continue
+		}
+		for _, s := range r.CriticalPath.Stages {
+			if !seen[s.Stage] {
+				seen[s.Stage] = true
+				stages = append(stages, s.Stage)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s", "Stage")
+	for i := range rs {
+		fmt.Fprintf(&b, " %14s", label(i))
+	}
+	b.WriteString("\n")
+	share := func(r *es2.Result, stage string) (float64, bool) {
+		if r.CriticalPath == nil {
+			return 0, false
+		}
+		for _, s := range r.CriticalPath.Stages {
+			if s.Stage == stage {
+				return s.Share, true
+			}
+		}
+		return 0, false
+	}
+	for _, st := range stages {
+		fmt.Fprintf(&b, "%-14s", st)
+		for _, r := range rs {
+			if v, ok := share(r, st); ok {
+				fmt.Fprintf(&b, " %13.1f%%", 100*v)
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%-14s", "mean e2e")
+	for _, r := range rs {
+		if r.CriticalPath != nil {
+			fmt.Fprintf(&b, " %14v", time.Duration(r.CriticalPath.MeanNs).Round(100*time.Nanosecond))
+		} else {
+			fmt.Fprintf(&b, " %14s", "-")
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// renderWhatIf formats the top-k what-if rows (largest predicted mean
+// improvement first).
+func renderWhatIf(cp *es2.CriticalPath, k int) string {
+	if cp == nil || len(cp.WhatIf) == 0 {
+		return ""
+	}
+	rows := append([]es2.CriticalPathWhatIf(nil), cp.WhatIf...)
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			if rows[j].MeanDeltaNs < rows[i].MeanDeltaNs {
+				rows[i], rows[j] = rows[j], rows[i]
+			}
+		}
+	}
+	if k > len(rows) {
+		k = len(rows)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %8s %14s %14s\n", "WhatIf stage", "Speedup", "dP50", "dP99")
+	for _, w := range rows[:k] {
+		fmt.Fprintf(&b, "%-14s %7.0f%% %14v %14v\n",
+			w.Stage, 100*w.Speedup,
+			time.Duration(w.P50DeltaNs).Round(10*time.Nanosecond),
+			time.Duration(w.P99DeltaNs).Round(10*time.Nanosecond))
+	}
+	return b.String()
+}

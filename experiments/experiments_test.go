@@ -33,8 +33,8 @@ func TestRegistryWellFormed(t *testing.T) {
 			}
 		}
 	}
-	if len(seen) != 11+6 {
-		t.Fatalf("expected 11 paper experiments + 6 extensions, got %d", len(seen))
+	if len(seen) != 11+7 {
+		t.Fatalf("expected 11 paper experiments + 7 extensions, got %d", len(seen))
 	}
 }
 

@@ -15,7 +15,7 @@ import (
 func Extensions() []Experiment {
 	return []Experiment{
 		SRIOV(), PolicyAblation(), ModerationAblation(), StackingStudy(),
-		SidecoreStudy(), MultiqueueStudy(),
+		SidecoreStudy(), MultiqueueStudy(), Critpath(),
 	}
 }
 

@@ -15,13 +15,21 @@ const (
 	StampPosted
 )
 
+// String names the delivery path for exports and rendered tables.
+func (s StampMech) String() string {
+	if s == StampPosted {
+		return "posted"
+	}
+	return "emulated"
+}
+
 // VectorStamps tracks, per vector, the instant the hypervisor first
 // injected a still-undelivered interrupt — the open end of the
 // interrupt-delivery latency span (injection → guest handler entry).
 // Re-injections of an already-pending vector coalesce into the first
 // stamp, mirroring IRR semantics: one acceptance serves them all.
 // Purely observational; the delivery paths consult it only when the
-// telemetry latency histograms are enabled.
+// telemetry latency histograms or the causal analyzer are enabled.
 type VectorStamps struct {
 	t    [NumVectors]sim.Time
 	mech [NumVectors]StampMech

@@ -1,0 +1,404 @@
+// Package causal reconstructs the causal chain of every completed
+// request/response pair threaded through the virtual I/O event path:
+// guest TX virtqueue → vhost handler → netsim/fabric transit → peer
+// service → return path → posted/emulated interrupt → wakeup-to-run →
+// guest RX completion.
+//
+// Each layer stamps the chain riding on the packet with a
+// (stage, host, time) mark at the instant the request leaves that
+// layer. Stage durations are the differences between consecutive
+// marks, so the per-stage contributions of a chain telescope to
+// exactly the end-to-end latency the workload measures — the
+// reconciliation invariant the tests assert. The closed-loop
+// request/response workloads are strictly sequential, so the chain is
+// the critical path.
+//
+// Everything here is observational: marks are clock reads at instants
+// the simulation already reaches, draw no randomness, and never
+// change behavior, so a run with causal tracking enabled is
+// bit-identical to a plain run. Like trace.PathTracer, every entry
+// point is a safe no-op on a nil receiver or nil chain, so call sites
+// need no guards.
+package causal
+
+import "es2/internal/sim"
+
+// Stage identifies the event-path segment ending at a mark, in path
+// order. A request-direction and a response-direction traversal both
+// contribute to the same stage (e.g. backend-tx on the client's host
+// for the request and on the server's host for the response).
+type Stage uint8
+
+const (
+	// StageGuestTX is request initiation to the TX doorbell on a fresh
+	// chain: the client guest's stack and scheduling delays.
+	StageGuestTX Stage = iota
+	// StageService is guest RX dispatch to the response TX doorbell:
+	// application queueing, service time and response build.
+	StageService
+	// StageNotifyExit is TX doorbell to vhost dequeue when the kick
+	// took an I/O-instruction exit. Lost-kick recovery (the netdev TX
+	// watchdog) lands here, so faulted runs shift blame into it.
+	StageNotifyExit
+	// StageNotifyPoll is the same span with the kick suppressed
+	// (vhost polling mode or exit-less doorbells).
+	StageNotifyPoll
+	// StageBackendTX is vhost dequeue to wire transmit.
+	StageBackendTX
+	// StageWire is wire/fabric transit, including switch queueing and
+	// the external peer's turnaround where one is involved.
+	StageWire
+	// StageBackendRX is wire arrival to the RX used-ring publish.
+	StageBackendRX
+	// StageSignal is used-ring publish to interrupt injection: the
+	// vhost turn-end signal batching and any interrupt moderation.
+	StageSignal
+	// StageWakeup is injection to the target vCPU getting back on a
+	// core; zero when the vCPU was already running.
+	StageWakeup
+	// StageIRQPosted is on-core to guest handler entry via posted
+	// interrupts (no exit).
+	StageIRQPosted
+	// StageIRQEmulated is the same span via emulated injection
+	// (external-interrupt exit + re-entry). PI-outage fallback moves
+	// blame from StageIRQPosted to here.
+	StageIRQEmulated
+	// StageRingWait is handler entry to NAPI collecting the buffer
+	// (softirq scheduling and earlier-batch processing).
+	StageRingWait
+	// StageGuestRX is NAPI collect to protocol dispatch: the guest
+	// receive stack.
+	StageGuestRX
+
+	// NumStages bounds the stage enum.
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"guest-tx", "service", "notify-exit", "notify-poll", "backend-tx",
+	"wire", "backend-rx", "signal", "wakeup", "irq-posted",
+	"irq-emulated", "ring-wait", "guest-rx",
+}
+
+// String returns the stable snake/kebab-case stage name used in JSON
+// exports and rendered tables.
+func (s Stage) String() string {
+	if s < NumStages {
+		return stageNames[s]
+	}
+	return "?"
+}
+
+// Mark is one stamped point of a chain: the segment since the
+// previous mark (or the chain start) is attributed to Stage on Host.
+type Mark struct {
+	Stage Stage
+	Host  uint8
+	T     sim.Time
+}
+
+// Chain is the causal record of one in-flight request. It rides the
+// request across layers as netsim.Packet.Chain; fault-injected
+// duplicate deliveries share the pointer, which is safe because marks
+// clamp to monotonic time and completion freezes the chain.
+type Chain struct {
+	flow  int
+	seq   int64
+	start sim.Time
+	marks []Mark
+	done  bool
+
+	// kickExit records whether the most recent TX doorbell took an
+	// I/O-instruction exit, deciding StageNotifyExit vs
+	// StageNotifyPoll at the matching vhost dequeue.
+	kickExit bool
+	// hops counts fabric traversals (annotation only; transit time is
+	// part of StageWire).
+	hops uint32
+}
+
+// Mark stamps stage on host at t, clamped so mark times never run
+// backwards (duplicate deliveries and coalesced interrupts may replay
+// an earlier instant). No-op on a nil or completed chain.
+func (c *Chain) Mark(stage Stage, host uint8, t sim.Time) {
+	if c == nil || c.done {
+		return
+	}
+	if last := c.lastT(); t < last {
+		t = last
+	}
+	if n := len(c.marks); n > 0 && c.marks[n-1].Stage == stage && c.marks[n-1].Host == host {
+		// Consecutive marks of the same stage on the same host merge
+		// into one segment (e.g. guest-rx stamped at dispatch and again
+		// at the workload's completion instant).
+		c.marks[n-1].T = t
+		return
+	}
+	c.marks = append(c.marks, Mark{Stage: stage, Host: host, T: t})
+}
+
+// MarkSend stamps the TX doorbell: StageGuestTX on a fresh chain (the
+// client's first transmit), StageService on a continued one (the
+// responder's reply), remembering the kick mechanism for the matching
+// vhost-side MarkNotify.
+func (c *Chain) MarkSend(host uint8, t sim.Time, exitKick bool) {
+	if c == nil || c.done {
+		return
+	}
+	stage := StageGuestTX
+	if len(c.marks) > 0 {
+		stage = StageService
+	}
+	c.kickExit = exitKick
+	c.Mark(stage, host, t)
+}
+
+// MarkNotify stamps the vhost dequeue with the notify stage matching
+// the doorbell's kick mechanism.
+func (c *Chain) MarkNotify(host uint8, t sim.Time) {
+	if c == nil {
+		return
+	}
+	stage := StageNotifyPoll
+	if c.kickExit {
+		stage = StageNotifyExit
+	}
+	c.Mark(stage, host, t)
+}
+
+// AddHop counts one fabric traversal.
+func (c *Chain) AddHop() {
+	if c == nil || c.done {
+		return
+	}
+	c.hops++
+}
+
+// LastT returns the time of the most recent mark, or the chain start.
+func (c *Chain) LastT() sim.Time {
+	if c == nil {
+		return 0
+	}
+	return c.lastT()
+}
+
+func (c *Chain) lastT() sim.Time {
+	if n := len(c.marks); n > 0 {
+		return c.marks[n-1].T
+	}
+	return c.start
+}
+
+// Probe is a host-bound handle layers use to stamp chains; the
+// single-host runner hands every layer host 0, the cluster runner one
+// probe per simulated host. All methods are nil-safe.
+type Probe struct {
+	t    *Tracker
+	host uint8
+}
+
+// Mark stamps stage at t on the probe's host.
+func (p *Probe) Mark(c *Chain, stage Stage, t sim.Time) {
+	if p == nil {
+		return
+	}
+	c.Mark(stage, p.host, t)
+}
+
+// MarkSend stamps the TX doorbell (see Chain.MarkSend).
+func (p *Probe) MarkSend(c *Chain, t sim.Time, exitKick bool) {
+	if p == nil {
+		return
+	}
+	c.MarkSend(p.host, t, exitKick)
+}
+
+// MarkNotify stamps the vhost dequeue (see Chain.MarkNotify).
+func (p *Probe) MarkNotify(c *Chain, t sim.Time) {
+	if p == nil {
+		return
+	}
+	c.MarkNotify(p.host, t)
+}
+
+// Start opens a chain for one request at its latency-clock start.
+// Returns nil (a valid no-op chain) when the probe is disabled.
+func (p *Probe) Start(flow int, seq int64, now sim.Time) *Chain {
+	if p == nil || p.t == nil {
+		return nil
+	}
+	p.t.started++
+	return &Chain{flow: flow, seq: seq, start: now}
+}
+
+// Complete closes a chain at the workload's completion instant,
+// stamping the final segment as stage so the per-stage durations sum
+// exactly to now - start, and records it with the tracker.
+func (p *Probe) Complete(c *Chain, stage Stage, now sim.Time) {
+	if p == nil || p.t == nil || c == nil || c.done {
+		return
+	}
+	c.Mark(stage, p.host, now)
+	c.done = true
+	p.t.record(c, now)
+}
+
+// Tracker collects completed chains and builds the blame profile,
+// tail exemplars and what-if estimates. One tracker serves a whole
+// scenario (all hosts of a cluster); it is engine-ordered like the
+// rest of the simulation and needs no locking.
+type Tracker struct {
+	// LabelHosts enables "hN" host labels in reports (the cluster
+	// runner); the single-host runner leaves labels empty.
+	LabelHosts bool
+
+	exemplars int // retained slowest chains
+	started   uint64
+	recs      []record
+	tail      []*Chain // k slowest completed chains, sorted slowest-first
+	tailE2E   []sim.Time
+
+	// Aggregate accumulators, updated at completion so reports need no
+	// second pass over the chains. hostDurs is keyed stage<<8|host and
+	// iterated in sorted key order, so reports stay deterministic.
+	stageTotal [NumStages]sim.Time
+	stageCount [NumStages]uint64
+	hostDurs   map[uint16]*hostAgg
+}
+
+// hostAgg accumulates one (stage, host) blame cell.
+type hostAgg struct {
+	total sim.Time
+	count uint64
+}
+
+// record is the compact per-chain summary kept for every completed
+// request: enough for exact percentiles and Coz-style what-if replay
+// without retaining the full mark list.
+type record struct {
+	e2e  sim.Time
+	durs [NumStages]sim.Time
+}
+
+// NewTracker creates a tracker retaining the `exemplars` slowest
+// chains with their full timelines.
+func NewTracker(exemplars int) *Tracker {
+	if exemplars < 0 {
+		exemplars = 0
+	}
+	return &Tracker{exemplars: exemplars}
+}
+
+// Probe returns a stamping handle bound to host. Safe on a nil
+// tracker (returns a nil, no-op probe).
+func (t *Tracker) Probe(host uint8) *Probe {
+	if t == nil {
+		return nil
+	}
+	return &Probe{t: t, host: host}
+}
+
+// Reset drops everything recorded so far (called at warmup end).
+// Chains still in flight keep their warm-up marks and are recorded on
+// completion, mirroring how the latency histograms treat them.
+func (t *Tracker) Reset() {
+	if t == nil {
+		return
+	}
+	t.started = 0
+	t.recs = t.recs[:0]
+	t.tail = t.tail[:0]
+	t.tailE2E = t.tailE2E[:0]
+	t.stageTotal = [NumStages]sim.Time{}
+	t.stageCount = [NumStages]uint64{}
+	t.hostDurs = nil
+}
+
+// Started returns the number of chains opened since the last Reset.
+func (t *Tracker) Started() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.started
+}
+
+// Completed returns the number of chains recorded since the last
+// Reset.
+func (t *Tracker) Completed() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.recs)
+}
+
+func (t *Tracker) record(c *Chain, now sim.Time) {
+	e2e := now - c.start
+	if e2e < 0 {
+		e2e = 0
+	}
+	var rec record
+	rec.e2e = e2e
+	prev := c.start
+	for _, m := range c.marks {
+		d := m.T - prev
+		prev = m.T
+		rec.durs[m.Stage] += d
+		t.stageTotal[m.Stage] += d
+		t.stageCount[m.Stage]++
+		if t.LabelHosts {
+			if t.hostDurs == nil {
+				t.hostDurs = make(map[uint16]*hostAgg)
+			}
+			key := uint16(m.Stage)<<8 | uint16(m.Host)
+			agg := t.hostDurs[key]
+			if agg == nil {
+				agg = &hostAgg{}
+				t.hostDurs[key] = agg
+			}
+			agg.total += d
+			agg.count++
+		}
+	}
+	t.recs = append(t.recs, rec)
+	t.offerTail(c, e2e)
+}
+
+// offerTail inserts c into the slowest-k list. Ordering is fully
+// deterministic: larger end-to-end first; ties broken by earlier
+// start, then smaller flow, then smaller seq — so replayed runs
+// select identical exemplars.
+func (t *Tracker) offerTail(c *Chain, e2e sim.Time) {
+	if t.exemplars == 0 {
+		return
+	}
+	slower := func(i int) bool {
+		if t.tailE2E[i] != e2e {
+			return t.tailE2E[i] > e2e
+		}
+		o := t.tail[i]
+		if o.start != c.start {
+			return o.start < c.start
+		}
+		if o.flow != c.flow {
+			return o.flow < c.flow
+		}
+		return o.seq <= c.seq
+	}
+	pos := 0
+	for pos < len(t.tail) && slower(pos) {
+		pos++
+	}
+	if pos >= t.exemplars {
+		return
+	}
+	t.tail = append(t.tail, nil)
+	t.tailE2E = append(t.tailE2E, 0)
+	copy(t.tail[pos+1:], t.tail[pos:])
+	copy(t.tailE2E[pos+1:], t.tailE2E[pos:])
+	t.tail[pos] = c
+	t.tailE2E[pos] = e2e
+	if len(t.tail) > t.exemplars {
+		t.tail = t.tail[:t.exemplars]
+		t.tailE2E = t.tailE2E[:t.exemplars]
+	}
+}

@@ -1,0 +1,262 @@
+package causal
+
+import (
+	"fmt"
+	"sort"
+
+	"es2/internal/sim"
+)
+
+// Report is the blame profile of one scenario: per-stage critical-path
+// contributions aggregated over every completed request, the slowest-k
+// exemplars with their full stage timelines, and Coz-style what-if
+// estimates. Field order and slice ordering are fixed, so the JSON
+// encoding is byte-identical across replays of the same scenario.
+type Report struct {
+	// Requests is the number of completed request/response chains in
+	// the measurement window; TotalNs is the sum of their end-to-end
+	// latencies (the denominator of every Share).
+	Requests int   `json:"requests"`
+	TotalNs  int64 `json:"total_ns"`
+	MeanNs   int64 `json:"mean_ns"`
+	P50Ns    int64 `json:"p50_ns"`
+	P99Ns    int64 `json:"p99_ns"`
+	MaxNs    int64 `json:"max_ns"`
+
+	// MaxSumRelErr is the largest relative difference between a
+	// chain's stage-duration sum and its measured end-to-end latency.
+	// By construction it is 0; the acceptance bound is 1e-3.
+	MaxSumRelErr float64 `json:"max_stage_sum_rel_err"`
+
+	// Stages is the aggregate blame profile in fixed stage order
+	// (stages never traversed are omitted).
+	Stages []StageBlame `json:"stages"`
+	// HostStages splits the blame per simulated host ("h0", "h1", …)
+	// in (stage, host) order. Only the cluster runner labels hosts.
+	HostStages []StageBlame `json:"host_stages,omitempty"`
+
+	// Exemplars are the k slowest requests, slowest first.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
+	// WhatIf estimates, for every traversed stage, the end-to-end
+	// p50/p99 shift if that stage ran `speedup` faster.
+	WhatIf []WhatIf `json:"what_if,omitempty"`
+}
+
+// StageBlame is one row of the blame profile.
+type StageBlame struct {
+	Stage string `json:"stage"`
+	Host  string `json:"host,omitempty"`
+	// Count is the number of traversals (a stage can appear once per
+	// direction per request).
+	Count   uint64  `json:"count"`
+	TotalNs int64   `json:"total_ns"`
+	MeanNs  int64   `json:"mean_ns"`
+	Share   float64 `json:"share"`
+}
+
+// Exemplar is one tail request with its full stage timeline. AtNs
+// values are simulation-clock nanoseconds — the same clock the
+// Perfetto timeline export uses, so an exemplar window can be located
+// in a -timeline trace directly.
+type Exemplar struct {
+	Flow       int            `json:"flow"`
+	Seq        int64          `json:"seq"`
+	StartNs    int64          `json:"start_ns"`
+	E2ENs      int64          `json:"e2e_ns"`
+	FabricHops uint32         `json:"fabric_hops,omitempty"`
+	Marks      []ExemplarMark `json:"marks"`
+}
+
+// ExemplarMark is one stamped point of an exemplar: DurNs is the time
+// attributed to Stage (the gap since the previous mark).
+type ExemplarMark struct {
+	Stage string `json:"stage"`
+	Host  string `json:"host,omitempty"`
+	AtNs  int64  `json:"at_ns"`
+	DurNs int64  `json:"dur_ns"`
+}
+
+// WhatIf is one virtual-speedup estimate: the recorded chains are
+// replayed offline with Stage's contribution scaled by (1-Speedup)
+// and the percentiles recomputed — zero perturbation of the run.
+type WhatIf struct {
+	Stage   string  `json:"stage"`
+	Speedup float64 `json:"speedup"`
+	// P50Ns/P99Ns are the predicted percentiles after the speedup;
+	// the deltas are predicted-minus-measured (negative = faster).
+	P50Ns       int64 `json:"p50_ns"`
+	P99Ns       int64 `json:"p99_ns"`
+	P50DeltaNs  int64 `json:"p50_delta_ns"`
+	P99DeltaNs  int64 `json:"p99_delta_ns"`
+	MeanDeltaNs int64 `json:"mean_delta_ns"`
+}
+
+// DefaultWhatIfSpeedup is the virtual speedup evaluated for every
+// traversed stage in Report (Coz's classic "what if 50% faster").
+const DefaultWhatIfSpeedup = 0.5
+
+func hostLabel(labeled bool, host uint8) string {
+	if !labeled {
+		return ""
+	}
+	return fmt.Sprintf("h%d", host)
+}
+
+// Report aggregates everything recorded since the last Reset. Safe on
+// a nil tracker (returns nil).
+func (t *Tracker) Report() *Report {
+	if t == nil {
+		return nil
+	}
+	r := &Report{Requests: len(t.recs)}
+
+	// Percentiles over the measured end-to-end latencies.
+	e2es := make([]sim.Time, len(t.recs))
+	var total sim.Time
+	for i, rec := range t.recs {
+		e2es[i] = rec.e2e
+		total += rec.e2e
+	}
+	sort.Slice(e2es, func(i, j int) bool { return e2es[i] < e2es[j] })
+	r.TotalNs = int64(total)
+	if n := len(e2es); n > 0 {
+		r.MeanNs = int64(total) / int64(n)
+		r.P50Ns = int64(quantile(e2es, 0.5))
+		r.P99Ns = int64(quantile(e2es, 0.99))
+		r.MaxNs = int64(e2es[n-1])
+	}
+
+	// Aggregate blame in fixed stage order. Stage sums telescope to
+	// the end-to-end latency exactly (marks are clamped monotonic and
+	// Complete stamps the final segment), so MaxSumRelErr stays 0;
+	// compute it anyway as the exported reconciliation check.
+	for s := Stage(0); s < NumStages; s++ {
+		if t.stageCount[s] == 0 {
+			continue
+		}
+		b := StageBlame{
+			Stage:   s.String(),
+			Count:   t.stageCount[s],
+			TotalNs: int64(t.stageTotal[s]),
+			MeanNs:  int64(t.stageTotal[s]) / int64(t.stageCount[s]),
+		}
+		if total > 0 {
+			b.Share = float64(b.TotalNs) / float64(total)
+		}
+		r.Stages = append(r.Stages, b)
+	}
+	for _, rec := range t.recs {
+		var sum sim.Time
+		for s := Stage(0); s < NumStages; s++ {
+			sum += rec.durs[s]
+		}
+		if rec.e2e > 0 {
+			err := float64(sum-rec.e2e) / float64(rec.e2e)
+			if err < 0 {
+				err = -err
+			}
+			if err > r.MaxSumRelErr {
+				r.MaxSumRelErr = err
+			}
+		}
+	}
+
+	// Per-host blame, (stage, host)-ordered.
+	if t.LabelHosts && len(t.hostDurs) > 0 {
+		keys := make([]uint16, 0, len(t.hostDurs))
+		for k := range t.hostDurs {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			agg := t.hostDurs[k]
+			b := StageBlame{
+				Stage:   Stage(k >> 8).String(),
+				Host:    hostLabel(true, uint8(k)),
+				Count:   agg.count,
+				TotalNs: int64(agg.total),
+				MeanNs:  int64(agg.total) / int64(agg.count),
+			}
+			if total > 0 {
+				b.Share = float64(b.TotalNs) / float64(total)
+			}
+			r.HostStages = append(r.HostStages, b)
+		}
+	}
+
+	// Tail exemplars, slowest first.
+	for i, c := range t.tail {
+		ex := Exemplar{
+			Flow: c.flow, Seq: c.seq,
+			StartNs: int64(c.start), E2ENs: int64(t.tailE2E[i]),
+			FabricHops: c.hops,
+		}
+		prev := c.start
+		for _, m := range c.marks {
+			ex.Marks = append(ex.Marks, ExemplarMark{
+				Stage: m.Stage.String(),
+				Host:  hostLabel(t.LabelHosts, m.Host),
+				AtNs:  int64(m.T),
+				DurNs: int64(m.T - prev),
+			})
+			prev = m.T
+		}
+		r.Exemplars = append(r.Exemplars, ex)
+	}
+
+	// What-if grid: every traversed stage at the default speedup.
+	for s := Stage(0); s < NumStages; s++ {
+		if t.stageCount[s] == 0 {
+			continue
+		}
+		r.WhatIf = append(r.WhatIf, t.whatIf(s, DefaultWhatIfSpeedup, r))
+	}
+	return r
+}
+
+// WhatIf predicts the end-to-end percentile shift if stage ran
+// `speedup` (0..1) faster, by replaying the recorded chains with that
+// stage's contribution scaled down. Safe on a nil tracker.
+func (t *Tracker) WhatIf(stage Stage, speedup float64) WhatIf {
+	if t == nil {
+		return WhatIf{Stage: stage.String(), Speedup: speedup}
+	}
+	return t.whatIf(stage, speedup, t.Report())
+}
+
+func (t *Tracker) whatIf(stage Stage, speedup float64, base *Report) WhatIf {
+	w := WhatIf{Stage: stage.String(), Speedup: speedup}
+	n := len(t.recs)
+	if n == 0 {
+		return w
+	}
+	adj := make([]sim.Time, n)
+	var total sim.Time
+	for i, rec := range t.recs {
+		saved := sim.Time(float64(rec.durs[stage]) * speedup)
+		adj[i] = rec.e2e - saved
+		total += adj[i]
+	}
+	sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+	w.P50Ns = int64(quantile(adj, 0.5))
+	w.P99Ns = int64(quantile(adj, 0.99))
+	w.P50DeltaNs = w.P50Ns - base.P50Ns
+	w.P99DeltaNs = w.P99Ns - base.P99Ns
+	w.MeanDeltaNs = int64(total)/int64(n) - base.MeanNs
+	return w
+}
+
+// quantile returns the nearest-rank q-quantile of sorted values.
+func quantile(sorted []sim.Time, q float64) sim.Time {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(float64(len(sorted)-1)*q + 0.5)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

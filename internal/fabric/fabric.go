@@ -241,6 +241,13 @@ func (p *Port) Send(pkt *netsim.Packet) {
 	out.egressBusyUntil = outDone
 	sw.Forwarded++
 
+	// Annotate the causal chain with the fabric traversal; the transit
+	// time itself lands in the chain's wire segment at delivery.
+	pkt.Chain.AddHop()
+	if dup {
+		pkt.Chain.AddHop()
+	}
+
 	deliverAt := outDone + sw.params.Delay
 	dst := out.dst
 	if dup {

@@ -1,6 +1,8 @@
 package guest
 
 import (
+	"es2/internal/apic"
+	"es2/internal/causal"
 	"es2/internal/netsim"
 	"es2/internal/sim"
 	"es2/internal/trace"
@@ -74,6 +76,7 @@ func (n *NAPI) poll(v *vmm.VCPU) {
 	}
 	var cost sim.Time
 	path := n.pair.Dev.Kern.VM.K.Path
+	ca := n.pair.Dev.Kern.VM.K.Causal
 	pkts := make([]*netsim.Packet, 0, len(batch))
 	for _, d := range batch {
 		p, ok := d.Payload.(*netsim.Packet)
@@ -86,6 +89,24 @@ func (n *NAPI) poll(v *vmm.VCPU) {
 			now := v.VM.K.Eng.Now()
 			path.Observe(trace.StageRingWait, trace.MechNone, now-d.SpanT)
 			p.SpanT = now
+		}
+		if ca != nil && p.Chain != nil {
+			now := v.VM.K.Eng.Now()
+			// A chain whose last mark predates the captured interrupt
+			// episode was waiting in the used ring when that interrupt
+			// fired, so the episode's signal → wakeup → delivery spans
+			// belong on it. Chains published after the injection were
+			// merely coalesced into the same poll and get only ring-wait.
+			if ep := n.pair.ep; ep.valid && p.Chain.LastT() <= ep.inject {
+				ca.Mark(p.Chain, causal.StageSignal, ep.inject)
+				ca.Mark(p.Chain, causal.StageWakeup, ep.schedIn)
+				st := causal.StageIRQEmulated
+				if ep.mech == apic.StampPosted {
+					st = causal.StageIRQPosted
+				}
+				ca.Mark(p.Chain, st, ep.entry)
+			}
+			ca.Mark(p.Chain, causal.StageRingWait, now)
 		}
 		pkts = append(pkts, p)
 		cost += n.pair.Dev.Kern.rxCost(p)
@@ -102,6 +123,13 @@ func (n *NAPI) poll(v *vmm.VCPU) {
 			now := v.VM.K.Eng.Now()
 			for _, p := range pkts {
 				path.Observe(trace.StageDeliver, trace.MechNone, now-p.SpanT)
+			}
+		}
+		if ca != nil {
+			// Guest receive stack: poll collect → protocol dispatch.
+			now := v.VM.K.Eng.Now()
+			for _, p := range pkts {
+				ca.Mark(p.Chain, causal.StageGuestRX, now)
 			}
 		}
 		var batchFlows []BatchHandler

@@ -29,6 +29,21 @@ type QueuePair struct {
 
 	napi      *NAPI
 	txWaiters []func()
+
+	// ep snapshots the most recent RX interrupt episode for the causal
+	// analyzer: NAPI applies it to each collected chain that was
+	// already waiting when the interrupt fired (see napi.poll).
+	ep irqEpisode
+}
+
+// irqEpisode is one captured RX interrupt delivery: injection instant
+// and mechanism, the handling vCPU's last sched-in, and handler entry.
+type irqEpisode struct {
+	inject  sim.Time
+	schedIn sim.Time
+	entry   sim.Time
+	mech    apic.StampMech
+	valid   bool
 }
 
 // NetDev is the guest's virtio-net front-end: one or more queue pairs
@@ -126,6 +141,20 @@ func (d *NetDev) PairFor(flow int) *QueuePair {
 // rxISR is the RX queue's interrupt handler: mask further RX interrupts
 // and schedule this queue's NAPI on the vCPU that took the interrupt.
 func (p *QueuePair) rxISR(v *vmm.VCPU) (cost sim.Time, fn func()) {
+	if p.Dev.Kern.VM.K.Causal != nil {
+		// Handler entry: snapshot the delivery episode while the
+		// injection stamp is still current, so NAPI can attribute
+		// signal/wakeup/delivery time to the buffers this interrupt
+		// covers.
+		if t0, mech, ok := v.LastInjection(); ok {
+			p.ep = irqEpisode{
+				inject: t0, mech: mech,
+				schedIn: v.LastSchedIn(),
+				entry:   p.Dev.Kern.Engine().Now(),
+				valid:   true,
+			}
+		}
+	}
 	return p.Dev.Kern.Costs.IRQHandler, func() {
 		p.RX.SetNoInterrupt(true)
 		p.napi.schedule(v)
@@ -203,7 +232,14 @@ func (d *NetDev) Transmit(v *vmm.VCPU, pkt *netsim.Packet) bool {
 		p.TX.SetNoInterrupt(false) // need a completion interrupt to make progress
 		return false
 	}
-	if d.DoorbellNoExit || p.TX.KickSuppressed() {
+	exitKick := !(d.DoorbellNoExit || p.TX.KickSuppressed())
+	if pr := d.Kern.VM.K.Causal; pr != nil {
+		// The doorbell closes the guest-side segment (client stack or
+		// server service) and opens the notify span the vhost dequeue
+		// will close.
+		pr.MarkSend(pkt.Chain, d.Kern.VM.K.Eng.Now(), exitKick)
+	}
+	if !exitKick {
 		p.TX.Kick() // direct doorbell or suppressed: no exit
 		return true
 	}

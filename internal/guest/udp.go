@@ -96,6 +96,7 @@ func (f *PingResponder) HandleRX(p *netsim.Packet, v *vmm.VCPU) {
 		return
 	}
 	reply := &netsim.Packet{Bytes: p.Bytes, Kind: KindEchoReply, Flow: f.FlowID, Seq: p.Seq, Payload: p.Payload}
+	reply.Chain = p.Chain // the echo continues the prober's causal chain
 	if f.Kern.Dev.Transmit(v, reply) {
 		f.Replies++
 	} else {

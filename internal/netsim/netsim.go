@@ -6,6 +6,7 @@
 package netsim
 
 import (
+	"es2/internal/causal"
 	"es2/internal/sim"
 )
 
@@ -28,6 +29,10 @@ type Packet struct {
 	// packet entered its current stage (see internal/trace). Zero when
 	// tracing is disabled; restamped at each stage boundary.
 	SpanT sim.Time
+	// Chain is the per-request causal chain riding this packet (nil
+	// when causal tracking is off). Shallow copies made for duplicate
+	// delivery share the pointer; Chain marks tolerate that.
+	Chain *causal.Chain
 }
 
 // FaultAction is the wire-fault decision for one frame (see the

@@ -3,6 +3,7 @@ package vhost
 import (
 	"fmt"
 
+	"es2/internal/causal"
 	"es2/internal/netsim"
 	"es2/internal/sim"
 	"es2/internal/trace"
@@ -30,6 +31,11 @@ type Device struct {
 	// Path, when non-nil, attributes event-path stage latencies
 	// (notify, backend-tx, backend-rx). Nil costs nothing.
 	Path *trace.PathTracer
+
+	// Causal, when non-nil, stamps per-request causal chains at the
+	// back-end transitions (notify close, wire send, used-ring
+	// publish). Nil costs nothing.
+	Causal *causal.Probe
 
 	// Sidecore enables ELVIS-style dedicated-core polling (Har'El et
 	// al., ATC'13 — the paper's Section II-C "Others"): the TX handler
@@ -112,6 +118,8 @@ func (d *Device) Receive(p *netsim.Packet) {
 	if d.Path != nil {
 		p.SpanT = d.IO.s.Now() // wire arrival: backend-rx span opens
 	}
+	// Wire/fabric transit (plus any peer turnaround) closes here.
+	d.Causal.Mark(p.Chain, causal.StageWire, d.IO.s.Now())
 	d.backlog = append(d.backlog, p)
 	d.IO.enqueue(d.rx)
 }
@@ -276,6 +284,11 @@ func (h *txHandler) plan() (sim.Time, func()) {
 		// stamped by the guest at Add time.
 		dev.Path.Observe(trace.StageNotify, trace.Mechanism(desc.SpanMech), dev.IO.s.Now()-desc.SpanT)
 	}
+	if ok {
+		// The chain remembers whether its doorbell took an exit, so the
+		// notify span lands on notify-exit or notify-poll accordingly.
+		dev.Causal.MarkNotify(desc.CausalChain(), dev.IO.s.Now())
+	}
 	if !ok {
 		if dev.Sidecore {
 			// ELVIS-style polling never yields to notifications: pay
@@ -309,6 +322,7 @@ func (h *txHandler) plan() (sim.Time, func()) {
 			if dev.Path != nil {
 				dev.Path.Observe(trace.StageBackendTX, trace.MechNone, dev.IO.s.Now()-popT)
 			}
+			dev.Causal.Mark(pkt.Chain, causal.StageBackendTX, dev.IO.s.Now())
 			dev.Port.Send(pkt)
 			dev.TxPkts++
 			dev.TxBytes += uint64(pkt.Bytes)
@@ -398,6 +412,7 @@ func (h *rxHandler) plan() (sim.Time, func()) {
 			dev.Path.Observe(trace.StageBackendRX, trace.MechNone, now-pkt.SpanT)
 			desc.SpanT = now
 		}
+		dev.Causal.Mark(pkt.Chain, causal.StageBackendRX, dev.IO.s.Now())
 		dev.RXQ.PushUsed(desc)
 		h.pendingSignal = true
 		dev.noteRxPacket()

@@ -18,7 +18,9 @@ package virtio
 import (
 	"fmt"
 
+	"es2/internal/causal"
 	"es2/internal/metrics"
+	"es2/internal/netsim"
 	"es2/internal/sim"
 )
 
@@ -40,6 +42,17 @@ type Desc struct {
 	// resT is the avail-publish instant, stamped by Add when the
 	// queue's residency probe is installed (telemetry runs).
 	resT sim.Time
+}
+
+// CausalChain returns the per-request causal chain riding the
+// descriptor's payload packet, or nil when the payload is not a
+// packet or causal tracking is off. Both ends of the ring use it to
+// stamp the chain without knowing the payload type.
+func (d Desc) CausalChain() *causal.Chain {
+	if p, ok := d.Payload.(*netsim.Packet); ok {
+		return p.Chain
+	}
+	return nil
 }
 
 // Virtqueue is one split virtqueue.

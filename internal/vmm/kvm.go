@@ -2,6 +2,7 @@ package vmm
 
 import (
 	"es2/internal/apic"
+	"es2/internal/causal"
 	"es2/internal/metrics"
 	"es2/internal/profile"
 	"es2/internal/sched"
@@ -48,6 +49,12 @@ type KVM struct {
 	// nil costs nothing.
 	IRQLatPosted   *metrics.LogHistogram
 	IRQLatEmulated *metrics.LogHistogram
+
+	// Causal, when non-nil, enables per-request causal-chain tracking
+	// for this host: injection stamps are kept even without telemetry,
+	// and the guest layers stamp chains through this probe. Purely
+	// observational; nil costs nothing.
+	Causal *causal.Probe
 
 	rng *sim.Rand
 	vms []*VM
@@ -113,9 +120,10 @@ func (k *KVM) InjectMSI(vm *VM, msi apic.MSIMessage) {
 // routing (used for per-vCPU interrupts such as the local timer, and by
 // InjectMSI after routing).
 func (k *KVM) DeliverLocal(v *VCPU, vec apic.Vector) {
+	stamp := k.IRQLatPosted != nil || k.Causal != nil
 	if k.UsePI {
 		if v.PID.Available() {
-			if k.IRQLatPosted != nil {
+			if stamp {
 				v.irqStamps.Mark(vec, apic.StampPosted, k.Eng.Now())
 			}
 			k.postInterrupt(v, vec)
@@ -125,7 +133,7 @@ func (k *KVM) DeliverLocal(v *VCPU, vec apic.Vector) {
 		// so deliver through the emulated LAPIC until it recovers.
 		k.PIFallbacks++
 	}
-	if k.IRQLatEmulated != nil {
+	if stamp {
 		v.irqStamps.Mark(vec, apic.StampEmulated, k.Eng.Now())
 	}
 	k.injectEmulated(v, vec)

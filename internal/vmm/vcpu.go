@@ -75,9 +75,20 @@ type VCPU struct {
 	piPostPending bool
 
 	// irqStamps carries the per-vector injection timestamps for the
-	// interrupt-delivery latency histograms (stamped only when
-	// K.IRQLatPosted/IRQLatEmulated are set).
+	// interrupt-delivery latency histograms and the causal analyzer
+	// (stamped only when K.IRQLatPosted/IRQLatEmulated or K.Causal
+	// are set).
 	irqStamps apic.VectorStamps
+
+	// lastSchedIn is the instant of the most recent sched-in, and
+	// lastInject* snapshot the injection stamp consumed by the current
+	// startHandler — together they let an IRQ handler split the
+	// injection→entry span into wakeup-to-run and delivery (see
+	// internal/causal).
+	lastSchedIn    sim.Time
+	lastInjectT    sim.Time
+	lastInjectMech apic.StampMech
+	lastInjectOK   bool
 
 	// track is this vCPU's timeline track (NoTrack when no timeline).
 	track trace.TrackID
@@ -129,6 +140,7 @@ func (v *VCPU) schedIn(coreID int) {
 	// be synced by the next NextChunk; clear suppress-notification.
 	v.PID.SetSuppress(false)
 	v.needEntrySync = true
+	v.lastSchedIn = v.VM.K.Eng.Now()
 	v.VM.K.Trace.Record(v.VM.K.Eng.Now(), trace.KindSchedIn, v.VM.Index, v.ID, int64(coreID))
 	for _, fn := range v.schedInHooks {
 		fn(coreID)
@@ -262,14 +274,19 @@ func clampChunk(r sim.Time) sim.Time {
 // handler at PrioIRQ.
 func (v *VCPU) startHandler(vec apic.Vector) {
 	v.VAPIC.Accept(vec)
-	if k := v.VM.K; k.IRQLatPosted != nil {
+	if k := v.VM.K; k.IRQLatPosted != nil || k.Causal != nil {
 		if t0, mech, ok := v.irqStamps.Take(vec); ok {
-			d := k.Eng.Now() - t0
-			if mech == apic.StampPosted {
-				k.IRQLatPosted.Observe(d)
-			} else {
-				k.IRQLatEmulated.Observe(d)
+			if k.IRQLatPosted != nil {
+				d := k.Eng.Now() - t0
+				if mech == apic.StampPosted {
+					k.IRQLatPosted.Observe(d)
+				} else {
+					k.IRQLatEmulated.Observe(d)
+				}
 			}
+			v.lastInjectT, v.lastInjectMech, v.lastInjectOK = t0, mech, true
+		} else {
+			v.lastInjectOK = false
 		}
 	}
 	v.IRQAccepted++
@@ -293,6 +310,18 @@ func (v *VCPU) startHandler(vec apic.Vector) {
 		},
 	})
 }
+
+// LastInjection returns the injection stamp consumed by the current
+// interrupt-handler dispatch: the APIC injection instant and delivery
+// mechanism. Meaningful only inside an IDT handler invocation, and
+// only while injection stamps are enabled (telemetry or causal runs).
+func (v *VCPU) LastInjection() (t sim.Time, mech apic.StampMech, ok bool) {
+	return v.lastInjectT, v.lastInjectMech, v.lastInjectOK
+}
+
+// LastSchedIn returns the instant this vCPU's thread last went
+// on-core.
+func (v *VCPU) LastSchedIn() sim.Time { return v.lastSchedIn }
 
 // completeIRQ performs the EOI write at handler exit. Without posted
 // interrupts this is the trap-and-emulate APIC access — the paper's

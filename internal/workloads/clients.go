@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"es2/internal/causal"
 	"es2/internal/guest"
 	"es2/internal/metrics"
 	"es2/internal/netsim"
@@ -16,6 +17,10 @@ type Memaslap struct {
 	conns []int
 	seq   int64
 	count int64
+
+	// Causal, when non-nil, opens a causal chain per request and
+	// records it at the response's last segment.
+	Causal *causal.Probe
 
 	// Completed counts responses; Lat aggregates request latencies.
 	Completed uint64
@@ -63,6 +68,7 @@ func (m *Memaslap) sendNext(flow int) {
 	m.peer.Send(&netsim.Packet{
 		Bytes: reqBytes, Kind: guest.KindRequest, Flow: flow,
 		Payload: &Req{ID: id, RespBytes: respBytes},
+		Chain:   m.Causal.Start(flow, id, m.peer.Eng.Now()),
 	})
 }
 
@@ -78,6 +84,8 @@ func (m *Memaslap) PeerReceive(p *netsim.Packet) {
 	}
 	if t0, ok := m.started[r.ReqID]; ok {
 		delete(m.started, r.ReqID)
+		// The response's wire leg back to the generator closes the chain.
+		m.Causal.Complete(p.Chain, causal.StageWire, m.peer.Eng.Now())
 		m.Lat.Observe(m.peer.Eng.Now() - t0)
 		m.Completed++
 		m.sendNext(p.Flow)

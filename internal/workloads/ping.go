@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"es2/internal/causal"
 	"es2/internal/guest"
 	"es2/internal/metrics"
 	"es2/internal/netsim"
@@ -15,6 +16,10 @@ type Pinger struct {
 	interval sim.Time
 	bytes    int
 	stopped  bool
+
+	// Causal, when non-nil, opens a causal chain per probe and records
+	// it at the reply's arrival.
+	Causal *causal.Probe
 
 	nextSeq int64
 	sentAt  map[int64]sim.Time
@@ -52,7 +57,9 @@ func (p *Pinger) tick() {
 	p.nextSeq++
 	p.sentAt[seq] = p.peer.Eng.Now()
 	p.Sent++
-	p.peer.Port.Send(&netsim.Packet{Bytes: p.bytes, Kind: guest.KindEcho, Flow: p.flowID, Seq: seq})
+	pkt := &netsim.Packet{Bytes: p.bytes, Kind: guest.KindEcho, Flow: p.flowID, Seq: seq}
+	pkt.Chain = p.Causal.Start(p.flowID, seq, p.peer.Eng.Now())
+	p.peer.Port.Send(pkt)
 	p.peer.Eng.After(p.interval, func() { p.tick() })
 }
 
@@ -69,6 +76,8 @@ func (p *Pinger) PeerReceive(pkt *netsim.Packet) {
 		return
 	}
 	delete(p.sentAt, pkt.Seq)
+	// The reply's wire leg back to the prober closes the chain.
+	p.Causal.Complete(pkt.Chain, causal.StageWire, p.peer.Eng.Now())
 	rtt := p.peer.Eng.Now() - t0
 	p.RTTs.Append(p.peer.Eng.Now(), rtt.Millis())
 	p.Hist.Observe(rtt)

@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"es2/internal/causal"
 	"es2/internal/guest"
 	"es2/internal/metrics"
 	"es2/internal/netsim"
@@ -18,6 +19,10 @@ import (
 // RPC.
 type RPCClient struct {
 	Kern *guest.Kernel
+
+	// Causal, when non-nil, opens a causal chain per request and
+	// records it at completion (set before the first request fires).
+	Causal *causal.Probe
 
 	// Completed and Sent count requests across all flows;
 	// BytesReceived counts response payload.
@@ -46,6 +51,7 @@ type RPCFlow struct {
 
 	reqID   int64
 	started sim.Time
+	chain   *causal.Chain
 
 	// Completed counts this flow's finished requests; LatSum and
 	// LatMax summarize its latency over the measurement window.
@@ -99,6 +105,7 @@ func (f *RPCFlow) sendNext() {
 	f.reqID++
 	id := f.reqID
 	f.started = kern.Engine().Now()
+	f.chain = f.c.Causal.Start(f.ID, id, f.started)
 	cost := kern.JitterCost(kern.Costs.TXCost(f.reqBytes, true))
 	f.v.EnqueueTask(vmm.NewTask("rpc-req", vmm.PrioTask, cost, func() {
 		f.transmit(id)
@@ -110,6 +117,7 @@ func (f *RPCFlow) transmit(id int64) {
 	pkt := &netsim.Packet{
 		Bytes: f.reqBytes, Kind: guest.KindRequest, Flow: f.ID,
 		Payload: &Req{ID: id, RespBytes: f.respBytes},
+		Chain:   f.chain,
 	}
 	if !f.c.Kern.Dev.Transmit(f.v, pkt) {
 		f.c.Kern.Dev.WaitTXFlow(f.ID, func() { f.transmit(id) })
@@ -134,7 +142,11 @@ func (f *RPCFlow) HandleRX(p *netsim.Packet, v *vmm.VCPU) {
 	if r == nil || r.ReqID != f.reqID || r.Seg != r.Segs-1 {
 		return
 	}
-	d := f.c.Kern.Engine().Now() - f.started
+	now := f.c.Kern.Engine().Now()
+	// The response rode the request's chain back; the final guest-rx
+	// segment closes at the same instant the latency clock stops.
+	f.c.Causal.Complete(p.Chain, causal.StageGuestRX, now)
+	d := now - f.started
 	f.Completed++
 	f.LatSum += d
 	if d > f.LatMax {

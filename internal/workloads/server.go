@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"es2/internal/causal"
 	"es2/internal/guest"
 	"es2/internal/netsim"
 	"es2/internal/sim"
@@ -197,13 +198,14 @@ func (w *worker) next() {
 		rem -= n
 	}
 	w.v.EnqueueTask(vmm.NewTask("serve", vmm.PrioTask, cost, func() {
-		w.sendResponse(p.Flow, req, segs, 0)
+		w.sendResponse(p.Flow, p.Chain, req, segs, 0)
 	}))
 }
 
 // sendResponse transmits the response segments, resuming via WaitTX on
-// a full ring.
-func (w *worker) sendResponse(flow int, req *Req, segs, from int) {
+// a full ring. The request's causal chain (if any) rides the last
+// segment back — the one whose arrival completes the request.
+func (w *worker) sendResponse(flow int, chain *causal.Chain, req *Req, segs, from int) {
 	segBytes := w.srv.Cfg.SegBytes
 	for i := from; i < segs; i++ {
 		n := req.RespBytes - i*segBytes
@@ -217,9 +219,12 @@ func (w *worker) sendResponse(flow int, req *Req, segs, from int) {
 			Bytes: n, Kind: guest.KindResponse, Flow: flow, Seq: int64(i),
 			Payload: &Resp{ReqID: req.ID, Seg: i, Segs: segs},
 		}
+		if i == segs-1 {
+			pkt.Chain = chain
+		}
 		if !w.srv.Kern.Dev.Transmit(w.v, pkt) {
 			i := i
-			w.srv.Kern.Dev.WaitTX(func() { w.sendResponse(flow, req, segs, i) })
+			w.srv.Kern.Dev.WaitTX(func() { w.sendResponse(flow, chain, req, segs, i) })
 			return
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"es2/internal/causal"
 	"es2/internal/core"
 	"es2/internal/faults"
 	"es2/internal/guest"
@@ -109,6 +110,9 @@ func (s ScenarioSpec) withDefaults() ScenarioSpec {
 	if s.Telemetry && s.TelemetryWindow <= 0 {
 		s.TelemetryWindow = 10 * time.Millisecond
 	}
+	if s.CritPath && s.CritPathExemplars <= 0 {
+		s.CritPathExemplars = 8
+	}
 	// The paper selects quota 4 for TCP streams and 8 for UDP streams
 	// (Section VI-B); default accordingly when hybrid is on.
 	if s.Config.Hybrid && s.Config.Quota <= 0 {
@@ -152,6 +156,9 @@ type testbed struct {
 
 	// Simulated-CPU profiler (nil unless spec.CPUProfile).
 	prof *profile.Profiler
+
+	// Causal critical-path tracker (nil unless spec.CritPath).
+	crit *causal.Tracker
 }
 
 // probeVar is one periodically sampled state variable.
@@ -245,6 +252,10 @@ func Run(spec ScenarioSpec) (*Result, error) {
 		// deltas integrate exactly to the scalars computed below.
 		tb.startTelemetry(warmup + window)
 	}
+	// Drop warm-up chains at the same instant the latency histograms
+	// reset; chains still in flight complete into the window, exactly
+	// as their latencies do.
+	tb.crit.Reset()
 	if col.onWarmupEnd != nil {
 		col.onWarmupEnd()
 	}
@@ -358,6 +369,9 @@ func Run(spec ScenarioSpec) (*Result, error) {
 	if tb.tel != nil {
 		tb.fillTelemetry(r)
 	}
+	if tb.crit != nil {
+		r.CriticalPath = tb.crit.Report()
+	}
 	col.fill(r, window)
 	return r, nil
 }
@@ -398,7 +412,11 @@ func build(spec ScenarioSpec) (*testbed, error) {
 	eng := sim.NewEngine(spec.Seed)
 	totalCores := spec.VMCores + spec.VhostCores
 	sch := sched.New(eng, totalCores, sched.DefaultParams())
-	k := vmm.NewKVM(eng, sch, vmm.DefaultCosts())
+	costs := vmm.DefaultCosts()
+	if spec.testCosts != nil {
+		costs = *spec.testCosts
+	}
+	k := vmm.NewKVM(eng, sch, costs)
 	if spec.TraceCapacity > 0 {
 		k.Trace = trace.New(spec.TraceCapacity)
 	}
@@ -422,6 +440,10 @@ func build(spec ScenarioSpec) (*testbed, error) {
 		// their context subtrees intern in deterministic build order.
 		tb.prof = profile.New(totalCores)
 		k.Prof = tb.prof
+	}
+	if spec.CritPath {
+		tb.crit = causal.NewTracker(spec.CritPathExemplars)
+		k.Causal = tb.crit.Probe(0)
 	}
 	if spec.Faults.Enabled() {
 		// The injector forks the engine RNG here, after the scheduler and
@@ -469,6 +491,7 @@ func build(spec ScenarioSpec) (*testbed, error) {
 				return nil, err
 			}
 			dev.Path = tb.path
+			dev.Causal = tb.crit.Probe(0)
 			dev.CoalesceCount = spec.CoalesceCount
 			dev.CoalesceTimer = sim.DurationOf(spec.CoalesceTimer)
 			if spec.Sidecore {
@@ -772,6 +795,9 @@ func (tb *testbed) startWorkload() (collector, error) {
 
 	case Ping:
 		p := workloads.StartPing(kern, peer, tb.ids.Next(), sim.DurationOf(w.PingInterval))
+		// The first probe (fired inside StartPing) predates the probe
+		// and goes unchained; it completes during warmup regardless.
+		p.Causal = tb.crit.Probe(0)
 		seriesStart := 0
 		return collector{
 			onWarmupEnd: func() {
@@ -791,6 +817,10 @@ func (tb *testbed) startWorkload() (collector, error) {
 		cfg.ServiceCost = sim.DurationOf(w.ServiceCost)
 		workloads.StartServer(kern, cfg)
 		m := workloads.StartMemaslap(peer, &tb.ids, w.Conns, w.Concurrency)
+		// The initial burst (issued inside StartMemaslap) goes
+		// unchained; the closed loop picks chains up on reissue, well
+		// before warmup ends.
+		m.Causal = tb.crit.Probe(0)
 		var done0 uint64
 		return collector{
 			onWarmupEnd: func() { done0 = m.Completed; m.Lat.Reset() },

@@ -1,0 +1,102 @@
+package es2
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Spec files are plain JSON encodings of ScenarioSpec / ClusterSpec
+// with Go field names as keys. Duration fields are nanosecond integers
+// (time.Duration's JSON form); Workload.Kind accepts either the
+// symbolic name ("ping", "memcached", ...) or the numeric enum value.
+// Unknown keys are rejected so a typo fails loudly instead of
+// silently running the default scenario.
+
+// MarshalJSON encodes the workload kind as its symbolic name.
+func (k WorkloadKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON accepts a symbolic workload name or the numeric enum.
+func (k *WorkloadKind) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		for i := IdleBurn; i <= Httperf; i++ {
+			if i.String() == s {
+				*k = i
+				return nil
+			}
+		}
+		return fmt.Errorf("unknown workload kind %q", s)
+	}
+	var n int
+	if err := json.Unmarshal(b, &n); err != nil {
+		return err
+	}
+	*k = WorkloadKind(n)
+	return nil
+}
+
+// decodeSpec decodes exactly one JSON document into dst, rejecting
+// unknown fields and trailing garbage.
+func decodeSpec(r io.Reader, dst any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return err
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return fmt.Errorf("trailing data after spec document")
+	}
+	return nil
+}
+
+// ParseScenarioSpec reads one JSON ScenarioSpec from r and validates
+// it (defaults applied first, exactly as Run would).
+func ParseScenarioSpec(r io.Reader) (ScenarioSpec, error) {
+	var s ScenarioSpec
+	if err := decodeSpec(r, &s); err != nil {
+		return s, fmt.Errorf("es2: parse spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// ParseClusterSpec reads one JSON ClusterSpec from r and validates it.
+func ParseClusterSpec(r io.Reader) (ClusterSpec, error) {
+	var s ClusterSpec
+	if err := decodeSpec(r, &s); err != nil {
+		return s, fmt.Errorf("es2: parse cluster spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// LoadScenarioSpec reads and validates a JSON ScenarioSpec file.
+func LoadScenarioSpec(path string) (ScenarioSpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ScenarioSpec{}, err
+	}
+	defer f.Close()
+	return ParseScenarioSpec(f)
+}
+
+// LoadClusterSpec reads and validates a JSON ClusterSpec file.
+func LoadClusterSpec(path string) (ClusterSpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ClusterSpec{}, err
+	}
+	defer f.Close()
+	return ParseClusterSpec(f)
+}

@@ -1,0 +1,102 @@
+package es2
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpecFileRoundTrip(t *testing.T) {
+	in := critSpec(Full(4))
+	in.Name = "roundtrip"
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseScenarioSpec(strings.NewReader(string(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != in.Name || out.Workload.Kind != Ping ||
+		out.Workload.PingInterval != in.Workload.PingInterval ||
+		!out.CritPath || out.Config != in.Config {
+		t.Fatalf("round trip mutated the spec: %+v", out)
+	}
+	// Same spec, same results.
+	r0, err := Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Run(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.MeanLatency != r1.MeanLatency || r0.TotalExitRate != r1.TotalExitRate {
+		t.Fatal("parsed spec ran differently from the original")
+	}
+}
+
+func TestSpecFileWorkloadKindForms(t *testing.T) {
+	for _, doc := range []string{
+		`{"Workload": {"Kind": "memcached"}}`,
+		`{"Workload": {"Kind": 6}}`,
+	} {
+		s, err := ParseScenarioSpec(strings.NewReader(doc))
+		if err != nil {
+			t.Fatalf("%s: %v", doc, err)
+		}
+		if s.Workload.Kind != Memcached {
+			t.Errorf("%s: Kind = %v, want memcached", doc, s.Workload.Kind)
+		}
+	}
+	if _, err := ParseScenarioSpec(strings.NewReader(`{"Workload": {"Kind": "netperf"}}`)); err == nil {
+		t.Error("unknown workload name accepted")
+	}
+}
+
+func TestSpecFileRejectsBadInput(t *testing.T) {
+	cases := []struct{ name, doc string }{
+		{"unknown field", `{"Nmae": "typo"}`},
+		{"trailing garbage", `{"Name": "a"} {"Name": "b"}`},
+		{"invalid value", `{"VMs": 1000}`},
+		{"wrong type", `{"Seed": "not-a-number"}`},
+	}
+	for _, c := range cases {
+		if _, err := ParseScenarioSpec(strings.NewReader(c.doc)); err == nil {
+			t.Errorf("%s: accepted %s", c.name, c.doc)
+		}
+	}
+}
+
+func TestClusterSpecFile(t *testing.T) {
+	doc := `{
+		"Name": "rack-from-file",
+		"Seed": 7,
+		"Hosts": 3,
+		"ClientHosts": 1,
+		"VMsPerHost": 2,
+		"Workload": {"Flows": 16},
+		"Warmup": 20000000,
+		"Duration": 50000000,
+		"CritPath": true
+	}`
+	s, err := ParseClusterSpec(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Hosts != 3 || s.Workload.Flows != 16 || !s.CritPath ||
+		s.Duration != 50*time.Millisecond {
+		t.Fatalf("parsed cluster spec wrong: %+v", s)
+	}
+	r, err := RunCluster(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CriticalPath == nil || r.CriticalPath.Requests == 0 {
+		t.Fatal("spec-file cluster run produced no critical-path report")
+	}
+	if _, err := ParseClusterSpec(strings.NewReader(`{"Hosts": 9999}`)); err == nil {
+		t.Error("invalid cluster spec accepted")
+	}
+}

@@ -75,6 +75,9 @@ func (s ScenarioSpec) validate() error {
 	if s.TraceCapacity < 0 || s.TraceCapacity > maxBytes {
 		return specErr("TraceCapacity", "%d outside [0, %d]", s.TraceCapacity, maxBytes)
 	}
+	if s.CritPathExemplars < 0 || s.CritPathExemplars > 1024 {
+		return specErr("CritPathExemplars", "%d outside [0, 1024]", s.CritPathExemplars)
+	}
 	if s.Warmup > maxDuration {
 		return specErr("Warmup", "%v exceeds the supported maximum %v", s.Warmup, maxDuration)
 	}
