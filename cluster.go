@@ -41,6 +41,25 @@ type ClusterWorkloadSpec struct {
 	// StartSpread staggers first requests uniformly over this span so
 	// the warmup ramp is not a synchronized burst (default 2ms).
 	StartSpread time.Duration
+
+	// RequestTimeout arms a per-request deadline on every flow: an
+	// expired request is retried with exponential backoff and
+	// deterministic jitter. Zero disables deadlines — the legacy
+	// closed loop — unless chaos is enabled, in which case it defaults
+	// to 5ms (a chaotic cluster without client deadlines would wedge
+	// every flow bound to a crashed host). Minimum 10µs when set.
+	RequestTimeout time.Duration
+	// RetryBackoff is the first retry delay (default RequestTimeout/4)
+	// and doubles per consecutive timeout up to RetryBackoffMax
+	// (default 8x RetryBackoff). Both require RequestTimeout.
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	// FailoverAfter is the consecutive-timeout threshold at which a
+	// flow is re-balanced from its (presumed dead) server host to a
+	// surviving server VM (default 3 under chaos; requires
+	// RequestTimeout and only acts when chaos is enabled, since only
+	// the chaos controller knows which hosts are impaired).
+	FailoverAfter int
 }
 
 // ClusterSpec describes one simulated rack: Hosts independent machines
@@ -106,9 +125,16 @@ type ClusterSpec struct {
 	// full cross-host timelines (default 8, max 1024).
 	CritPathExemplars int
 
-	// Faults configures deterministic fault injection, applied across
-	// all hosts and the fabric ports from one injector stream.
+	// Faults configures deterministic micro-fault injection (wire
+	// loss, lost kicks, stalls, …), applied per host from one forked
+	// injector stream each.
 	Faults FaultSpec
+	// Chaos configures rack-scale macro-fault timelines: whole-host
+	// crash/freeze windows, fabric link flaps and rate degradation,
+	// and switch egress blackholing, drawn deterministically from the
+	// seed and injected inside the measurement window. Chaos runs
+	// report ClusterResult.Recovery.
+	Chaos ChaosSpec
 	// Check enables the runtime invariant checker on every host's
 	// structures (also via ES2_CHECK).
 	Check bool
@@ -172,6 +198,26 @@ func (s ClusterSpec) withClusterDefaults() ClusterSpec {
 	}
 	if w.StartSpread <= 0 {
 		w.StartSpread = 2 * time.Millisecond
+	}
+	if s.Chaos.Enabled() {
+		if w.RequestTimeout == 0 {
+			w.RequestTimeout = 5 * time.Millisecond
+		}
+		if s.Chaos.MinGap == 0 && s.Chaos.MaxGap == 0 {
+			s.Chaos.MinGap = 2 * time.Millisecond
+			s.Chaos.MaxGap = 8 * time.Millisecond
+		}
+	}
+	if w.RequestTimeout > 0 {
+		if w.RetryBackoff == 0 {
+			w.RetryBackoff = w.RequestTimeout / 4
+		}
+		if w.RetryBackoffMax == 0 {
+			w.RetryBackoffMax = 8 * w.RetryBackoff
+		}
+		if w.FailoverAfter == 0 && s.Chaos.Enabled() {
+			w.FailoverAfter = 3
+		}
 	}
 	if s.Telemetry && s.TelemetryWindow <= 0 {
 		s.TelemetryWindow = 10 * time.Millisecond
@@ -273,6 +319,27 @@ func (s ClusterSpec) validate() error {
 	if w.StartSpread > maxDuration {
 		return specErr("Workload.StartSpread", "%v exceeds the supported maximum %v", w.StartSpread, maxDuration)
 	}
+	if w.RequestTimeout != 0 && (w.RequestTimeout < 10*time.Microsecond || w.RequestTimeout > maxDuration) {
+		return specErr("Workload.RequestTimeout", "%v outside [10µs, %v]", w.RequestTimeout, maxDuration)
+	}
+	if w.RetryBackoff < 0 || w.RetryBackoff > maxDuration {
+		return specErr("Workload.RetryBackoff", "%v outside [0, %v]", w.RetryBackoff, maxDuration)
+	}
+	if w.RetryBackoffMax < 0 || w.RetryBackoffMax > maxDuration {
+		return specErr("Workload.RetryBackoffMax", "%v outside [0, %v]", w.RetryBackoffMax, maxDuration)
+	}
+	if w.RequestTimeout == 0 && (w.RetryBackoff > 0 || w.RetryBackoffMax > 0) {
+		return specErr("Workload.RetryBackoff", "retry backoff is set but RequestTimeout is zero")
+	}
+	if w.RetryBackoffMax > 0 && w.RetryBackoff > w.RetryBackoffMax {
+		return specErr("Workload.RetryBackoffMax", "%v below RetryBackoff %v", w.RetryBackoffMax, w.RetryBackoff)
+	}
+	if w.FailoverAfter < 0 || w.FailoverAfter > maxCount {
+		return specErr("Workload.FailoverAfter", "%d outside [0, %d]", w.FailoverAfter, maxCount)
+	}
+	if w.FailoverAfter > 0 && w.RequestTimeout == 0 {
+		return specErr("Workload.FailoverAfter", "failover requires RequestTimeout")
+	}
 
 	if s.Warmup > maxDuration {
 		return specErr("Warmup", "%v exceeds the supported maximum %v", s.Warmup, maxDuration)
@@ -295,6 +362,17 @@ func (s ClusterSpec) validate() error {
 	for _, c := range s.Faults.StormCores {
 		if c < 0 || c >= totalCores {
 			return specErr("Faults.StormCores", "core %d outside [0, %d) (per-host cores)", c, totalCores)
+		}
+	}
+	if err := s.Chaos.Validate(); err != nil {
+		return &SpecError{Field: "Chaos", Reason: err.Error()}
+	}
+	if s.Chaos.Enabled() {
+		// The whole timeline — every fault injected and recovered —
+		// must fit the measurement window even in the worst draw, or
+		// MTTR would be unmeasurable by construction.
+		if end := s.Chaos.MaxTimelineEnd(); end > s.Duration {
+			return specErr("Chaos", "worst-case fault timeline (%v) does not fit the %v measurement window", end, s.Duration)
 		}
 	}
 	return nil
@@ -350,6 +428,66 @@ type FlowFairness struct {
 	MaxMax      time.Duration `json:"max_max_ns"`
 }
 
+// RecoveryFault is one injected chaos fault with its measured
+// recovery. Times are milliseconds relative to the start of the
+// measurement window.
+type RecoveryFault struct {
+	// Kind is the fault class (host_crash, host_freeze, link_flap,
+	// link_degrade, egress_blackhole); Target names the victim ("h3"
+	// for host faults, "port2" for fabric faults).
+	Kind   string `json:"kind"`
+	Target string `json:"target"`
+	// StartMs/OutageMs locate the injected outage window.
+	StartMs  float64 `json:"start_ms"`
+	OutageMs float64 `json:"outage_ms"`
+	// MTTRMs is the service-level mean-time-to-recover: fault start to
+	// the first cluster-wide RPC completion at or after the outage
+	// end. -1 when service never recovered inside the window.
+	MTTRMs float64 `json:"mttr_ms"`
+}
+
+// RecoveryReport summarizes a chaos run's failure and recovery
+// behaviour (ClusterResult.Recovery).
+type RecoveryReport struct {
+	// Faults lists every injected fault in timeline order.
+	Faults []RecoveryFault `json:"faults"`
+
+	// Injected tallies by kind.
+	HostCrashes  uint64 `json:"host_crashes"`
+	HostFreezes  uint64 `json:"host_freezes"`
+	LinkFlaps    uint64 `json:"link_flaps"`
+	LinkDegrades uint64 `json:"link_degrades"`
+	Blackholes   uint64 `json:"blackholes"`
+
+	// LinkDrops counts frames lost to down links across all ports;
+	// BlackholeDrops frames silently discarded at blackholed egresses.
+	LinkDrops      uint64 `json:"link_drops"`
+	BlackholeDrops uint64 `json:"blackhole_drops"`
+
+	// Availability is the fraction of 100 equal sub-windows of the
+	// measurement window in which at least one RPC completed
+	// cluster-wide; AvailableWindows/TotalWindows are the raw counts.
+	Availability     float64 `json:"availability"`
+	AvailableWindows int     `json:"available_windows"`
+	TotalWindows     int     `json:"total_windows"`
+
+	// DegradedSeconds is total simulated time with at least one fault
+	// in effect; the goodput split reports completions per second
+	// inside and outside those windows.
+	DegradedSeconds   float64 `json:"degraded_seconds"`
+	DegradedOpsPerSec float64 `json:"degraded_ops_per_sec"`
+	HealthyOpsPerSec  float64 `json:"healthy_ops_per_sec"`
+
+	// Client resilience totals across all flows.
+	Timeouts      uint64 `json:"timeouts"`
+	Retries       uint64 `json:"retries"`
+	MigratedFlows uint64 `json:"migrated_flows"`
+	// FlowsUnaccounted counts flows that neither completed a request
+	// in the window nor migrated to a survivor — zero in any run whose
+	// recovery machinery is keeping up.
+	FlowsUnaccounted int `json:"flows_unaccounted"`
+}
+
 // ClusterResult carries the outcome of one cluster run: the aggregate
 // over all hosts, one Result per host (client hosts carry the latency
 // and throughput fields; every host carries its exit/TIG/vhost/IRQ
@@ -386,6 +524,11 @@ type ClusterResult struct {
 	// fault-free runs); InvariantChecks counts checker sweeps.
 	Faults          *FaultReport `json:"faults,omitempty"`
 	InvariantChecks uint64       `json:"invariant_checks,omitempty"`
+
+	// Recovery reports chaos-fault recovery behaviour (chaos runs
+	// only): per-fault MTTR, availability windows, degraded-window
+	// goodput and client resilience totals.
+	Recovery *RecoveryReport `json:"recovery,omitempty"`
 
 	// Telemetry summarizes the windowed recording (Telemetry runs);
 	// the recorder itself is exported separately.

@@ -1,0 +1,285 @@
+package es2
+
+import (
+	"fmt"
+	"sort"
+
+	"es2/internal/faults"
+	"es2/internal/sim"
+)
+
+// availWindows is the sub-window count behind RecoveryReport's
+// availability metric.
+const availWindows = 100
+
+// chaosFault is one scheduled macro-fault with its measured recovery.
+type chaosFault struct {
+	ev    faults.ChaosEvent
+	start sim.Time // absolute injection instant
+	end   sim.Time // absolute outage end
+	// mttr is fault start to the first cluster-wide RPC completion at
+	// or after end; -1 until (unless) that completion happens.
+	mttr sim.Time
+}
+
+// serverRef names one server VM for failover targeting.
+type serverRef struct {
+	h  *clusterHost
+	vi int
+}
+
+// chaosController drives a cluster's chaos timeline: it injects the
+// scheduled macro-faults, answers the clients' failover requests from
+// the authoritative flow table, and keeps the recovery bookkeeping
+// (MTTR, availability windows, degraded-phase goodput) that collect
+// turns into ClusterResult.Recovery. All state changes happen inside
+// engine events, so chaotic runs replay byte-identically.
+type chaosController struct {
+	cb *clusterBed
+
+	faults     []*chaosFault // timeline order
+	unresolved []*chaosFault // awaiting first post-outage completion, by end
+
+	hostDown  []bool
+	downHosts int
+
+	// active counts faults currently in effect; transitions accumulate
+	// degraded time.
+	active       int
+	degradedFrom sim.Time
+	degradedNs   sim.Time
+
+	winStart sim.Time
+	winLen   sim.Time
+	buckets  [availWindows]bool
+
+	degradedDone uint64
+	healthyDone  uint64
+
+	// Failover flow table: flowServer maps flow id -> index into
+	// servers (its current binding).
+	servers    []serverRef
+	flowServer map[int]int
+}
+
+// install materializes the timeline from the controller's private RNG
+// fork and schedules every fault. Faults start strictly after the
+// warmup boundary; spec validation guarantees the whole timeline —
+// including recovery — fits the measurement window.
+func (cc *chaosController) install(rng *sim.Rand, warm, window sim.Time) {
+	cc.winStart = warm
+	cc.winLen = window
+	spec := cc.cb.spec
+	for _, ev := range spec.Chaos.BuildTimeline(rng, spec.Hosts) {
+		f := &chaosFault{ev: ev, start: warm + ev.At, end: warm + ev.At + ev.Duration, mttr: -1}
+		cc.faults = append(cc.faults, f)
+		cc.unresolved = append(cc.unresolved, f)
+		cc.cb.eng.At(f.start, func() { cc.apply(f) })
+	}
+	sort.SliceStable(cc.unresolved, func(i, j int) bool {
+		return cc.unresolved[i].end < cc.unresolved[j].end
+	})
+}
+
+// reset clears the window-scoped bookkeeping at warmup end. The
+// timeline itself is untouched: every fault fires after this point.
+func (cc *chaosController) reset() {
+	cc.degradedNs = 0
+	cc.degradedDone, cc.healthyDone = 0, 0
+	cc.buckets = [availWindows]bool{}
+}
+
+// apply injects one fault and schedules its recovery.
+func (cc *chaosController) apply(f *chaosFault) {
+	cb := cc.cb
+	h := cb.hosts[f.ev.Target]
+	if cc.active == 0 {
+		cc.degradedFrom = cb.eng.Now()
+	}
+	cc.active++
+	switch f.ev.Kind {
+	case faults.ChaosHostCrash:
+		// Fail-stop with RAM intact: scheduling tears down, the link
+		// drops, the tap backlog is lost; virtqueues and flow state
+		// survive for the warm recovery.
+		cc.hostDown[h.index] = true
+		cc.downHosts++
+		h.sch.Freeze()
+		h.port.SetLinkDown(f.end)
+		for _, d := range h.devs {
+			d.DropBacklog()
+		}
+		cb.eng.At(f.end, func() {
+			cc.hostDown[h.index] = false
+			cc.downHosts--
+			h.sch.Unfreeze()
+			cc.expire(f)
+		})
+	case faults.ChaosHostFreeze:
+		// Hard lockup: nothing schedules, but the link stays up and
+		// ingress piles into the (bounded) backlogs until the thaw.
+		cc.hostDown[h.index] = true
+		cc.downHosts++
+		h.sch.Freeze()
+		cb.eng.At(f.end, func() {
+			cc.hostDown[h.index] = false
+			cc.downHosts--
+			h.sch.Unfreeze()
+			cc.expire(f)
+		})
+	case faults.ChaosLinkFlap:
+		h.port.SetLinkDown(f.end)
+		cb.eng.At(f.end, func() { cc.expire(f) })
+	case faults.ChaosLinkDegrade:
+		h.port.SetDegraded(f.end, f.ev.Factor)
+		cb.eng.At(f.end, func() { cc.expire(f) })
+	case faults.ChaosBlackhole:
+		h.port.SetBlackhole(f.end)
+		cb.eng.At(f.end, func() { cc.expire(f) })
+	}
+}
+
+// expire marks one fault's outage window over.
+func (cc *chaosController) expire(f *chaosFault) {
+	cc.active--
+	if cc.active == 0 {
+		cc.degradedNs += cc.cb.eng.Now() - cc.degradedFrom
+	}
+}
+
+// noteCompletion observes every completed RPC (the clients'
+// NotifyComplete hook): availability buckets, the degraded/healthy
+// goodput split, and MTTR resolution for ended faults.
+func (cc *chaosController) noteCompletion(now sim.Time) {
+	if now < cc.winStart || cc.winLen <= 0 {
+		return
+	}
+	i := int((now - cc.winStart) * availWindows / cc.winLen)
+	if i >= availWindows {
+		i = availWindows - 1
+	}
+	cc.buckets[i] = true
+	if cc.active > 0 {
+		cc.degradedDone++
+	} else {
+		cc.healthyDone++
+	}
+	for len(cc.unresolved) > 0 && now >= cc.unresolved[0].end {
+		f := cc.unresolved[0]
+		f.mttr = now - f.start
+		cc.unresolved = cc.unresolved[1:]
+	}
+}
+
+// serverImpaired reports whether a server VM's host cannot currently
+// serve (scheduler down, or its port dropping/blackholing frames).
+func (cc *chaosController) serverImpaired(r serverRef) bool {
+	return cc.hostDown[r.h.index] || r.h.port.Impaired()
+}
+
+// failover re-balances one flow away from its impaired server: the
+// clients call it after FailoverAfter consecutive timeouts. It scans
+// the server ring from the current binding for the first healthy VM
+// and rebinds the flow's receive-side steering and switch route.
+// Returns false when the current server is actually healthy (the
+// timeouts had another cause) or no healthy server exists yet.
+func (cc *chaosController) failover(flowID int) bool {
+	cur, ok := cc.flowServer[flowID]
+	if !ok {
+		return false
+	}
+	if !cc.serverImpaired(cc.servers[cur]) {
+		return false
+	}
+	ns := len(cc.servers)
+	for off := 1; off < ns; off++ {
+		ni := (cur + off) % ns
+		cand := cc.servers[ni]
+		if cc.serverImpaired(cand) {
+			continue
+		}
+		// Rebind: steering entry on the surviving host, flow table to
+		// its port. The old host's entry is left in place so stale
+		// responses still route back to the client and are ignored by
+		// request id there.
+		qi := flowID % cc.cb.spec.Queues
+		cand.h.demux.byFlow[flowID] = cand.h.devsByVM[cand.vi][qi]
+		pp := cc.cb.flowPorts[flowID]
+		cc.cb.flowPorts[flowID] = [2]int{pp[0], cand.h.port.Index()}
+		cc.flowServer[flowID] = ni
+		return true
+	}
+	return false
+}
+
+// report assembles ClusterResult.Recovery at the horizon.
+func (cc *chaosController) report(window sim.Time) *RecoveryReport {
+	cb := cc.cb
+	deg := cc.degradedNs
+	if cc.active > 0 {
+		// Defensive: validation keeps every outage inside the window,
+		// so this only triggers if a spec change breaks that bound.
+		deg += cb.eng.Now() - cc.degradedFrom
+	}
+	rep := &RecoveryReport{TotalWindows: availWindows}
+	for _, f := range cc.faults {
+		target := fmt.Sprintf("h%d", f.ev.Target)
+		switch f.ev.Kind {
+		case faults.ChaosHostCrash:
+			rep.HostCrashes++
+		case faults.ChaosHostFreeze:
+			rep.HostFreezes++
+		case faults.ChaosLinkFlap:
+			rep.LinkFlaps++
+			target = fmt.Sprintf("port%d", f.ev.Target)
+		case faults.ChaosLinkDegrade:
+			rep.LinkDegrades++
+			target = fmt.Sprintf("port%d", f.ev.Target)
+		case faults.ChaosBlackhole:
+			rep.Blackholes++
+			target = fmt.Sprintf("port%d", f.ev.Target)
+		}
+		rf := RecoveryFault{
+			Kind:     f.ev.Kind.String(),
+			Target:   target,
+			StartMs:  float64(f.start-cc.winStart) / 1e6,
+			OutageMs: float64(f.end-f.start) / 1e6,
+			MTTRMs:   -1,
+		}
+		if f.mttr >= 0 {
+			rf.MTTRMs = float64(f.mttr) / 1e6
+		}
+		rep.Faults = append(rep.Faults, rf)
+	}
+	for i := 0; i < cb.sw.NumPorts(); i++ {
+		p := cb.sw.Port(i)
+		rep.LinkDrops += p.LinkDrops
+		rep.BlackholeDrops += p.BlackholeDrops
+	}
+	for _, up := range cc.buckets {
+		if up {
+			rep.AvailableWindows++
+		}
+	}
+	rep.Availability = float64(rep.AvailableWindows) / float64(availWindows)
+	rep.DegradedSeconds = deg.Seconds()
+	if deg > 0 {
+		rep.DegradedOpsPerSec = float64(cc.degradedDone) / deg.Seconds()
+	}
+	if healthy := window - deg; healthy > 0 {
+		rep.HealthyOpsPerSec = float64(cc.healthyDone) / healthy.Seconds()
+	}
+	for _, h := range cb.hosts {
+		for _, c := range h.clients {
+			rep.Timeouts += c.Timeouts
+			rep.Retries += c.Retries
+			rep.MigratedFlows += c.Migrated
+			for _, f := range c.Flows() {
+				if f.Completed == 0 && !f.Migrated {
+					rep.FlowsUnaccounted++
+				}
+			}
+		}
+	}
+	return rep
+}

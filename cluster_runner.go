@@ -51,6 +51,11 @@ type clusterHost struct {
 	prof *profile.Profiler
 	path *trace.PathTracer
 
+	// inj is this host's fault injector (one private RNG fork per
+	// host), so warmup reset clears every host's tallies and per-host
+	// fault activity stays attributable.
+	inj *faults.Injector
+
 	// Warmup-end baselines.
 	vhostBusy0                             sim.Time
 	redirBase, keptBase, onBase, offBase   uint64
@@ -91,9 +96,32 @@ type clusterBed struct {
 	clusterLat *metrics.LogHistogram
 	crit       *causal.Tracker
 
-	inj *faults.Injector
-	chk *faults.Checker
-	tel *clusterTelemetry
+	chaos *chaosController
+	chk   *faults.Checker
+	tel   *clusterTelemetry
+}
+
+// faultsOn reports whether micro-fault injection is active (per-host
+// injectors exist).
+func (cb *clusterBed) faultsOn() bool { return cb.spec.Faults.Enabled() }
+
+// faultCounters sums the per-host injector tallies.
+func (cb *clusterBed) faultCounters() faults.Counters {
+	var c faults.Counters
+	for _, h := range cb.hosts {
+		if h.inj == nil {
+			continue
+		}
+		hc := h.inj.Counters
+		c.WireDrops += hc.WireDrops
+		c.WireDups += hc.WireDups
+		c.LostKicks += hc.LostKicks
+		c.LostSignals += hc.LostSignals
+		c.VhostStalls += hc.VhostStalls
+		c.PIOutages += hc.PIOutages
+		c.PreemptStorms += hc.PreemptStorms
+	}
+	return c
 }
 
 // hostConfig returns host i's event-path configuration.
@@ -284,12 +312,22 @@ func buildCluster(spec ClusterSpec) (*clusterBed, error) {
 	for _, r := range clientVMs {
 		c := workloads.NewRPCClient(r.h.kerns[r.vi], r.h.lat, cb.clusterLat)
 		c.Causal = cb.crit.Probe(uint8(r.h.index))
+		if w := spec.Workload; w.RequestTimeout > 0 {
+			c.Timeout = sim.DurationOf(w.RequestTimeout)
+			c.Backoff = sim.DurationOf(w.RetryBackoff)
+			c.BackoffMax = sim.DurationOf(w.RetryBackoffMax)
+			c.FailoverAfter = w.FailoverAfter
+		}
 		r.h.clients = append(r.h.clients, c)
 	}
 	for _, r := range serverVMs {
 		r.h.servers = append(r.h.servers, workloads.StartServer(r.h.kerns[r.vi], srvCfg))
 	}
 
+	var flowSrv map[int]int
+	if spec.Chaos.Enabled() {
+		flowSrv = make(map[int]int, spec.Workload.Flows)
+	}
 	var ids workloads.FlowIDs
 	spread := sim.DurationOf(spec.Workload.StartSpread)
 	nc, ns := len(clientVMs), len(serverVMs)
@@ -301,6 +339,9 @@ func buildCluster(spec ClusterSpec) (*clusterBed, error) {
 		cr.h.demux.byFlow[flowID] = cr.h.devsByVM[cr.vi][qi]
 		sr.h.demux.byFlow[flowID] = sr.h.devsByVM[sr.vi][qi]
 		cb.flowPorts[flowID] = [2]int{cr.h.port.Index(), sr.h.port.Index()}
+		if flowSrv != nil {
+			flowSrv[flowID] = (f / nc) % ns
+		}
 		start := spread * sim.Time(f) / sim.Time(spec.Workload.Flows)
 		// The client for this VM was appended in clientVMs order; each
 		// client VM has exactly one RPCClient.
@@ -308,22 +349,24 @@ func buildCluster(spec ClusterSpec) (*clusterBed, error) {
 	}
 
 	if spec.Faults.Enabled() {
-		// One injector (one RNG fork) covers the whole rack; attach
-		// order is the deterministic host order.
-		cb.inj = faults.NewInjector(eng, eng.Rand(), spec.Faults)
+		// One injector — one private RNG fork — per host, forked in
+		// deterministic host order: each host's fault stream is
+		// independent and warmup reset clears every host's tallies.
 		for _, h := range cb.hosts {
 			h := h
-			cb.inj.AttachWire(func(fault func() netsim.FaultAction) { h.port.SendFault = fault })
+			inj := faults.NewInjector(eng, eng.Rand(), spec.Faults)
+			h.inj = inj
+			inj.AttachWire(func(fault func() netsim.FaultAction) { h.port.SendFault = fault })
 			for _, d := range h.devs {
-				cb.inj.AttachQueue(d.TXQ)
-				cb.inj.AttachQueue(d.RXQ)
+				inj.AttachQueue(d.TXQ)
+				inj.AttachQueue(d.RXQ)
 			}
 			for _, io := range h.ios {
-				cb.inj.AttachIOThread(io)
+				inj.AttachIOThread(io)
 			}
 			for _, vm := range h.vms {
 				for _, v := range vm.VCPUs {
-					cb.inj.AttachVCPU(v)
+					inj.AttachVCPU(v)
 				}
 			}
 			cores := spec.Faults.StormCores
@@ -332,22 +375,45 @@ func buildCluster(spec ClusterSpec) (*clusterBed, error) {
 					cores = append(cores, c)
 				}
 			}
-			cb.inj.SetupStorms(h.sch, cores)
+			inj.SetupStorms(h.sch, cores)
 			if h.prof != nil {
-				cb.inj.EnableProfilingFor(h.sch, h.prof)
+				inj.EnableProfilingFor(h.sch, h.prof)
+			}
+			inj.Start()
+		}
+	}
+	if (spec.Faults.Enabled() && !spec.Faults.NoRecovery) || spec.Chaos.Enabled() {
+		for _, h := range cb.hosts {
+			for _, kern := range h.kerns {
+				kern.RetransmitRTO = retransmitRTO
+				kern.Dev.StartTxWatchdog(txWatchdogTick)
+			}
+			for _, d := range h.devs {
+				d.StartRePoll(vhostRePollTick)
 			}
 		}
-		cb.inj.Start()
-		if !spec.Faults.NoRecovery {
-			for _, h := range cb.hosts {
-				for _, kern := range h.kerns {
-					kern.RetransmitRTO = retransmitRTO
-					kern.Dev.StartTxWatchdog(txWatchdogTick)
-				}
-				for _, d := range h.devs {
-					d.StartRePoll(vhostRePollTick)
-				}
+	}
+	if spec.Chaos.Enabled() {
+		// The chaos controller forks its RNG after every injector, at a
+		// fixed point in build order, and owns the failover flow table.
+		cc := &chaosController{
+			cb:         cb,
+			hostDown:   make([]bool, spec.Hosts),
+			flowServer: flowSrv,
+		}
+		for _, r := range serverVMs {
+			cc.servers = append(cc.servers, serverRef{h: r.h, vi: r.vi})
+		}
+		cb.chaos = cc
+		cc.install(eng.Rand().Fork(), sim.DurationOf(spec.Warmup), sim.DurationOf(spec.Duration))
+		for _, h := range cb.hosts {
+			for _, c := range h.clients {
+				c.Failover = cc.failover
+				c.NotifyComplete = cc.noteCompletion
 			}
+		}
+		if cb.crit != nil {
+			cb.crit.Degraded = func() bool { return cc.active > 0 }
 		}
 	}
 	if spec.Telemetry {
@@ -409,16 +475,21 @@ func (cb *clusterBed) resetAtWarmupEnd() {
 		if h.prof != nil {
 			h.prof.Reset()
 		}
-		if cb.inj != nil {
+		if h.inj != nil || cb.chaos != nil {
 			h.retransBase, h.wdBase = h.sumRetransmits(), h.sumWatchdogFires()
 			h.repollBase, h.piFbB = h.sumRePolls(), h.k.PIFallbacks
+		}
+		// Every host's injector is cleared, so warmup-era faults never
+		// leak into the measured window's counters.
+		if h.inj != nil {
+			h.inj.ResetCounters()
 		}
 	}
 	cb.sw.ResetStats()
 	cb.clusterLat.Reset()
 	cb.crit.Reset()
-	if cb.inj != nil {
-		cb.inj.ResetCounters()
+	if cb.chaos != nil {
+		cb.chaos.reset()
 	}
 }
 
@@ -646,8 +717,8 @@ func (cb *clusterBed) collect(window sim.Time) *ClusterResult {
 		res.CriticalPath = cb.crit.Report()
 	}
 
-	if cb.inj != nil {
-		c := cb.inj.Counters
+	if cb.faultsOn() || cb.chaos != nil {
+		c := cb.faultCounters()
 		var retrans, wd, repoll, piFb uint64
 		for _, h := range cb.hosts {
 			retrans += h.sumRetransmits() - h.retransBase
@@ -669,6 +740,9 @@ func (cb *clusterBed) collect(window sim.Time) *ClusterResult {
 			VhostRePolls:  repoll,
 			PIFallbacks:   piFb,
 		}
+	}
+	if cb.chaos != nil {
+		res.Recovery = cb.chaos.report(window)
 	}
 	if cb.chk != nil {
 		res.InvariantChecks = cb.chk.Ticks

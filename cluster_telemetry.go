@@ -3,8 +3,10 @@ package es2
 import (
 	"fmt"
 
+	"es2/internal/faults"
 	"es2/internal/sim"
 	"es2/internal/telemetry"
+	"es2/internal/workloads"
 )
 
 // Cluster-scale windowed telemetry: one recorder spans the rack, with
@@ -119,24 +121,87 @@ func (cb *clusterBed) startTelemetry(end sim.Time) {
 			func() float64 { return float64(p.EgressQueued()) })
 	}
 
-	if inj := cb.inj; inj != nil {
+	if cb.faultsOn() {
 		for _, fc := range []struct {
 			kind string
 			get  func() uint64
 		}{
-			{"wire_drop", func() uint64 { return inj.Counters.WireDrops }},
-			{"wire_dup", func() uint64 { return inj.Counters.WireDups }},
-			{"lost_kick", func() uint64 { return inj.Counters.LostKicks }},
-			{"lost_signal", func() uint64 { return inj.Counters.LostSignals }},
-			{"vhost_stall", func() uint64 { return inj.Counters.VhostStalls }},
-			{"pi_outage", func() uint64 { return inj.Counters.PIOutages }},
-			{"preempt_storm", func() uint64 { return inj.Counters.PreemptStorms }},
+			{"wire_drop", func() uint64 { return cb.faultCounters().WireDrops }},
+			{"wire_dup", func() uint64 { return cb.faultCounters().WireDups }},
+			{"lost_kick", func() uint64 { return cb.faultCounters().LostKicks }},
+			{"lost_signal", func() uint64 { return cb.faultCounters().LostSignals }},
+			{"vhost_stall", func() uint64 { return cb.faultCounters().VhostStalls }},
+			{"pi_outage", func() uint64 { return cb.faultCounters().PIOutages }},
+			{"preempt_storm", func() uint64 { return cb.faultCounters().PreemptStorms }},
 		} {
 			get := fc.get
 			rec.Counter("es2_faults_injected", "Faults injected across the cluster, by kind.",
 				[]telemetry.Label{{Key: "kind", Value: fc.kind}},
 				func() float64 { return float64(get()) })
 		}
+	}
+
+	if cc := cb.chaos; cc != nil {
+		chaosKinds := []struct {
+			kind string
+			k    faults.ChaosKind
+		}{
+			{"host_crash", faults.ChaosHostCrash},
+			{"host_freeze", faults.ChaosHostFreeze},
+			{"link_flap", faults.ChaosLinkFlap},
+			{"link_degrade", faults.ChaosLinkDegrade},
+			{"egress_blackhole", faults.ChaosBlackhole},
+		}
+		for _, ck := range chaosKinds {
+			k := ck.k
+			rec.Counter("es2_chaos_injected", "Chaos faults whose outage window has started, by kind.",
+				[]telemetry.Label{{Key: "kind", Value: ck.kind}},
+				func() float64 {
+					now := cb.eng.Now()
+					var n uint64
+					for _, f := range cc.faults {
+						if f.ev.Kind == k && f.start <= now {
+							n++
+						}
+					}
+					return float64(n)
+				})
+		}
+		rec.Gauge("es2_chaos_hosts_down", "Hosts currently crashed or frozen.",
+			nil, func() float64 { return float64(cc.downHosts) })
+		rec.Gauge("es2_chaos_faults_active", "Chaos faults currently in effect.",
+			nil, func() float64 { return float64(cc.active) })
+		rec.Counter("es2_chaos_link_drops", "Frames lost to down links, all ports.",
+			nil, func() float64 {
+				var n uint64
+				for i := 0; i < sw.NumPorts(); i++ {
+					n += sw.Port(i).LinkDrops
+				}
+				return float64(n)
+			})
+		rec.Counter("es2_chaos_blackhole_drops", "Frames discarded at blackholed egresses, all ports.",
+			nil, func() float64 {
+				var n uint64
+				for i := 0; i < sw.NumPorts(); i++ {
+					n += sw.Port(i).BlackholeDrops
+				}
+				return float64(n)
+			})
+		sumClients := func(get func(*workloads.RPCClient) uint64) float64 {
+			var n uint64
+			for _, h := range cb.hosts {
+				for _, c := range h.clients {
+					n += get(c)
+				}
+			}
+			return float64(n)
+		}
+		rec.Counter("es2_chaos_rpc_timeouts", "Client request deadlines expired.",
+			nil, func() float64 { return sumClients(func(c *workloads.RPCClient) uint64 { return c.Timeouts }) })
+		rec.Counter("es2_chaos_rpc_retries", "Client requests re-issued after a timeout.",
+			nil, func() float64 { return sumClients(func(c *workloads.RPCClient) uint64 { return c.Retries }) })
+		rec.Counter("es2_chaos_flows_migrated", "Flows failed over to a surviving server.",
+			nil, func() float64 { return sumClients(func(c *workloads.RPCClient) uint64 { return c.Migrated }) })
 	}
 
 	for _, h := range cb.hosts {

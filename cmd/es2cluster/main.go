@@ -24,6 +24,7 @@ import (
 
 	"es2"
 	"es2/experiments"
+	"es2/internal/cliflags"
 )
 
 func main() {
@@ -38,7 +39,10 @@ func main() {
 	critDir := flag.String("critpath-dir", "", "write one critical-path JSON per scenario into DIR (implies -critpath)")
 	jsonOut := flag.String("json", "", "write all cluster results as machine-readable JSON to FILE ('-' for stdout)")
 	check := flag.Bool("check", false, "enable the runtime invariant checker on every host (also: ES2_CHECK=1)")
+	chaosFlag := flag.String("chaos", "", "attach a chaos timeline to every scenario: 'rack1' (built-in host-crash + link-flap preset) or a JSON ChaosSpec file")
+	soak := flag.Int("soak", 0, "chaos-soak mode: run each scenario N times on consecutive seeds with the invariant checker forced on, asserting every fault recovers and every flow is accounted for")
 	list := flag.Bool("list", false, "list cluster experiment ids and exit")
+	faultFlags := cliflags.RegisterFaultFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -57,6 +61,39 @@ func main() {
 		}
 	}
 
+	faultSpec, err := faultFlags.Spec()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "es2cluster: %v\n", err)
+		os.Exit(2)
+	}
+
+	var chaosSpec es2.ChaosSpec
+	if *chaosFlag != "" {
+		switch *chaosFlag {
+		case "rack1", "default":
+			chaosSpec = experiments.DefaultChaos()
+		default:
+			cs, err := es2.LoadChaosSpec(*chaosFlag)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "es2cluster: %v\n", err)
+				os.Exit(1)
+			}
+			chaosSpec = cs
+		}
+	}
+
+	// applyInjection overlays the -chaos and -fault-* selections onto a
+	// scenario; called before scaling so chaos timelines shrink with the
+	// window.
+	applyInjection := func(s *es2.ClusterSpec) {
+		if *chaosFlag != "" {
+			s.Chaos = chaosSpec
+		}
+		if faultSpec.Enabled() {
+			s.Faults = faultSpec
+		}
+	}
+
 	if *specFile != "" {
 		spec, err := es2.LoadClusterSpec(*specFile)
 		if err != nil {
@@ -66,9 +103,15 @@ func main() {
 		if *seed != 0 {
 			spec.Seed = *seed
 		}
+		applyInjection(&spec)
 		spec.Telemetry = spec.Telemetry || *telemetryDir != "" || *metricsOut != ""
 		spec.Check = spec.Check || *check
 		spec.CritPath = spec.CritPath || *critpath || *critDir != ""
+		if *soak > 0 {
+			runSoak([]experiments.ClusterExperiment{{ID: "spec", Title: spec.Name,
+				Specs: []es2.ClusterSpec{spec}}}, *soak, *seed, *parallel, *jsonOut)
+			return
+		}
 		r, err := es2.RunCluster(spec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "es2cluster: %v\n", err)
@@ -119,10 +162,21 @@ func main() {
 		}
 	}
 
+	for ei := range exps {
+		for i := range exps[ei].Specs {
+			applyInjection(&exps[ei].Specs[i])
+		}
+		exps[ei] = experiments.ScaleCluster(exps[ei], *scale)
+	}
+
+	if *soak > 0 {
+		runSoak(exps, *soak, *seed, *parallel, *jsonOut)
+		return
+	}
+
 	report := jsonReport{Schema: "es2cluster/v1", Seed: *seed, Scale: *scale}
 	var allResults []*es2.ClusterResult
 	for _, e := range exps {
-		e = experiments.ScaleCluster(e, *scale)
 		for i := range e.Specs {
 			if *seed != 0 {
 				e.Specs[i].Seed = *seed
@@ -189,6 +243,89 @@ func main() {
 	}
 }
 
+// runSoak is the -soak N harness: every scenario of every selected
+// experiment runs N times on consecutive seeds with the invariant
+// checker forced on. Any run must come back with every chaos fault
+// recovered (finite MTTR) and every flow completed or migrated;
+// violations are reported and exit the process non-zero. Invariant
+// failures themselves panic inside the run, so a clean exit here means
+// zero violations of either kind.
+func runSoak(exps []experiments.ClusterExperiment, n int, seedOverride uint64, parallel int, jsonOut string) {
+	type soakRun struct {
+		Experiment      string              `json:"experiment"`
+		Name            string              `json:"name"`
+		Seed            uint64              `json:"seed"`
+		InvariantChecks uint64              `json:"invariant_checks"`
+		Recovery        *es2.RecoveryReport `json:"recovery,omitempty"`
+	}
+	var runs []soakRun
+	violations := 0
+	bad := func(format string, args ...any) {
+		violations++
+		fmt.Fprintf(os.Stderr, "es2cluster: soak violation: "+format+"\n", args...)
+	}
+	for s := 0; s < n; s++ {
+		for _, e := range exps {
+			specs := make([]es2.ClusterSpec, len(e.Specs))
+			copy(specs, e.Specs)
+			for i := range specs {
+				base := specs[i].Seed
+				if seedOverride != 0 {
+					base = seedOverride
+				}
+				specs[i].Seed = base + uint64(s)
+				specs[i].Check = true
+			}
+			results, err := es2.RunManyCluster(specs, parallel)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "es2cluster: soak %s iteration %d: %v\n", e.ID, s, err)
+				os.Exit(1)
+			}
+			for i, r := range results {
+				rec := r.Recovery
+				runs = append(runs, soakRun{Experiment: e.ID, Name: r.Name,
+					Seed: specs[i].Seed, InvariantChecks: r.InvariantChecks, Recovery: rec})
+				if specs[i].Chaos.Enabled() && rec == nil {
+					bad("%s seed %d: chaos enabled but no recovery report", r.Name, specs[i].Seed)
+					continue
+				}
+				if rec == nil {
+					fmt.Printf("soak %-24s seed=%-6d checks=%d\n", r.Name, specs[i].Seed, r.InvariantChecks)
+					continue
+				}
+				for _, f := range rec.Faults {
+					if f.MTTRMs < 0 {
+						bad("%s seed %d: %s on %s (outage %.2fms) never recovered",
+							r.Name, specs[i].Seed, f.Kind, f.Target, f.OutageMs)
+					}
+				}
+				if rec.FlowsUnaccounted > 0 {
+					bad("%s seed %d: %d flows neither completed nor failed over",
+						r.Name, specs[i].Seed, rec.FlowsUnaccounted)
+				}
+				fmt.Printf("soak %-24s seed=%-6d checks=%d faults=%d timeouts=%d retries=%d migrated=%d avail=%.0f%%\n",
+					r.Name, specs[i].Seed, r.InvariantChecks, len(rec.Faults),
+					rec.Timeouts, rec.Retries, rec.MigratedFlows, 100*rec.Availability)
+			}
+		}
+	}
+	if jsonOut != "" {
+		type soakReport struct {
+			Schema string    `json:"schema"`
+			Runs   []soakRun `json:"runs"`
+		}
+		if err := writeAnyJSON(jsonOut, soakReport{Schema: "es2cluster-soak/v1", Runs: runs}); err != nil {
+			fmt.Fprintf(os.Stderr, "es2cluster: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "es2cluster: soak: %d violations across %d runs\n", violations, len(runs))
+		os.Exit(1)
+	}
+	fmt.Printf("soak ok: %d runs, zero violations\n", len(runs))
+}
+
 // printClusterSummary renders one -spec run: aggregate figures plus
 // the critical-path blame tables when enabled.
 func printClusterSummary(r *es2.ClusterResult) {
@@ -197,6 +334,22 @@ func printClusterSummary(r *es2.ClusterResult) {
 	if a := r.Aggregate; a != nil {
 		fmt.Printf("aggregate  ops=%.0f/s tput=%.1fMbps mean=%v p99=%v drops=%d\n",
 			a.OpsPerSec, a.ThroughputMbps, a.MeanLatency, a.P99Latency, a.Drops)
+	}
+	if rec := r.Recovery; rec != nil {
+		fmt.Printf("chaos      %d faults, availability %.0f%%/%d windows, degraded %.1fms (%.0f ops/s vs %.0f healthy)\n",
+			len(rec.Faults), 100*rec.Availability, rec.TotalWindows,
+			1e3*rec.DegradedSeconds, rec.DegradedOpsPerSec, rec.HealthyOpsPerSec)
+		fmt.Printf("  %-18s %-8s %10s %10s %10s\n", "fault", "target", "start", "outage", "mttr")
+		for _, f := range rec.Faults {
+			mttr := "never"
+			if f.MTTRMs >= 0 {
+				mttr = fmt.Sprintf("%.2fms", f.MTTRMs)
+			}
+			fmt.Printf("  %-18s %-8s %8.2fms %8.2fms %10s\n", f.Kind, f.Target, f.StartMs, f.OutageMs, mttr)
+		}
+		fmt.Printf("  rpc: timeouts=%d retries=%d migrated=%d unaccounted=%d; drops: link=%d blackhole=%d\n",
+			rec.Timeouts, rec.Retries, rec.MigratedFlows, rec.FlowsUnaccounted,
+			rec.LinkDrops, rec.BlackholeDrops)
 	}
 	if cp := r.CriticalPath; cp != nil {
 		fmt.Printf("critical path: %d requests, mean=%v p50=%v p99=%v max=%v (stage-sum err %.2g)\n",
@@ -211,6 +364,13 @@ func printClusterSummary(r *es2.ClusterResult) {
 		for _, s := range cp.HostStages {
 			fmt.Printf("  %-14s %-4s %10d %12v %6.1f%%\n",
 				s.Stage, s.Host, s.Count, time.Duration(s.MeanNs), 100*s.Share)
+		}
+		if len(cp.DegradedStages) > 0 {
+			fmt.Printf("degraded-phase blame (%d requests completed under active chaos):\n", cp.DegradedRequests)
+			for _, s := range cp.DegradedStages {
+				fmt.Printf("  %-14s %-8s %10d %12v %6.1f%%\n",
+					s.Stage, s.Host, s.Count, time.Duration(s.MeanNs), 100*s.Share)
+			}
 		}
 		if len(cp.WhatIf) > 0 {
 			fmt.Println("what-if (stage 50% faster):")
@@ -271,6 +431,11 @@ type jsonExperiment struct {
 }
 
 func writeJSONReport(path string, rep jsonReport) error {
+	return writeAnyJSON(path, rep)
+}
+
+// writeAnyJSON writes v as indented JSON to path ('-' for stdout).
+func writeAnyJSON(path string, v any) error {
 	out := os.Stdout
 	if path != "-" {
 		f, err := os.Create(path)
@@ -282,7 +447,7 @@ func writeJSONReport(path string, rep jsonReport) error {
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	return enc.Encode(v)
 }
 
 // writeTelemetry writes base.prom (OpenMetrics exposition) and base.csv

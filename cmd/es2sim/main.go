@@ -14,11 +14,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
-	"strings"
 	"time"
 
 	"es2"
+	"es2/internal/cliflags"
 )
 
 func main() {
@@ -59,20 +58,9 @@ func main() {
 		metrics  = flag.String("metrics", "", "write the OpenMetrics exposition to FILE")
 		telWin   = flag.Duration("telemetry-window", 0, "telemetry sampling window, simulated (0 = 10ms default)")
 
-		check      = flag.Bool("check", false, "enable the runtime invariant checker (also: ES2_CHECK=1)")
-		fLoss      = flag.Float64("fault-loss", 0, "wire packet loss probability [0,1]")
-		fDup       = flag.Float64("fault-dup", 0, "wire packet duplication probability [0,1]")
-		fKick      = flag.Float64("fault-lost-kick", 0, "probability a guest->vhost kick edge is lost")
-		fSignal    = flag.Float64("fault-lost-signal", 0, "probability a vhost->guest signal edge is lost")
-		fStallEvy  = flag.Duration("fault-stall-every", 0, "mean interval between vhost I/O-thread stalls (0 = off)")
-		fStall     = flag.Duration("fault-stall", 0, "mean vhost stall length")
-		fPIEvy     = flag.Duration("fault-pi-every", 0, "mean interval between per-vCPU PI outages (0 = off)")
-		fPI        = flag.Duration("fault-pi", 0, "mean PI outage length")
-		fStormEvy  = flag.Duration("fault-storm-every", 0, "mean interval between preemption storms (0 = off)")
-		fStorm     = flag.Duration("fault-storm", 0, "mean storm CPU burn per core")
-		fStormCore = flag.String("fault-storm-cores", "", "comma-separated core list for storms (default: all VM cores)")
-		fNoRec     = flag.Bool("fault-no-recovery", false, "disable recovery (TX watchdog, TCP RTO, vhost re-poll)")
+		check = flag.Bool("check", false, "enable the runtime invariant checker (also: ES2_CHECK=1)")
 	)
+	faultFlags := cliflags.RegisterFaultFlags(flag.CommandLine)
 	flag.Parse()
 
 	if *specFile != "" {
@@ -121,16 +109,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	var stormCores []int
-	if *fStormCore != "" {
-		for _, s := range strings.Split(*fStormCore, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "es2sim: bad -fault-storm-cores %q: %v\n", *fStormCore, err)
-				os.Exit(2)
-			}
-			stormCores = append(stormCores, n)
-		}
+	faultSpec, err := faultFlags.Spec()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "es2sim: %v\n", err)
+		os.Exit(2)
 	}
 
 	spec := es2.ScenarioSpec{
@@ -145,15 +127,8 @@ func main() {
 		DirectAssign: *direct, Sidecore: *sidecore, TraceCapacity: *traceCap,
 		PathTrace: *pathOn,
 		Warmup:    *warmup, Duration: *dur,
-		Check: *check,
-		Faults: es2.FaultSpec{
-			PacketLossProb: *fLoss, PacketDupProb: *fDup,
-			LostKickProb: *fKick, LostSignalProb: *fSignal,
-			VhostStallEvery: *fStallEvy, VhostStall: *fStall,
-			PIOutageEvery: *fPIEvy, PIOutage: *fPI,
-			PreemptStormEvery: *fStormEvy, PreemptStorm: *fStorm,
-			StormCores: stormCores, NoRecovery: *fNoRec,
-		},
+		Check:  *check,
+		Faults: faultSpec,
 	}
 	run(spec, outputFlags{
 		timeline: *timeline, cpuprof: *cpuprof, folded: *folded,

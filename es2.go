@@ -157,6 +157,13 @@ type WorkloadSpec struct {
 // replays bit-identically.
 type FaultSpec = faults.Spec
 
+// ChaosSpec configures rack-scale macro-fault timelines for a cluster
+// run — host crash/freeze windows, link flaps and degradation, egress
+// blackholing (see internal/faults for the knob semantics). The zero
+// value injects nothing; timelines draw from the cluster seed, so a
+// chaotic run replays bit-identically.
+type ChaosSpec = faults.ChaosSpec
+
 // ScenarioSpec describes one simulated testbed run.
 type ScenarioSpec struct {
 	// Name labels the run in results.

@@ -93,9 +93,95 @@ func Rack1() ClusterExperiment {
 	}
 }
 
+// DefaultChaos is the rack1-derived macro-fault timeline: one
+// whole-host crash and two link flaps, spaced a few milliseconds
+// apart. es2cluster's -chaos rack1 preset attaches it to any scenario.
+func DefaultChaos() es2.ChaosSpec {
+	return es2.ChaosSpec{
+		HostCrashes: 1,
+		CrashDown:   12 * time.Millisecond,
+		LinkFlaps:   2,
+		FlapDown:    3 * time.Millisecond,
+		MinGap:      4 * time.Millisecond,
+		MaxGap:      10 * time.Millisecond,
+	}
+}
+
+// Chaos is the robustness scenario: the rack1 topology under the full
+// event path, with a macro-fault timeline — one whole-host crash and
+// two fabric link flaps — injected during the measurement window.
+// Clients run with request deadlines, backoff and failover, so the
+// experiment measures how fast the rack re-converges (MTTR,
+// availability, degraded-phase goodput) rather than whether it hangs.
+func Chaos() ClusterExperiment {
+	spec := es2.ClusterSpec{
+		Name:        "chaos/PI+H+R",
+		Seed:        Seed,
+		Config:      es2.Full(4),
+		Hosts:       8,
+		ClientHosts: 4,
+		// One vCPU per VM, pinned 1:1 onto VM cores (the paper's testbed
+		// pins vCPUs too): chaos recovery depends on starved vCPUs
+		// draining their retry backlogs promptly, and CPU-oversubscribed
+		// cores under CFS rotate runnable threads on a multi-millisecond
+		// period — longer than any sane request deadline.
+		VMsPerHost: 4,
+		VCPUs:      1,
+		VMCores:    4,
+		VhostCores: 2,
+		Workload: es2.ClusterWorkloadSpec{
+			Flows:           1024,
+			RequestTimeout:  3 * time.Millisecond,
+			RetryBackoff:    300 * time.Microsecond,
+			RetryBackoffMax: 2 * time.Millisecond,
+			FailoverAfter:   2,
+		},
+		Chaos:    DefaultChaos(),
+		Warmup:   80 * time.Millisecond,
+		Duration: 150 * time.Millisecond,
+	}
+	return ClusterExperiment{
+		ID:    "chaos",
+		Title: "Chaos: rack1 under a host crash and two link flaps",
+		PaperClaim: "an optimal event path must stay optimal when the rack " +
+			"misbehaves; resilient clients should ride out whole-host outages " +
+			"and link flaps with bounded recovery time and no lost flows",
+		Specs: []es2.ClusterSpec{spec},
+		Render: func(rs []*es2.ClusterResult) string {
+			var b strings.Builder
+			r := rs[0]
+			a := r.Aggregate
+			fmt.Fprintf(&b, "%-10s %12s %12s %12s %10s %10s %10s\n",
+				"Config", "RPCs/s", "p50", "p99", "Timeouts", "Retries", "Migrated")
+			rec := r.Recovery
+			fmt.Fprintf(&b, "%-10s %12.0f %12v %12v %10d %10d %10d\n",
+				"PI+H+R", a.OpsPerSec,
+				a.P50Latency.Round(time.Microsecond),
+				a.P99Latency.Round(time.Microsecond),
+				rec.Timeouts, rec.Retries, rec.MigratedFlows)
+			fmt.Fprintf(&b, "\n%-18s %-8s %10s %10s %10s\n",
+				"Fault", "Target", "Start", "Outage", "MTTR")
+			for _, f := range rec.Faults {
+				mttr := "never"
+				if f.MTTRMs >= 0 {
+					mttr = fmt.Sprintf("%.2fms", f.MTTRMs)
+				}
+				fmt.Fprintf(&b, "%-18s %-8s %8.2fms %8.2fms %10s\n",
+					f.Kind, f.Target, f.StartMs, f.OutageMs, mttr)
+			}
+			fmt.Fprintf(&b, "\nAvailability: %.0f%% of %d windows; degraded %.1fms at %.0f ops/s vs %.0f ops/s healthy\n",
+				100*rec.Availability, rec.TotalWindows,
+				1e3*rec.DegradedSeconds, rec.DegradedOpsPerSec, rec.HealthyOpsPerSec)
+			fmt.Fprintf(&b, "Drops: %d link, %d blackhole; flows unaccounted: %d\n",
+				rec.LinkDrops, rec.BlackholeDrops, rec.FlowsUnaccounted)
+			return b.String()
+		},
+	}
+}
+
 // ClusterExperiments returns every rack-scale experiment.
 func ClusterExperiments() []ClusterExperiment {
-	return []ClusterExperiment{Rack1()}
+	return []ClusterExperiment{Rack1(), Chaos()}
 }
 
 // ClusterByID looks a cluster experiment up by its short handle.
@@ -110,10 +196,15 @@ func ClusterByID(id string) (ClusterExperiment, bool) {
 
 // ScaleCluster shrinks an experiment by the given factor (> 1 divides
 // flow count and measurement window) for smoke runs on constrained CI;
-// factor <= 1 returns the experiment unchanged.
+// factor <= 1 returns the experiment unchanged. Chaos timelines and the
+// client recovery knobs shrink with the window, so a scaled run keeps
+// the same outages-per-window shape as the full one.
 func ScaleCluster(e ClusterExperiment, factor float64) ClusterExperiment {
 	if factor <= 1 {
 		return e
+	}
+	div := func(d time.Duration) time.Duration {
+		return time.Duration(float64(d) / factor)
 	}
 	for i := range e.Specs {
 		s := &e.Specs[i]
@@ -121,8 +212,25 @@ func ScaleCluster(e ClusterExperiment, factor float64) ClusterExperiment {
 		if s.Workload.Flows < 1 {
 			s.Workload.Flows = 1
 		}
-		s.Warmup = time.Duration(float64(s.Warmup) / factor)
-		s.Duration = time.Duration(float64(s.Duration) / factor)
+		s.Warmup = div(s.Warmup)
+		s.Duration = div(s.Duration)
+		if s.Chaos.Enabled() {
+			c := &s.Chaos
+			c.CrashDown = div(c.CrashDown)
+			c.FreezeFor = div(c.FreezeFor)
+			c.FlapDown = div(c.FlapDown)
+			c.DegradeFor = div(c.DegradeFor)
+			c.BlackholeFor = div(c.BlackholeFor)
+			c.MinGap = div(c.MinGap)
+			c.MaxGap = div(c.MaxGap)
+		}
+		w := &s.Workload
+		w.RequestTimeout = div(w.RequestTimeout)
+		if w.RequestTimeout > 0 && w.RequestTimeout < 10*time.Microsecond {
+			w.RequestTimeout = 10 * time.Microsecond
+		}
+		w.RetryBackoff = div(w.RetryBackoff)
+		w.RetryBackoffMax = div(w.RetryBackoffMax)
 	}
 	return e
 }

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"time"
+
+	"es2/internal/sim"
 )
 
 // FuzzScenarioSpec is the validation-surface contract test: for every
@@ -61,4 +63,82 @@ func es2Workload(kind int64, msg, window int, rate float64) WorkloadSpec {
 		MsgBytes: msg, Window: window,
 		UDPRatePPS: rate,
 	}
+}
+
+// FuzzChaosSpec is the chaos-timeline validation contract: for every
+// ChaosSpec the fuzzer can construct, Validate never panics, and every
+// spec it accepts materializes — via BuildTimeline — into a schedule
+// whose event count, ordering, targets and durations are all in
+// bounds. Accepted specs are also attached to a tiny cluster so the
+// cluster-level Validate/RunCluster agreement holds under chaos.
+func FuzzChaosSpec(f *testing.F) {
+	f.Add(1, int64(12*time.Millisecond), 2, int64(3*time.Millisecond), 0, int64(0), 0.0,
+		int64(4*time.Millisecond), int64(10*time.Millisecond))
+	f.Add(0, int64(0), 0, int64(0), 0, int64(0), 0.0, int64(0), int64(0))
+	f.Add(-3, int64(-1), 99, int64(time.Hour), 2, int64(time.Millisecond), 1.5,
+		int64(time.Second), int64(time.Microsecond))
+	f.Add(16, int64(500*time.Microsecond), 16, int64(250*time.Microsecond), 16,
+		int64(100*time.Microsecond), 0.5, int64(0), int64(200*time.Microsecond))
+
+	f.Fuzz(func(t *testing.T, crashes int, crashDown int64, flaps int, flapDown int64,
+		degrades int, degradeFor int64, degradeFactor float64, minGap, maxGap int64) {
+
+		spec := ChaosSpec{
+			HostCrashes:   crashes,
+			CrashDown:     time.Duration(crashDown),
+			LinkFlaps:     flaps,
+			FlapDown:      time.Duration(flapDown),
+			LinkDegrades:  degrades,
+			DegradeFor:    time.Duration(degradeFor),
+			DegradeFactor: degradeFactor,
+			MinGap:        time.Duration(minGap),
+			MaxGap:        time.Duration(maxGap),
+		}
+		verr := spec.Validate() // must never panic
+		if verr == nil {
+			const hosts = 4
+			rng := sim.NewRand(1)
+			events := spec.BuildTimeline(rng, hosts)
+			if len(events) != spec.Events() {
+				t.Fatalf("timeline has %d events, spec configures %d", len(events), spec.Events())
+			}
+			last := sim.Time(0)
+			for _, ev := range events {
+				if ev.At <= 0 || ev.At < last {
+					t.Fatalf("event at %v out of order (previous %v)", ev.At, last)
+				}
+				last = ev.At
+				if ev.Duration <= 0 {
+					t.Fatalf("event %v has non-positive duration %v", ev.Kind, ev.Duration)
+				}
+				if ev.Target < 0 || ev.Target >= hosts {
+					t.Fatalf("event targets host %d of %d", ev.Target, hosts)
+				}
+			}
+		}
+
+		cluster := ClusterSpec{
+			Name: "fuzz-chaos", Seed: 1, Config: Full(4),
+			Hosts: 2, ClientHosts: 1, VMsPerHost: 1, VCPUs: 1,
+			VMCores: 1, VhostCores: 1,
+			Workload: ClusterWorkloadSpec{Flows: 2, RequestTimeout: 500 * time.Microsecond,
+				RetryBackoff: 50 * time.Microsecond, FailoverAfter: 2},
+			Chaos:  spec,
+			Warmup: time.Millisecond, Duration: 4 * time.Millisecond,
+		}
+		cverr := cluster.Validate()
+		res, rerr := RunCluster(cluster) // must never panic
+		if cverr != nil && rerr == nil {
+			t.Fatalf("cluster Validate rejected (%v) but RunCluster accepted", cverr)
+		}
+		if cverr == nil && rerr != nil {
+			t.Fatalf("cluster Validate accepted but RunCluster failed: %v", rerr)
+		}
+		if rerr == nil && res == nil {
+			t.Fatal("RunCluster returned neither result nor error")
+		}
+		if rerr == nil && spec.Enabled() && res.Recovery == nil {
+			t.Fatal("chaos enabled but RunCluster produced no recovery report")
+		}
+	})
 }

@@ -252,6 +252,14 @@ type Tracker struct {
 	// runner); the single-host runner leaves labels empty.
 	LabelHosts bool
 
+	// Degraded, when non-nil, classifies each chain at completion:
+	// returning true additionally accounts its stage durations into
+	// the report's degraded blame rows (the cluster runner flags
+	// requests completing while a chaos fault is active, so
+	// outage-tinted tails are separable from healthy blame). Purely
+	// observational.
+	Degraded func() bool
+
 	exemplars int // retained slowest chains
 	started   uint64
 	recs      []record
@@ -264,6 +272,12 @@ type Tracker struct {
 	stageTotal [NumStages]sim.Time
 	stageCount [NumStages]uint64
 	hostDurs   map[uint16]*hostAgg
+
+	// Degraded-request accumulators (chaos runs only).
+	degTotal [NumStages]sim.Time
+	degCount [NumStages]uint64
+	degReqs  int
+	degE2E   sim.Time
 }
 
 // hostAgg accumulates one (stage, host) blame cell.
@@ -312,6 +326,10 @@ func (t *Tracker) Reset() {
 	t.stageTotal = [NumStages]sim.Time{}
 	t.stageCount = [NumStages]uint64{}
 	t.hostDurs = nil
+	t.degTotal = [NumStages]sim.Time{}
+	t.degCount = [NumStages]uint64{}
+	t.degReqs = 0
+	t.degE2E = 0
 }
 
 // Started returns the number of chains opened since the last Reset.
@@ -336,6 +354,11 @@ func (t *Tracker) record(c *Chain, now sim.Time) {
 	if e2e < 0 {
 		e2e = 0
 	}
+	deg := t.Degraded != nil && t.Degraded()
+	if deg {
+		t.degReqs++
+		t.degE2E += e2e
+	}
 	var rec record
 	rec.e2e = e2e
 	prev := c.start
@@ -345,6 +368,10 @@ func (t *Tracker) record(c *Chain, now sim.Time) {
 		rec.durs[m.Stage] += d
 		t.stageTotal[m.Stage] += d
 		t.stageCount[m.Stage]++
+		if deg {
+			t.degTotal[m.Stage] += d
+			t.degCount[m.Stage]++
+		}
 		if t.LabelHosts {
 			if t.hostDurs == nil {
 				t.hostDurs = make(map[uint16]*hostAgg)

@@ -35,6 +35,15 @@ type Report struct {
 	// in (stage, host) order. Only the cluster runner labels hosts.
 	HostStages []StageBlame `json:"host_stages,omitempty"`
 
+	// DegradedRequests counts chains the tracker's Degraded classifier
+	// flagged (completed while a chaos fault was active);
+	// DegradedStages is their own blame profile, every row labeled
+	// host "degraded", with Share relative to DegradedTotalNs. Empty
+	// on fault-free runs.
+	DegradedRequests int          `json:"degraded_requests,omitempty"`
+	DegradedTotalNs  int64        `json:"degraded_total_ns,omitempty"`
+	DegradedStages   []StageBlame `json:"degraded_stages,omitempty"`
+
 	// Exemplars are the k slowest requests, slowest first.
 	Exemplars []Exemplar `json:"exemplars,omitempty"`
 	// WhatIf estimates, for every traversed stage, the end-to-end
@@ -181,6 +190,30 @@ func (t *Tracker) Report() *Report {
 				b.Share = float64(b.TotalNs) / float64(total)
 			}
 			r.HostStages = append(r.HostStages, b)
+		}
+	}
+
+	// Degraded blame rows: the same profile restricted to requests
+	// that completed inside a fault window, so an outage's tail shows
+	// up as labeled rows instead of polluting the healthy shares.
+	if t.degReqs > 0 {
+		r.DegradedRequests = t.degReqs
+		r.DegradedTotalNs = int64(t.degE2E)
+		for s := Stage(0); s < NumStages; s++ {
+			if t.degCount[s] == 0 {
+				continue
+			}
+			b := StageBlame{
+				Stage:   s.String(),
+				Host:    "degraded",
+				Count:   t.degCount[s],
+				TotalNs: int64(t.degTotal[s]),
+				MeanNs:  int64(t.degTotal[s]) / int64(t.degCount[s]),
+			}
+			if t.degE2E > 0 {
+				b.Share = float64(b.TotalNs) / float64(t.degE2E)
+			}
+			r.DegradedStages = append(r.DegradedStages, b)
 		}
 	}
 

@@ -122,6 +122,7 @@ func (sw *Switch) ResetStats() {
 	sw.Forwarded, sw.RouteDrops, sw.UplinkBytes, sw.UplinkBusy = 0, 0, 0, 0
 	for _, p := range sw.ports {
 		p.TxPkts, p.TxBytes, p.RxPkts, p.RxBytes, p.EgressDrops = 0, 0, 0, 0, 0
+		p.LinkDrops, p.BlackholeDrops = 0, 0
 	}
 }
 
@@ -138,12 +139,27 @@ type Port struct {
 	egressBusyUntil  sim.Time
 	egressQueued     int
 
+	// Chaos impairment windows (see SetLinkDown/SetDegraded/
+	// SetBlackhole). Each is an absolute instant; the impairment is
+	// active while the clock is before it.
+	downUntil      sim.Time
+	degradeUntil   sim.Time
+	degradeFactor  float64
+	blackholeUntil sim.Time
+
 	// TxPkts/TxBytes count frames sent into the switch by this port's
 	// host; RxPkts/RxBytes count frames delivered out to it;
 	// EgressDrops counts tail drops at this port's egress queue.
 	TxPkts, TxBytes uint64
 	RxPkts, RxBytes uint64
 	EgressDrops     uint64
+
+	// LinkDrops counts frames lost to a down link (either direction,
+	// including frames already in flight toward this port when it went
+	// down); BlackholeDrops counts frames silently discarded at this
+	// port's egress during a blackhole window.
+	LinkDrops      uint64
+	BlackholeDrops uint64
 
 	// SendFault, when non-nil, is consulted once per frame after the
 	// send is counted — the same wire-fault hook netsim.Port exposes;
@@ -156,6 +172,54 @@ func (p *Port) Index() int { return p.index }
 
 // Name returns the port's label.
 func (p *Port) Name() string { return p.name }
+
+// SetLinkDown takes the port's link down until the given instant:
+// frames the host sends and frames routed toward it — including
+// frames already serialized and in flight when the link drops — are
+// discarded and counted in LinkDrops. Repeated calls extend, never
+// shorten, the window.
+func (p *Port) SetLinkDown(until sim.Time) {
+	if until > p.downUntil {
+		p.downUntil = until
+	}
+}
+
+// SetDegraded runs the port's wire at factor (in (0, 1)) of its line
+// rate until the given instant, in both directions.
+func (p *Port) SetDegraded(until sim.Time, factor float64) {
+	p.degradeUntil = until
+	p.degradeFactor = factor
+}
+
+// SetBlackhole silently discards frames routed to this port's egress
+// until the given instant — the switch-side failure mode where the
+// host's own transmissions still pass. Repeated calls extend the
+// window.
+func (p *Port) SetBlackhole(until sim.Time) {
+	if until > p.blackholeUntil {
+		p.blackholeUntil = until
+	}
+}
+
+// LinkDown reports whether the port's link is down right now.
+func (p *Port) LinkDown() bool { return p.sw.eng.Now() < p.downUntil }
+
+// Impaired reports whether frames routed to this port are currently
+// being discarded (down link or blackholed egress). A degraded port is
+// slow, not impaired.
+func (p *Port) Impaired() bool {
+	now := p.sw.eng.Now()
+	return now < p.downUntil || now < p.blackholeUntil
+}
+
+// lineRate returns the port's effective line rate at the given
+// instant, honoring an active degradation window.
+func (p *Port) lineRate(at sim.Time) float64 {
+	if at < p.degradeUntil {
+		return p.sw.portRate * p.degradeFactor
+	}
+	return p.sw.portRate
+}
 
 // serTime returns the serialization time of n bytes at rate bytes/ns,
 // floored at 1ns like netsim.
@@ -182,6 +246,13 @@ func (p *Port) Send(pkt *netsim.Packet) {
 	p.TxPkts++
 	p.TxBytes += uint64(pkt.Bytes)
 
+	// A down link cannot transmit at all: the frame dies in the NIC
+	// without occupying the wire.
+	if now < p.downUntil {
+		p.LinkDrops++
+		return
+	}
+
 	// Ingress serialization at the sending NIC's line rate. The wire
 	// time is paid before the fault hook fires, mirroring netsim.Port:
 	// a dropped frame still occupied the sender's wire.
@@ -189,7 +260,7 @@ func (p *Port) Send(pkt *netsim.Packet) {
 	if p.ingressBusyUntil > start {
 		start = p.ingressBusyUntil
 	}
-	inDone := start + serTime(pkt.Bytes, sw.portRate)
+	inDone := start + serTime(pkt.Bytes, p.lineRate(now))
 	p.ingressBusyUntil = inDone
 
 	dup := false
@@ -226,6 +297,18 @@ func (p *Port) Send(pkt *netsim.Packet) {
 		panic(fmt.Sprintf("fabric: port %d (%s) has no attached endpoint", ei, out.name))
 	}
 
+	// Chaos impairments at the egress: a down link drops visibly (the
+	// counter is the flap's blast radius), a blackhole drops silently
+	// at the switch.
+	if now < out.downUntil {
+		out.LinkDrops++
+		return
+	}
+	if now < out.blackholeUntil {
+		out.BlackholeDrops++
+		return
+	}
+
 	// Egress admission: tail drop at a full output queue.
 	if out.egressQueued >= sw.params.QueueCap {
 		out.EgressDrops++
@@ -237,7 +320,7 @@ func (p *Port) Send(pkt *netsim.Packet) {
 	if out.egressBusyUntil > es {
 		es = out.egressBusyUntil
 	}
-	outDone := es + serTime(pkt.Bytes, sw.portRate)
+	outDone := es + serTime(pkt.Bytes, out.lineRate(now))
 	out.egressBusyUntil = outDone
 	sw.Forwarded++
 
@@ -254,6 +337,10 @@ func (p *Port) Send(pkt *netsim.Packet) {
 		// Link-level duplication: the copy rides the same egress slot.
 		q := *pkt
 		sw.eng.At(deliverAt, func() {
+			if deliverAt < out.downUntil {
+				out.LinkDrops++
+				return
+			}
 			out.RxPkts++
 			out.RxBytes += uint64(q.Bytes)
 			dst.Receive(&q)
@@ -261,6 +348,12 @@ func (p *Port) Send(pkt *netsim.Packet) {
 	}
 	sw.eng.At(deliverAt, func() {
 		out.egressQueued--
+		// The link may have dropped while the frame was in flight on
+		// the egress wire; those bits are lost too.
+		if deliverAt < out.downUntil {
+			out.LinkDrops++
+			return
+		}
 		out.RxPkts++
 		out.RxBytes += uint64(pkt.Bytes)
 		dst.Receive(pkt)

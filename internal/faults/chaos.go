@@ -1,0 +1,275 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"es2/internal/sim"
+)
+
+// ChaosSpec configures rack-scale fault timelines for a cluster run.
+// Where Spec injects micro-faults (a dropped frame, a lost kick),
+// ChaosSpec injects macro-faults: whole-host crash and freeze windows,
+// fabric link flaps and rate degradation, and switch egress
+// blackholing. The zero value injects nothing.
+//
+// Each configured kind contributes its count of events to one shared
+// timeline. Event order is shuffled, inter-fault gaps are drawn
+// uniformly from [MinGap, MaxGap], and each event's duration is drawn
+// uniformly from [0.5, 1.5) times the kind's configured mean — all off
+// a generator forked once from the cluster seed, so a chaotic run
+// replays byte-identically.
+type ChaosSpec struct {
+	// HostCrashes fail-stops a uniformly chosen host: its scheduler
+	// freezes (vCPUs and vhost workers preempted and not re-dispatched),
+	// its fabric port goes down both directions, and every device
+	// backlog is discarded. After CrashDown (mean) the host recovers
+	// warm: RAM-resident state (virtqueues, flow tables) survives.
+	HostCrashes int
+	CrashDown   time.Duration
+
+	// HostFreezes halts a host's scheduler without touching its link
+	// or backlogs — the VM-exit storm / hard-lockup case where frames
+	// keep arriving and pile up until the host thaws after FreezeFor
+	// (mean).
+	HostFreezes int
+	FreezeFor   time.Duration
+
+	// LinkFlaps take a uniformly chosen port's link down for FlapDown
+	// (mean): frames in both directions are dropped and counted, the
+	// host itself keeps running.
+	LinkFlaps int
+	FlapDown  time.Duration
+
+	// LinkDegrades run a chosen port at DegradeFactor of its line rate
+	// for DegradeFor (mean). DegradeFactor must be in (0, 1).
+	LinkDegrades  int
+	DegradeFor    time.Duration
+	DegradeFactor float64
+
+	// Blackholes silently discard frames routed toward a chosen
+	// port's egress for BlackholeFor (mean) — the switch-side failure
+	// where the host's own transmissions still pass.
+	Blackholes   int
+	BlackholeFor time.Duration
+
+	// MinGap and MaxGap bound the inter-fault gap along the timeline.
+	// The first fault starts one gap after the warmup boundary.
+	MinGap time.Duration
+	MaxGap time.Duration
+}
+
+// Per-kind event counts and episode means are capped so a validated
+// timeline always fits a sane measurement window and fuzzing cannot
+// request unbounded schedules.
+const (
+	maxChaosPerKind = 16
+	maxChaosDur     = time.Hour
+)
+
+// Enabled reports whether any chaos event is configured.
+func (s ChaosSpec) Enabled() bool {
+	return s.HostCrashes > 0 || s.HostFreezes > 0 || s.LinkFlaps > 0 ||
+		s.LinkDegrades > 0 || s.Blackholes > 0
+}
+
+// Events returns the total number of timeline events the spec injects.
+func (s ChaosSpec) Events() int {
+	return s.HostCrashes + s.HostFreezes + s.LinkFlaps + s.LinkDegrades + s.Blackholes
+}
+
+// Validate checks the spec's internal consistency. Whether the
+// worst-case timeline fits the measurement window needs the cluster
+// duration and lives in the es2 package's spec validation.
+func (s ChaosSpec) Validate() error {
+	kinds := []struct {
+		name  string
+		count int
+		mean  time.Duration
+	}{
+		{"HostCrash", s.HostCrashes, s.CrashDown},
+		{"HostFreeze", s.HostFreezes, s.FreezeFor},
+		{"LinkFlap", s.LinkFlaps, s.FlapDown},
+		{"LinkDegrade", s.LinkDegrades, s.DegradeFor},
+		{"Blackhole", s.Blackholes, s.BlackholeFor},
+	}
+	for _, k := range kinds {
+		if k.count < 0 {
+			return fmt.Errorf("faults: %s count must be non-negative, got %d", k.name, k.count)
+		}
+		if k.count > maxChaosPerKind {
+			return fmt.Errorf("faults: at most %d %s events per run, got %d", maxChaosPerKind, k.name, k.count)
+		}
+		if k.mean < 0 || k.mean > maxChaosDur {
+			return fmt.Errorf("faults: %s duration must be in [0, %v], got %v", k.name, maxChaosDur, k.mean)
+		}
+		if k.count > 0 && k.mean <= 0 {
+			return fmt.Errorf("faults: %d %s events configured but the episode duration is zero", k.count, k.name)
+		}
+		if k.mean > 0 && k.count == 0 {
+			return fmt.Errorf("faults: %s duration is set but the event count is zero", k.name)
+		}
+	}
+	if s.LinkDegrades > 0 {
+		if math.IsNaN(s.DegradeFactor) || s.DegradeFactor <= 0 || s.DegradeFactor >= 1 {
+			return fmt.Errorf("faults: DegradeFactor must be in (0, 1), got %v", s.DegradeFactor)
+		}
+	} else if s.DegradeFactor != 0 {
+		return fmt.Errorf("faults: DegradeFactor is set but LinkDegrades is zero")
+	}
+	if s.MinGap < 0 || s.MinGap > maxChaosDur {
+		return fmt.Errorf("faults: MinGap must be in [0, %v], got %v", maxChaosDur, s.MinGap)
+	}
+	if s.MaxGap < 0 || s.MaxGap > maxChaosDur {
+		return fmt.Errorf("faults: MaxGap must be in [0, %v], got %v", maxChaosDur, s.MaxGap)
+	}
+	if s.Enabled() && s.MaxGap < s.MinGap {
+		return fmt.Errorf("faults: MaxGap (%v) must be at least MinGap (%v)", s.MaxGap, s.MinGap)
+	}
+	if !s.Enabled() && (s.MinGap != 0 || s.MaxGap != 0) {
+		return fmt.Errorf("faults: chaos gaps are set but no chaos events are configured")
+	}
+	return nil
+}
+
+// MaxTimelineEnd bounds the latest instant (relative to warmup end) at
+// which any event of a valid timeline can still be in effect: every
+// gap at MaxGap plus the largest possible episode length. Counts and
+// durations are capped, so this cannot overflow.
+func (s ChaosSpec) MaxTimelineEnd() time.Duration {
+	end := time.Duration(s.Events()) * s.MaxGap
+	longest := time.Duration(0)
+	for _, mean := range []time.Duration{s.CrashDown, s.FreezeFor, s.FlapDown, s.DegradeFor, s.BlackholeFor} {
+		if d := maxEpisode(mean); d > longest {
+			longest = d
+		}
+	}
+	return end + longest
+}
+
+// maxEpisode is the upper bound of episodeLen's draw for a mean.
+func maxEpisode(mean time.Duration) time.Duration {
+	if mean <= 0 {
+		return 0
+	}
+	d := mean/2 + mean // exclusive upper bound of uniform [0.5, 1.5)*mean
+	if d < time.Duration(minEpisode) {
+		d = time.Duration(minEpisode)
+	}
+	return d
+}
+
+// ChaosKind identifies one macro-fault class.
+type ChaosKind int
+
+const (
+	ChaosHostCrash ChaosKind = iota
+	ChaosHostFreeze
+	ChaosLinkFlap
+	ChaosLinkDegrade
+	ChaosBlackhole
+)
+
+// String returns the stable snake_case name used in reports, metric
+// labels and blame rows.
+func (k ChaosKind) String() string {
+	switch k {
+	case ChaosHostCrash:
+		return "host_crash"
+	case ChaosHostFreeze:
+		return "host_freeze"
+	case ChaosLinkFlap:
+		return "link_flap"
+	case ChaosLinkDegrade:
+		return "link_degrade"
+	case ChaosBlackhole:
+		return "egress_blackhole"
+	}
+	return fmt.Sprintf("chaos(%d)", int(k))
+}
+
+// ChaosEvent is one scheduled macro-fault. At is relative to warmup
+// end; Target is a host (and therefore port) index.
+type ChaosEvent struct {
+	At       sim.Time
+	Kind     ChaosKind
+	Target   int
+	Duration sim.Time
+	Factor   float64 // degrade only
+}
+
+// BuildTimeline materializes the spec into a concrete, time-ordered
+// event list for a cluster of the given host count. All draws come
+// from rng, which the caller forks exactly once from the cluster seed.
+func (s ChaosSpec) BuildTimeline(rng *sim.Rand, hosts int) []ChaosEvent {
+	kinds := make([]ChaosKind, 0, s.Events())
+	for i := 0; i < s.HostCrashes; i++ {
+		kinds = append(kinds, ChaosHostCrash)
+	}
+	for i := 0; i < s.HostFreezes; i++ {
+		kinds = append(kinds, ChaosHostFreeze)
+	}
+	for i := 0; i < s.LinkFlaps; i++ {
+		kinds = append(kinds, ChaosLinkFlap)
+	}
+	for i := 0; i < s.LinkDegrades; i++ {
+		kinds = append(kinds, ChaosLinkDegrade)
+	}
+	for i := 0; i < s.Blackholes; i++ {
+		kinds = append(kinds, ChaosBlackhole)
+	}
+	order := rng.Perm(len(kinds))
+	events := make([]ChaosEvent, 0, len(kinds))
+	t := sim.Time(0)
+	for _, ki := range order {
+		kind := kinds[ki]
+		gap := sim.DurationOf(s.MinGap)
+		if span := s.MaxGap - s.MinGap; span > 0 {
+			gap += rng.Duration(sim.DurationOf(span) + 1)
+		}
+		t += gap
+		if t == 0 {
+			// Keep every event strictly after the warmup boundary so
+			// warmup reset always precedes the first fault.
+			t = 1
+		}
+		var mean time.Duration
+		switch kind {
+		case ChaosHostCrash:
+			mean = s.CrashDown
+		case ChaosHostFreeze:
+			mean = s.FreezeFor
+		case ChaosLinkFlap:
+			mean = s.FlapDown
+		case ChaosLinkDegrade:
+			mean = s.DegradeFor
+		case ChaosBlackhole:
+			mean = s.BlackholeFor
+		}
+		ev := ChaosEvent{
+			At:       t,
+			Kind:     kind,
+			Target:   rng.Intn(hosts),
+			Duration: episodeLen(rng, mean),
+		}
+		if kind == ChaosLinkDegrade {
+			ev.Factor = s.DegradeFactor
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// episodeLen draws a bounded episode length: uniform in [0.5, 1.5) of
+// the mean (a crash that could last 20x its mean, as an exponential
+// draw allows, would not fit any validated window), floored at the
+// injector-wide minimum episode.
+func episodeLen(rng *sim.Rand, mean time.Duration) sim.Time {
+	m := sim.DurationOf(mean)
+	d := m/2 + rng.Duration(m)
+	if d < minEpisode {
+		d = minEpisode
+	}
+	return d
+}

@@ -23,11 +23,24 @@ type NAPI struct {
 
 	scheduled bool
 	vcpu      *vmm.VCPU // vCPU the current poll cycle runs on
+	burst     int       // consecutive poll rounds in the current cycle
 
 	// Rounds counts poll rounds; Polled counts packets processed.
 	Rounds uint64
 	Polled uint64
+	// Deferred counts poll rounds demoted to process-context priority
+	// (the ksoftirqd path).
+	Deferred uint64
 }
+
+// softirqRestartLimit bounds how many consecutive poll rounds run at
+// softirq priority before the cycle is demoted to process-context
+// priority, mirroring Linux's MAX_SOFTIRQ_RESTART handoff to ksoftirqd.
+// Without it, a vCPU whose offered receive load exceeds its capacity
+// strict-priority-starves process context forever — receive livelock:
+// the application tasks that would consume the data (and quench the
+// senders' retries) never run.
+const softirqRestartLimit = 10
 
 func newNAPI(p *QueuePair, weight int) *NAPI {
 	return &NAPI{pair: p, weight: weight}
@@ -44,19 +57,33 @@ func (n *NAPI) schedule(v *vmm.VCPU) {
 	n.enqueuePoll()
 }
 
-// enqueuePoll queues one poll round as a softirq task on the chosen
-// vCPU.
+// enqueuePoll queues one poll round on the chosen vCPU: at softirq
+// priority while the cycle is young, at process-context priority (the
+// ksoftirqd handoff) once it has monopolized the vCPU for
+// softirqRestartLimit rounds — queued FIFO behind any starving tasks.
 func (n *NAPI) enqueuePoll() {
 	v := n.vcpu
-	v.EnqueueTask(vmm.NewTask("napi", vmm.PrioSoftirq, n.pair.Dev.Kern.Costs.NAPIPoll, func() {
+	v.EnqueueTask(vmm.NewTask("napi", n.prio(), n.pair.Dev.Kern.Costs.NAPIPoll, func() {
 		n.poll(v)
 	}))
+}
+
+// prio returns the priority the current poll round runs at.
+func (n *NAPI) prio() vmm.Prio {
+	if n.burst >= softirqRestartLimit {
+		return vmm.PrioTask
+	}
+	return vmm.PrioSoftirq
 }
 
 // poll runs at the end of the fixed poll overhead: collect a batch,
 // charge its processing cost as one softirq task, then dispatch.
 func (n *NAPI) poll(v *vmm.VCPU) {
 	n.Rounds++
+	n.burst++
+	if n.burst > softirqRestartLimit {
+		n.Deferred++
+	}
 	batch := n.pair.RX.CollectUsed(n.weight)
 	if len(batch) == 0 {
 		n.finish()
@@ -118,7 +145,7 @@ func (n *NAPI) poll(v *vmm.VCPU) {
 		// never influence behaviour, so this cannot perturb the run.
 		name += ":" + protoLabel(pkts)
 	}
-	v.EnqueueTask(vmm.NewTask(name, vmm.PrioSoftirq, cost, func() {
+	v.EnqueueTask(vmm.NewTask(name, n.prio(), cost, func() {
 		if path != nil {
 			now := v.VM.K.Eng.Now()
 			for _, p := range pkts {
@@ -204,6 +231,7 @@ func (n *NAPI) finish() {
 	}
 	n.scheduled = false
 	n.vcpu = nil
+	n.burst = 0
 }
 
 // Scheduled reports whether a poll cycle is in flight.

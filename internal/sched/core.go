@@ -20,6 +20,8 @@ type core struct {
 	sliceEvt    *sim.Handle
 	runStart    sim.Time // when cur last started being charged
 	curStart    sim.Time // when cur was dispatched (timeline slice start)
+	sliceStart  sim.Time // when cur's current timeslice budget opened
+	sliceExpiry sim.Time // when the armed slice event fires
 	minVr       int64    // floor of vruntime on this core
 	dispatching bool
 	needResched bool
@@ -50,6 +52,28 @@ func (c *core) enqueue(t *Thread) {
 	c.rq[i] = t
 }
 
+// placeWakeup applies CFS wakeup placement: don't let a long sleeper
+// monopolize the core; don't let it lose its fair position either. On
+// top of the classic latency-wide sleeper bonus, the placement clamps
+// the waker's lag against the queue: it may land at most one minimum
+// granularity below the most-advanced thread already waiting (the
+// EEVDF-style bounded-lag rule). Without the clamp, threads quiesced by
+// an outage return with the full vruntime deficit they accumulated
+// while idle, and a thread that stayed busy throughout starves for the
+// sum of those catch-up credits — tens of milliseconds, exactly when
+// recovery needs it running.
+func (c *core) placeWakeup(t *Thread) {
+	floor := c.minVruntime() - int64(c.s.params.Latency)
+	if n := len(c.rq); n > 0 {
+		if f := c.rq[n-1].vruntime - int64(c.s.params.MinGranularity); f > floor {
+			floor = f
+		}
+	}
+	if t.vruntime < floor {
+		t.vruntime = floor
+	}
+}
+
 func (c *core) dequeueLeftmost() *Thread {
 	t := c.rq[0]
 	copy(c.rq, c.rq[1:])
@@ -63,7 +87,7 @@ func (c *core) dequeueLeftmost() *Thread {
 // naturally, so kick does nothing; preemption decisions are made
 // exclusively by maybePreemptFor.
 func (c *core) kick() {
-	if c.dispatching {
+	if c.dispatching || c.s.frozen {
 		return
 	}
 	if c.cur == nil && len(c.rq) > 0 {
@@ -127,6 +151,9 @@ func (c *core) sliceLength() sim.Time {
 
 // dispatch picks the next thread and starts it. Must not be re-entered.
 func (c *core) dispatch() {
+	if c.s.frozen {
+		return
+	}
 	c.dispatching = true
 	defer func() { c.dispatching = false }()
 
@@ -179,7 +206,45 @@ func (c *core) armSlice() {
 	if c.sliceEvt != nil {
 		c.sliceEvt.Cancel()
 	}
-	c.sliceEvt = c.s.eng.After(c.sliceLength(), c.sliceExpired)
+	now := c.s.eng.Now()
+	d := c.sliceLength()
+	c.sliceStart = now
+	c.sliceExpiry = now + d
+	c.sliceEvt = c.s.eng.After(d, c.sliceExpired)
+}
+
+// resizeSlice re-fits the running thread's timeslice to the current
+// runqueue size. CFS recomputes ideal_runtime from nr_running at every
+// scheduler tick, so a thread dispatched onto an empty core does not
+// keep its full-latency slice once waiters arrive. This event-driven
+// model has no periodic tick; the recomputation happens at wakeup — the
+// only instant nr grows — and only ever shortens the armed slice.
+// Without it, a thread that went on-CPU alone holds the core for the
+// whole latency period (24ms) while late-arriving runnable threads
+// starve.
+func (c *core) resizeSlice() {
+	if c.cur == nil || c.sliceEvt == nil {
+		return
+	}
+	expiry := c.sliceStart + c.sliceLength()
+	if expiry >= c.sliceExpiry {
+		return
+	}
+	c.sliceExpiry = expiry
+	now := c.s.eng.Now()
+	if expiry <= now {
+		// Budget already overdrawn under the new occupancy: preempt.
+		c.sliceEvt.Cancel()
+		c.sliceEvt = nil
+		if c.dispatching {
+			c.needResched = true
+			return
+		}
+		c.preemptCurrent()
+		return
+	}
+	c.sliceEvt.Cancel()
+	c.sliceEvt = c.s.eng.After(expiry-now, c.sliceExpired)
 }
 
 func (c *core) armChunk(chunk sim.Time) {

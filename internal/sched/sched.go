@@ -171,6 +171,9 @@ type Scheduler struct {
 
 	// ContextSwitches counts thread switches across all cores.
 	ContextSwitches uint64
+
+	// frozen halts all dispatching (whole-host outage injection).
+	frozen bool
 }
 
 // New creates a scheduler managing nCores cores.
@@ -228,13 +231,7 @@ func (s *Scheduler) Wake(t *Thread) {
 		return
 	}
 	c := s.cores[t.home]
-	// Wakeup placement: don't let a long sleeper monopolize the core;
-	// don't let it lose its fair position either.
-	minv := c.minVruntime()
-	bonus := int64(s.params.Latency)
-	if t.vruntime < minv-bonus {
-		t.vruntime = minv - bonus
-	}
+	c.placeWakeup(t)
 	t.state = Runnable
 	if s.path != nil || t.WakeLat != nil {
 		t.wakeT = s.eng.Now()
@@ -244,6 +241,7 @@ func (s *Scheduler) Wake(t *Thread) {
 	s.seq++
 	c.enqueue(t)
 	c.maybePreemptFor(t)
+	c.resizeSlice()
 	c.kick()
 }
 
@@ -273,6 +271,40 @@ func (s *Scheduler) RunnableCount(coreID int) int {
 	}
 	return n
 }
+
+// Freeze halts dispatching on every core: the running thread on each
+// core is preempted back to its runqueue (a clean SchedOut, so
+// watchers and profilers stay consistent) and nothing runs until
+// Unfreeze. Wakeups and requeries during the freeze are accepted and
+// pile up runnable. This models a whole-host outage — crash or hard
+// freeze — at the CPU level; it does not touch thread state beyond the
+// preemption, so the host recovers warm.
+func (s *Scheduler) Freeze() {
+	if s.frozen {
+		return
+	}
+	s.frozen = true
+	for _, c := range s.cores {
+		if c.cur != nil {
+			c.preemptCurrent()
+		}
+	}
+}
+
+// Unfreeze resumes dispatching and kicks every core so piled-up
+// runnable threads start immediately.
+func (s *Scheduler) Unfreeze() {
+	if !s.frozen {
+		return
+	}
+	s.frozen = false
+	for _, c := range s.cores {
+		c.kick()
+	}
+}
+
+// Frozen reports whether the scheduler is currently frozen.
+func (s *Scheduler) Frozen() bool { return s.frozen }
 
 // Now returns the scheduler's engine clock (convenience for sources).
 func (s *Scheduler) Now() sim.Time { return s.eng.Now() }

@@ -127,6 +127,21 @@ func (d *Device) Receive(p *netsim.Packet) {
 // Backlog returns the current ingress backlog length.
 func (d *Device) Backlog() int { return len(d.backlog) }
 
+// DropBacklog discards every queued ingress frame, counting them as
+// backlog drops. Used by host-crash injection: the tap buffer does not
+// survive the outage, while guest-RAM-resident state (the virtqueues)
+// does. In-flight RX handler plans notice the head changed and abort
+// safely.
+func (d *Device) DropBacklog() int {
+	n := len(d.backlog)
+	for i := range d.backlog {
+		d.backlog[i] = nil
+	}
+	d.backlog = d.backlog[:0]
+	d.BacklogDrops += uint64(n)
+	return n
+}
+
 // jitter perturbs a nominal handler cost by ±30% (copy-path and cache variance).
 func (d *Device) jitter(c sim.Time) sim.Time { return d.rng.Jitter(c, 0.30) }
 

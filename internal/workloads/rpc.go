@@ -24,18 +24,52 @@ type RPCClient struct {
 	// records it at completion (set before the first request fires).
 	Causal *causal.Probe
 
+	// Timeout arms a per-request deadline: an expired request is
+	// retried with exponential backoff and deterministic jitter. Zero
+	// (the default) keeps the legacy closed loop, which wedges forever
+	// if the server dies — only chaos-aware runs should pay the
+	// deadline bookkeeping.
+	Timeout sim.Time
+	// Backoff is the first retry delay (default Timeout/4) and doubles
+	// per consecutive timeout up to BackoffMax (default 8x Backoff);
+	// each delay is jittered ±50% so retrying flows desynchronize.
+	Backoff    sim.Time
+	BackoffMax sim.Time
+	// FailoverAfter is the consecutive-timeout threshold at which the
+	// flow asks Failover to re-bind it to a surviving server; the
+	// counter restarts after a successful migration. Zero disables.
+	FailoverAfter int
+	// Failover, when non-nil, re-routes the flow to another server and
+	// reports whether it did (the cluster's chaos controller owns the
+	// flow table).
+	Failover func(flowID int) bool
+	// NotifyComplete, when non-nil, observes every completed request
+	// (the chaos controller's availability and MTTR bookkeeping).
+	NotifyComplete func(at sim.Time)
+
 	// Completed and Sent count requests across all flows;
 	// BytesReceived counts response payload.
 	Completed     uint64
 	Sent          uint64
 	BytesReceived uint64
+	// Timeouts counts expired request deadlines, Retries re-issued
+	// requests, and Migrated flows failed over to another server.
+	Timeouts uint64
+	Retries  uint64
+	Migrated uint64
 
 	// hists receive every completed request's latency (the per-host
 	// and cluster-wide spectra in the cluster runner).
 	hists []*metrics.LogHistogram
 
 	flows []*RPCFlow
+	rng   *sim.Rand
 }
+
+// minRetryBackoff floors the retry delay so a degenerate spec (a
+// timeout shorter than any achievable RTT) burns bounded events, not
+// an unbounded same-instant retry storm.
+const minRetryBackoff = sim.Microsecond
 
 // RPCFlow is one closed-loop connection. It implements
 // guest.FlowHandler for the response direction and keeps per-flow
@@ -53,17 +87,36 @@ type RPCFlow struct {
 	started sim.Time
 	chain   *causal.Chain
 
+	// Retry machinery (active only with a client Timeout).
+	// attemptBase is the first attempt id of the in-flight logical
+	// request: a response to ANY attempt in [attemptBase, reqID]
+	// completes it. Accepting a late original response after a retry
+	// went out is what keeps a timeout shorter than a transient RTT
+	// from livelocking the flow (every attempt's response arriving
+	// "stale" forever — retry-storm congestion collapse).
+	attemptBase int64
+	deadline    *sim.Handle
+	attempts    int
+	backoff     sim.Time
+
 	// Completed counts this flow's finished requests; LatSum and
 	// LatMax summarize its latency over the measurement window.
 	Completed uint64
 	LatSum    sim.Time
 	LatMax    sim.Time
+	// Timeouts and Retries count this flow's expired deadlines and
+	// re-issued requests; Migrated marks a flow re-bound to a
+	// surviving server during the window.
+	Timeouts uint64
+	Retries  uint64
+	Migrated bool
 }
 
 // NewRPCClient creates a client on kern whose completions observe into
-// every given histogram.
+// every given histogram. The retry jitter generator forks off the
+// engine's RNG here, during deterministic build.
 func NewRPCClient(kern *guest.Kernel, hists ...*metrics.LogHistogram) *RPCClient {
-	return &RPCClient{Kern: kern, hists: hists}
+	return &RPCClient{Kern: kern, hists: hists, rng: kern.Engine().Rand().Fork()}
 }
 
 // AddFlow registers one closed-loop flow issuing reqBytes requests and
@@ -91,29 +144,99 @@ func (c *RPCClient) Flows() []*RPCFlow { return c.flows }
 // (called at warmup end; the histograms are reset by their owner).
 func (c *RPCClient) ResetStats() {
 	c.Completed, c.Sent, c.BytesReceived = 0, 0, 0
+	c.Timeouts, c.Retries, c.Migrated = 0, 0, 0
 	for _, f := range c.flows {
 		f.Completed, f.LatSum, f.LatMax = 0, 0, 0
+		f.Timeouts, f.Retries, f.Migrated = 0, 0, false
 	}
 }
 
-// sendNext issues the flow's next request: the latency clock starts
+// sendNext starts the flow's next request: the latency clock starts
 // here (request initiation), so the measured RPC time includes the
-// client's own stack and scheduling delays — the end-to-end view a
-// user of the cluster would see.
+// client's own stack and scheduling delays — and, across retries, the
+// full outage-recovery time: the end-to-end view a user of the
+// cluster would see.
 func (f *RPCFlow) sendNext() {
+	f.started = f.c.Kern.Engine().Now()
+	f.attempts = 0
+	f.backoff = 0
+	f.attemptBase = f.reqID + 1
+	f.issue()
+}
+
+// issue sends one attempt of the current request. The attempt's
+// deadline is armed when the request actually reaches the wire
+// (transmit), not here: like a real RTO, the timer starts at send, so
+// time spent waiting in the vCPU's task queue under load cannot burn
+// the timeout and spawn retries of requests that never left the host —
+// the self-amplifying half of a retry storm. Each attempt opens a
+// fresh causal chain (a retried attempt's stages telescope from its
+// own issue instant, keeping stage sums exact); chains of attempts
+// that never complete are simply never recorded.
+func (f *RPCFlow) issue() {
 	kern := f.c.Kern
 	f.reqID++
 	id := f.reqID
-	f.started = kern.Engine().Now()
-	f.chain = f.c.Causal.Start(f.ID, id, f.started)
+	f.chain = f.c.Causal.Start(f.ID, id, kern.Engine().Now())
 	cost := kern.JitterCost(kern.Costs.TXCost(f.reqBytes, true))
 	f.v.EnqueueTask(vmm.NewTask("rpc-req", vmm.PrioTask, cost, func() {
 		f.transmit(id)
 	}))
 }
 
-// transmit posts the request, resuming via WaitTX on a full ring.
+// expired fires when attempt id's deadline lapses without a response:
+// count the timeout, consider failing the flow over, and schedule a
+// retry after the (jittered, doubling) backoff.
+func (f *RPCFlow) expired(id int64) {
+	if id != f.reqID {
+		return // stale deadline for a completed attempt
+	}
+	f.deadline = nil
+	f.Timeouts++
+	f.c.Timeouts++
+	f.attempts++
+	if f.c.FailoverAfter > 0 && f.attempts >= f.c.FailoverAfter &&
+		f.c.Failover != nil && f.c.Failover(f.ID) {
+		if !f.Migrated {
+			f.Migrated = true
+			f.c.Migrated++
+		}
+		f.attempts = 0
+	}
+	if f.backoff <= 0 {
+		f.backoff = f.c.Backoff
+		if f.backoff <= 0 {
+			f.backoff = f.c.Timeout / 4
+		}
+	} else {
+		f.backoff *= 2
+	}
+	if max := f.c.BackoffMax; max > 0 && f.backoff > max {
+		f.backoff = max
+	}
+	if f.backoff < minRetryBackoff {
+		f.backoff = minRetryBackoff
+	}
+	delay := f.c.rng.Jitter(f.backoff, 0.5)
+	f.c.Kern.Engine().After(delay, func() {
+		if id != f.reqID {
+			return // a late response won the race against the retry
+		}
+		f.Retries++
+		f.c.Retries++
+		f.issue()
+	})
+}
+
+// transmit posts the request, resuming via WaitTX on a full ring, and
+// arms the attempt's deadline once the send succeeds. A superseded
+// attempt (a newer one was issued while this task waited) is dropped
+// rather than transmitted: sending it would only feed the server
+// already-abandoned work.
 func (f *RPCFlow) transmit(id int64) {
+	if id != f.reqID {
+		return
+	}
 	pkt := &netsim.Packet{
 		Bytes: f.reqBytes, Kind: guest.KindRequest, Flow: f.ID,
 		Payload: &Req{ID: id, RespBytes: f.respBytes},
@@ -124,6 +247,9 @@ func (f *RPCFlow) transmit(id int64) {
 		return
 	}
 	f.c.Sent++
+	if f.c.Timeout > 0 {
+		f.deadline = f.c.Kern.Engine().After(f.c.Timeout, func() { f.expired(id) })
+	}
 }
 
 // RXCost implements guest.FlowHandler.
@@ -139,8 +265,12 @@ func (f *RPCFlow) HandleRX(p *netsim.Packet, v *vmm.VCPU) {
 	}
 	f.c.BytesReceived += uint64(p.Bytes)
 	r, _ := p.Payload.(*Resp)
-	if r == nil || r.ReqID != f.reqID || r.Seg != r.Segs-1 {
+	if r == nil || r.ReqID < f.attemptBase || r.ReqID > f.reqID || r.Seg != r.Segs-1 {
 		return
+	}
+	if f.deadline != nil {
+		f.deadline.Cancel()
+		f.deadline = nil
 	}
 	now := f.c.Kern.Engine().Now()
 	// The response rode the request's chain back; the final guest-rx
@@ -155,6 +285,9 @@ func (f *RPCFlow) HandleRX(p *netsim.Packet, v *vmm.VCPU) {
 	f.c.Completed++
 	for _, h := range f.c.hists {
 		h.Observe(d)
+	}
+	if f.c.NotifyComplete != nil {
+		f.c.NotifyComplete(now)
 	}
 	f.sendNext()
 }

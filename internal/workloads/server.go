@@ -224,7 +224,9 @@ func (w *worker) sendResponse(flow int, chain *causal.Chain, req *Req, segs, fro
 		}
 		if !w.srv.Kern.Dev.Transmit(w.v, pkt) {
 			i := i
-			w.srv.Kern.Dev.WaitTX(func() { w.sendResponse(flow, chain, req, segs, i) })
+			// Park on the pair the flow actually hashes to: the pair-0
+			// convenience would never wake on a multi-queue device.
+			w.srv.Kern.Dev.WaitTXFlow(flow, func() { w.sendResponse(flow, chain, req, segs, i) })
 			return
 		}
 	}

@@ -81,6 +81,30 @@ func ParseClusterSpec(r io.Reader) (ClusterSpec, error) {
 	return s, nil
 }
 
+// ParseChaosSpec reads one JSON ChaosSpec from r and validates it.
+// Validation here is standalone — window-fit against a particular
+// cluster duration happens when the spec is attached to a ClusterSpec.
+func ParseChaosSpec(r io.Reader) (ChaosSpec, error) {
+	var s ChaosSpec
+	if err := decodeSpec(r, &s); err != nil {
+		return s, fmt.Errorf("es2: parse chaos spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return s, &SpecError{Field: "Chaos", Reason: err.Error()}
+	}
+	return s, nil
+}
+
+// LoadChaosSpec reads and validates a JSON ChaosSpec file.
+func LoadChaosSpec(path string) (ChaosSpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ChaosSpec{}, err
+	}
+	defer f.Close()
+	return ParseChaosSpec(f)
+}
+
 // LoadScenarioSpec reads and validates a JSON ScenarioSpec file.
 func LoadScenarioSpec(path string) (ScenarioSpec, error) {
 	f, err := os.Open(path)
