@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"es2/internal/enginestats"
 	"es2/internal/telemetry"
 )
 
@@ -124,6 +125,17 @@ type ClusterSpec struct {
 	// CritPathExemplars is the number of slowest RPCs retained with
 	// full cross-host timelines (default 8, max 1024).
 	CritPathExemplars int
+	// EngineStats enables wall-clock performance telemetry of the
+	// simulator itself (event-loop throughput, heap behaviour, sampled
+	// per-subsystem wall/allocation attribution) on the shared cluster
+	// engine. It measures real time, not simulated time, so the
+	// resulting ClusterResult.EngineReport is machine-dependent and
+	// excluded from the deterministic JSON surface; simulated results
+	// are byte-identical with it on or off.
+	EngineStats bool
+	// EngineStatsSampleN is the 1-in-N event sampling rate for the
+	// per-subsystem attribution (default enginestats.DefaultSampleN).
+	EngineStatsSampleN int
 
 	// Faults configures deterministic micro-fault injection (wire
 	// loss, lost kicks, stalls, …), applied per host from one forked
@@ -225,6 +237,9 @@ func (s ClusterSpec) withClusterDefaults() ClusterSpec {
 	if s.CritPath && s.CritPathExemplars <= 0 {
 		s.CritPathExemplars = 8
 	}
+	if s.EngineStats && s.EngineStatsSampleN <= 0 {
+		s.EngineStatsSampleN = enginestats.DefaultSampleN
+	}
 	if s.Config.Hybrid && s.Config.Quota <= 0 {
 		s.Config.Quota = 4
 	}
@@ -287,6 +302,9 @@ func (s ClusterSpec) validate() error {
 	}
 	if s.CritPathExemplars < 0 || s.CritPathExemplars > 1024 {
 		return specErr("CritPathExemplars", "%d outside [0, 1024]", s.CritPathExemplars)
+	}
+	if s.EngineStatsSampleN < 0 || s.EngineStatsSampleN > 1<<20 {
+		return specErr("EngineStatsSampleN", "%d outside [0, %d]", s.EngineStatsSampleN, 1<<20)
 	}
 
 	f := s.Fabric
@@ -519,6 +537,12 @@ type ClusterResult struct {
 	// "hN", tail exemplars with cross-host timelines, and what-if
 	// estimates.
 	CriticalPath *CriticalPath `json:"critical_path,omitempty"`
+
+	// EngineReport carries wall-clock performance telemetry of the
+	// simulator itself (EngineStats runs). It is machine-dependent by
+	// nature, so — like the telemetry recorder — it is excluded from
+	// the deterministic JSON surface.
+	EngineReport *EngineReport `json:"-"`
 
 	// Faults reports cluster-wide injection/recovery activity (nil for
 	// fault-free runs); InvariantChecks counts checker sweeps.

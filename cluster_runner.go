@@ -9,6 +9,7 @@ import (
 
 	"es2/internal/causal"
 	"es2/internal/core"
+	"es2/internal/enginestats"
 	"es2/internal/fabric"
 	"es2/internal/faults"
 	"es2/internal/guest"
@@ -99,6 +100,7 @@ type clusterBed struct {
 	chaos *chaosController
 	chk   *faults.Checker
 	tel   *clusterTelemetry
+	perf  *enginestats.Collector
 }
 
 // faultsOn reports whether micro-fault injection is active (per-host
@@ -153,12 +155,14 @@ func RunCluster(spec ClusterSpec) (*ClusterResult, error) {
 
 	warmup := sim.DurationOf(spec.Warmup)
 	window := sim.DurationOf(spec.Duration)
+	cb.perf.Start()
 	cb.eng.Run(warmup)
 	cb.resetAtWarmupEnd()
 	if cb.tel != nil {
 		cb.startTelemetry(warmup + window)
 	}
 	cb.eng.Run(warmup + window)
+	cb.perf.Stop()
 	if cb.tel != nil {
 		cb.tel.rec.Finalize()
 	}
@@ -230,6 +234,12 @@ func buildCluster(spec ClusterSpec) (*clusterBed, error) {
 	if spec.CritPath {
 		cb.crit = causal.NewTracker(spec.CritPathExemplars)
 		cb.crit.LabelHosts = true
+	}
+	if spec.EngineStats {
+		// Attach before any host is wired so build-time registrations
+		// sample like everything else; the wall clock starts at Run.
+		cb.perf = enginestats.New(spec.EngineStatsSampleN)
+		eng.SetStats(cb.perf)
 	}
 
 	for hi := 0; hi < spec.Hosts; hi++ {
@@ -749,6 +759,10 @@ func (cb *clusterBed) collect(window sim.Time) *ClusterResult {
 	}
 	if cb.tel != nil {
 		cb.fillClusterTelemetry(res)
+	}
+	if cb.perf != nil {
+		res.EngineReport = cb.perf.Report(cb.eng.EventsFired(), cb.eng.HeapStats(),
+			cb.eng.Now().Seconds(), engineTopK)
 	}
 	return res
 }

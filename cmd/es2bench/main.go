@@ -5,10 +5,21 @@
 //
 //	es2bench [-exp all|table1|fig4a|fig4b|fig5a|fig5b|fig6a|fig6b|fig7|fig8a|fig8b|fig9]
 //	         [-parallel N] [-seed S] [-list] [-json FILE] [-profile-dir DIR]
-//	         [-timeline-dir DIR] [-telemetry-dir DIR] [-check]
+//	         [-timeline-dir DIR] [-telemetry-dir DIR] [-check] [-engine-stats]
+//	es2bench -perf [-reps N] [-exp IDS] [-scale F] [-seed S] [-json FILE]
+//	es2bench -compare old.json new.json [-threshold F]
 //
 // Each experiment prints the paper's claim followed by the regenerated
 // rows/series.
+//
+// -perf benchmarks the engine itself: every scenario (single-host and
+// cluster ids both resolve; -scale shrinks cluster runs) executes
+// -reps times sequentially with engine stats on, and the per-rep wall
+// times with mean/stddev/95% CI land in a BENCH_engine.json envelope
+// (schema es2bench-engine/v1). -compare judges two envelopes
+// benchstat-style — a delta is significant when the 95% confidence
+// intervals do not overlap — and exits non-zero when a significant
+// slowdown exceeds -threshold.
 package main
 
 import (
@@ -35,8 +46,37 @@ func main() {
 	critDir := flag.String("critpath-dir", "", "enable the causal critical-path analyzer and write one blame/exemplar/what-if JSON per scenario into DIR")
 	jsonOut := flag.String("json", "", "write all experiment results as machine-readable JSON to FILE ('-' for stdout; schema in EXPERIMENTS.md)")
 	check := flag.Bool("check", false, "enable the runtime invariant checker in every scenario (also: ES2_CHECK=1)")
+	engineStats := flag.Bool("engine-stats", false, "print the engine performance report per scenario")
+	perfMode := flag.Bool("perf", false, "benchmark the engine: run each scenario -reps times and emit BENCH_engine.json")
+	reps := flag.Int("reps", 5, "repetitions per scenario in -perf mode")
+	scale := flag.Float64("scale", 1, "shrink cluster experiments by this factor in -perf mode (see es2cluster -scale)")
+	compareMode := flag.Bool("compare", false, "compare two BENCH_engine.json files (old new); exit non-zero on confirmed regressions")
+	threshold := flag.Float64("threshold", 0.10, "relative slowdown beyond which a significant delta is a regression in -compare mode")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
+
+	if *compareMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "es2bench: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		regressions, err := runCompare(flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "es2bench: %v\n", err)
+			os.Exit(2)
+		}
+		if regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+	if *perfMode {
+		if err := runPerf(*expFlag, *reps, *seed, *scale, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "es2bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -95,8 +135,11 @@ func main() {
 			if *check {
 				e.Specs[i].Check = true
 			}
+			// Engine stats are always on: they never perturb results,
+			// cost <2% wall time, and put real wall time into the JSON
+			// envelope instead of the old ad-hoc time.Since print.
+			e.Specs[i].EngineStats = true
 		}
-		start := time.Now()
 		results, err := es2.RunMany(e.Specs, *parallel)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "es2bench: %s failed: %v\n", e.ID, err)
@@ -129,15 +172,27 @@ func main() {
 				}
 			}
 		}
+		wall, events := engineWallSummary(results)
 		if *jsonOut != "" {
 			report.Experiments = append(report.Experiments, jsonExperiment{
-				ID: e.ID, Title: e.Title, PaperClaim: e.PaperClaim, Results: results,
+				ID: e.ID, Title: e.Title, PaperClaim: e.PaperClaim,
+				WallNs: wall.Nanoseconds(), EventsFired: events, Results: results,
 			})
 		}
 		fmt.Printf("=== %s — %s\n", e.ID, e.Title)
 		fmt.Printf("    paper: %s\n\n", e.PaperClaim)
 		fmt.Println(indent(e.Render(results), "    "))
-		fmt.Printf("    (%d scenarios in %v wall time)\n\n", len(e.Specs), time.Since(start).Round(time.Millisecond))
+		if *engineStats {
+			for _, r := range results {
+				if r.EngineReport == nil {
+					continue
+				}
+				fmt.Printf("    --- %s\n", r.Name)
+				fmt.Println(indent(r.EngineReport.Render(), "    "))
+			}
+		}
+		fmt.Printf("    (%d scenarios, %v engine wall time, %d events)\n\n",
+			len(e.Specs), wall.Round(time.Millisecond), events)
 	}
 
 	if *jsonOut != "" {
@@ -174,10 +229,14 @@ type jsonReport struct {
 }
 
 type jsonExperiment struct {
-	ID         string        `json:"id"`
-	Title      string        `json:"title"`
-	PaperClaim string        `json:"paper_claim"`
-	Results    []*es2.Result `json:"results"`
+	ID         string `json:"id"`
+	Title      string `json:"title"`
+	PaperClaim string `json:"paper_claim"`
+	// WallNs and EventsFired sum the per-scenario engine measurements
+	// (real wall time inside Engine.Run; machine-dependent).
+	WallNs      int64         `json:"wall_ns"`
+	EventsFired uint64        `json:"events_fired"`
+	Results     []*es2.Result `json:"results"`
 }
 
 func writeJSONReport(path string, rep jsonReport) error {

@@ -1,0 +1,366 @@
+// Engine performance benchmarking: es2bench -perf runs scenarios
+// repeatedly with engine stats on and emits a BENCH_engine.json
+// envelope (per-rep wall times, mean, stddev, 95% CI); es2bench
+// -compare old.json new.json prints benchstat-style per-scenario
+// deltas with overlap-based significance verdicts and exits non-zero
+// on confirmed regressions beyond the -threshold.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"es2"
+	"es2/experiments"
+	"es2/internal/stats"
+)
+
+// engineEnvelopeSchema versions the BENCH_engine.json format.
+const engineEnvelopeSchema = "es2bench-engine/v1"
+
+// perfSlowdownEnv is a test hook: when set to an integer N, every
+// measured rep wall time is inflated by N nanoseconds before
+// statistics. It exists so the -compare regression gate can be
+// exercised against an artificially slowed engine without building a
+// second binary.
+const perfSlowdownEnv = "ES2BENCH_PERF_SLOWDOWN_NS"
+
+// perfScenario is one scenario's replicated engine measurement.
+type perfScenario struct {
+	// Experiment and Name identify the scenario; -compare matches on
+	// the pair.
+	Experiment string `json:"experiment"`
+	Name       string `json:"name"`
+	// SimSeconds is the simulated span per rep; EventsFired the
+	// per-rep executed-event count (identical across reps by
+	// determinism).
+	SimSeconds  float64 `json:"sim_seconds"`
+	EventsFired uint64  `json:"events_fired"`
+	// WallNs lists each rep's engine wall time; the summary statistics
+	// below are over it (CI95Ns is the Student-t half-width).
+	WallNs   []int64 `json:"wall_ns"`
+	MeanNs   float64 `json:"mean_ns"`
+	StdDevNs float64 `json:"stddev_ns"`
+	CI95Ns   float64 `json:"ci95_ns"`
+	// EventsPerSecMean is EventsFired over the mean wall time.
+	EventsPerSecMean float64 `json:"events_per_sec_mean"`
+	// Engine is the final rep's full report (heap behavior, subsystem
+	// attribution, memory deltas).
+	Engine *es2.EngineReport `json:"engine,omitempty"`
+}
+
+// engineEnvelope is the BENCH_engine.json artifact.
+type engineEnvelope struct {
+	Schema string  `json:"schema"`
+	Reps   int     `json:"reps"`
+	Seed   uint64  `json:"seed"`
+	Scale  float64 `json:"scale"`
+	// GoVersion and GOMAXPROCS pin the measurement environment.
+	GoVersion  string         `json:"go_version"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Scenarios  []perfScenario `json:"scenarios"`
+}
+
+// perfTarget is one runnable scenario resolved from -exp: single-host
+// and cluster experiments benchmark through the same closure.
+type perfTarget struct {
+	exp, name string
+	run       func() (*es2.EngineReport, error)
+}
+
+// resolvePerfTargets expands -exp into runnable targets. Ids are
+// looked up in the single-host registry first, then the cluster
+// registry (where -scale applies); "all" selects every experiment of
+// both. Every run is sequential with stats on, so subsystem
+// attribution is per-engine accurate.
+func resolvePerfTargets(expFlag string, seed uint64, scale float64) ([]perfTarget, error) {
+	var targets []perfTarget
+	addHost := func(exp experiments.Experiment) {
+		for _, spec := range exp.Specs {
+			spec := spec
+			spec.EngineStats = true
+			if seed != 0 {
+				spec.Seed = seed
+			}
+			targets = append(targets, perfTarget{
+				exp: exp.ID, name: spec.Name,
+				run: func() (*es2.EngineReport, error) {
+					res, err := es2.Run(spec)
+					if err != nil {
+						return nil, err
+					}
+					return res.EngineReport, nil
+				},
+			})
+		}
+	}
+	addCluster := func(exp experiments.ClusterExperiment) {
+		exp = experiments.ScaleCluster(exp, scale)
+		for _, spec := range exp.Specs {
+			spec := spec
+			spec.EngineStats = true
+			if seed != 0 {
+				spec.Seed = seed
+			}
+			targets = append(targets, perfTarget{
+				exp: exp.ID, name: spec.Name,
+				run: func() (*es2.EngineReport, error) {
+					res, err := es2.RunCluster(spec)
+					if err != nil {
+						return nil, err
+					}
+					return res.EngineReport, nil
+				},
+			})
+		}
+	}
+	if expFlag == "all" {
+		for _, e := range experiments.All() {
+			addHost(e)
+		}
+		for _, e := range experiments.ClusterExperiments() {
+			addCluster(e)
+		}
+		return targets, nil
+	}
+	for _, id := range strings.Split(expFlag, ",") {
+		id = strings.TrimSpace(id)
+		if e, ok := experiments.ByIDWithExtensions(id); ok {
+			addHost(e)
+			continue
+		}
+		if e, ok := experiments.ClusterByID(id); ok {
+			addCluster(e)
+			continue
+		}
+		return nil, fmt.Errorf("unknown experiment %q (use -list)", id)
+	}
+	return targets, nil
+}
+
+// perfSlowdownNs reads the test hook (0 when unset or malformed).
+func perfSlowdownNs() int64 {
+	v := os.Getenv(perfSlowdownEnv)
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// runPerf executes every resolved scenario reps times and writes the
+// engine envelope to jsonOut. Returns a non-nil error on any failed
+// run.
+func runPerf(expFlag string, reps int, seed uint64, scale float64, jsonOut string) error {
+	if reps < 1 {
+		reps = 1
+	}
+	targets, err := resolvePerfTargets(expFlag, seed, scale)
+	if err != nil {
+		return err
+	}
+	slow := perfSlowdownNs()
+	env := engineEnvelope{
+		Schema: engineEnvelopeSchema, Reps: reps, Seed: seed, Scale: scale,
+		GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, t := range targets {
+		ps := perfScenario{Experiment: t.exp, Name: t.name}
+		for r := 0; r < reps; r++ {
+			rep, err := t.run()
+			if err != nil {
+				return fmt.Errorf("%s/%s rep %d: %w", t.exp, t.name, r+1, err)
+			}
+			if rep == nil {
+				return fmt.Errorf("%s/%s rep %d: no engine report", t.exp, t.name, r+1)
+			}
+			ps.WallNs = append(ps.WallNs, rep.WallNs+slow)
+			ps.SimSeconds = rep.SimSeconds
+			ps.EventsFired = rep.EventsFired
+			ps.Engine = rep
+		}
+		xs := make([]float64, len(ps.WallNs))
+		for i, w := range ps.WallNs {
+			xs[i] = float64(w)
+		}
+		s := stats.Describe(xs)
+		ps.MeanNs, ps.StdDevNs, ps.CI95Ns = s.Mean, s.StdDev, s.CI95()
+		if ps.MeanNs > 0 {
+			ps.EventsPerSecMean = float64(ps.EventsFired) / (ps.MeanNs / 1e9)
+		}
+		env.Scenarios = append(env.Scenarios, ps)
+		fmt.Printf("perf %-28s %d reps  mean %8.1fms ± %5.1fms (95%% CI)  %8s events/s\n",
+			t.exp+"/"+t.name, reps, ps.MeanNs/1e6, ps.CI95Ns/1e6,
+			fmt.Sprintf("%.2fM", ps.EventsPerSecMean/1e6))
+	}
+	if jsonOut == "" {
+		jsonOut = "BENCH_engine.json"
+	}
+	if err := writeEngineEnvelope(jsonOut, env); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s (%d scenarios x %d reps)\n", jsonOut, len(env.Scenarios), reps)
+	return nil
+}
+
+func writeEngineEnvelope(path string, env engineEnvelope) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(env)
+}
+
+func readEngineEnvelope(path string) (engineEnvelope, error) {
+	var env engineEnvelope
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return env, err
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		return env, fmt.Errorf("%s: %w", path, err)
+	}
+	if env.Schema != engineEnvelopeSchema {
+		return env, fmt.Errorf("%s: schema %q, want %q", path, env.Schema, engineEnvelopeSchema)
+	}
+	return env, nil
+}
+
+// perfDelta is one scenario's old-vs-new comparison.
+type perfDelta struct {
+	exp, name              string
+	oldS, newS             stats.Sample
+	delta                  float64 // (new-old)/old
+	significant            bool    // 95% CIs disjoint
+	regression             bool    // significant slowdown beyond threshold
+	missingOld, missingNew bool
+}
+
+// compareEnvelopes matches scenarios by (experiment, name) and judges
+// each delta: significant when the two 95% confidence intervals do not
+// overlap (the benchstat criterion), a regression when a significant
+// slowdown also exceeds threshold (a fraction, e.g. 0.1 = +10%).
+func compareEnvelopes(oldEnv, newEnv engineEnvelope, threshold float64) []perfDelta {
+	type key struct{ exp, name string }
+	olds := make(map[key]perfScenario, len(oldEnv.Scenarios))
+	for _, s := range oldEnv.Scenarios {
+		olds[key{s.Experiment, s.Name}] = s
+	}
+	var out []perfDelta
+	seen := make(map[key]bool)
+	for _, n := range newEnv.Scenarios {
+		k := key{n.Experiment, n.Name}
+		seen[k] = true
+		d := perfDelta{exp: n.Experiment, name: n.Name, newS: describeWall(n.WallNs)}
+		o, ok := olds[k]
+		if !ok {
+			d.missingOld = true
+			out = append(out, d)
+			continue
+		}
+		d.oldS = describeWall(o.WallNs)
+		if d.oldS.Mean > 0 {
+			d.delta = (d.newS.Mean - d.oldS.Mean) / d.oldS.Mean
+		}
+		oldLo, oldHi := d.oldS.Mean-d.oldS.CI95(), d.oldS.Mean+d.oldS.CI95()
+		newLo, newHi := d.newS.Mean-d.newS.CI95(), d.newS.Mean+d.newS.CI95()
+		d.significant = newLo > oldHi || newHi < oldLo
+		d.regression = d.significant && d.delta > threshold
+		out = append(out, d)
+	}
+	for _, o := range oldEnv.Scenarios {
+		k := key{o.Experiment, o.Name}
+		if !seen[k] {
+			out = append(out, perfDelta{exp: o.Experiment, name: o.Name,
+				oldS: describeWall(o.WallNs), missingNew: true})
+		}
+	}
+	return out
+}
+
+func describeWall(wallNs []int64) stats.Sample {
+	xs := make([]float64, len(wallNs))
+	for i, w := range wallNs {
+		xs[i] = float64(w)
+	}
+	return stats.Describe(xs)
+}
+
+// runCompare prints the comparison table and returns the number of
+// confirmed regressions (the caller exits non-zero when > 0).
+func runCompare(oldPath, newPath string, threshold float64) (int, error) {
+	oldEnv, err := readEngineEnvelope(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newEnv, err := readEngineEnvelope(newPath)
+	if err != nil {
+		return 0, err
+	}
+	deltas := compareEnvelopes(oldEnv, newEnv, threshold)
+	fmt.Printf("%-30s %18s %18s %8s  verdict\n", "scenario", "old", "new", "delta")
+	regressions := 0
+	for _, d := range deltas {
+		id := d.exp + "/" + d.name
+		switch {
+		case d.missingOld:
+			fmt.Printf("%-30s %18s %18s %8s  new scenario\n", id, "-", fmtMS(d.newS), "-")
+			continue
+		case d.missingNew:
+			fmt.Printf("%-30s %18s %18s %8s  removed scenario\n", id, fmtMS(d.oldS), "-", "-")
+			continue
+		}
+		verdict := "~ (no significant change)"
+		if d.significant {
+			if d.delta > 0 {
+				verdict = "slower (significant)"
+				if d.regression {
+					verdict = fmt.Sprintf("REGRESSION (beyond %+.1f%% threshold)", 100*threshold)
+					regressions++
+				}
+			} else {
+				verdict = "faster (significant)"
+			}
+		}
+		fmt.Printf("%-30s %18s %18s %+7.1f%%  %s\n", id, fmtMS(d.oldS), fmtMS(d.newS), 100*d.delta, verdict)
+	}
+	if regressions > 0 {
+		fmt.Printf("\n%d confirmed regression(s) beyond %+.1f%%\n", regressions, 100*threshold)
+	} else {
+		fmt.Printf("\nno confirmed regressions (threshold %+.1f%%)\n", 100*threshold)
+	}
+	return regressions, nil
+}
+
+// fmtMS renders "mean ± ci95" in milliseconds.
+func fmtMS(s stats.Sample) string {
+	return fmt.Sprintf("%.1fms ± %.1fms", s.Mean/1e6, s.CI95()/1e6)
+}
+
+// engineWallSummary sums per-scenario engine wall time for the closing
+// line of a normal (non-perf) es2bench run.
+func engineWallSummary(results []*es2.Result) (wall time.Duration, events uint64) {
+	for _, r := range results {
+		if r.EngineReport == nil {
+			continue
+		}
+		wall += time.Duration(r.EngineReport.WallNs)
+		events += r.EngineReport.EventsFired
+	}
+	return wall, events
+}

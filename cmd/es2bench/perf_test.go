@@ -1,0 +1,194 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// env builds a synthetic envelope with one scenario whose reps are the
+// given wall times.
+func env(wallNs ...int64) engineEnvelope {
+	return engineEnvelope{
+		Schema: engineEnvelopeSchema, Reps: len(wallNs),
+		Scenarios: []perfScenario{{Experiment: "table1", Name: "table1/baseline", WallNs: wallNs}},
+	}
+}
+
+func TestCompareIdenticalIsNoChange(t *testing.T) {
+	e := env(100e6, 102e6, 98e6, 101e6, 99e6)
+	deltas := compareEnvelopes(e, e, 0.10)
+	if len(deltas) != 1 {
+		t.Fatalf("deltas = %d, want 1", len(deltas))
+	}
+	d := deltas[0]
+	if d.significant || d.regression || d.delta != 0 {
+		t.Fatalf("identical envelopes judged changed: %+v", d)
+	}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	old := env(100e6, 102e6, 98e6, 101e6, 99e6)
+	slow := env(130e6, 132e6, 128e6, 131e6, 129e6) // +30%, tight CI
+	deltas := compareEnvelopes(old, slow, 0.10)
+	d := deltas[0]
+	if !d.significant || !d.regression {
+		t.Fatalf("+30%% slowdown not flagged: %+v", d)
+	}
+	if d.delta < 0.25 || d.delta > 0.35 {
+		t.Fatalf("delta = %v, want ~0.30", d.delta)
+	}
+}
+
+func TestCompareSignificantButBelowThreshold(t *testing.T) {
+	old := env(100e6, 100.5e6, 99.5e6, 100.2e6, 99.8e6)
+	slow := env(105e6, 105.5e6, 104.5e6, 105.2e6, 104.8e6) // +5%, disjoint CIs
+	d := compareEnvelopes(old, slow, 0.10)[0]
+	if !d.significant {
+		t.Fatalf("disjoint CIs not significant: %+v", d)
+	}
+	if d.regression {
+		t.Fatalf("+5%% flagged as regression with 10%% threshold: %+v", d)
+	}
+}
+
+func TestCompareNoisyOverlapNotSignificant(t *testing.T) {
+	old := env(100e6, 140e6, 80e6, 120e6, 60e6)
+	noisy := env(110e6, 150e6, 90e6, 130e6, 70e6) // +10% but CIs overlap
+	d := compareEnvelopes(old, noisy, 0.05)
+	if d[0].significant || d[0].regression {
+		t.Fatalf("overlapping CIs judged significant: %+v", d[0])
+	}
+}
+
+func TestCompareSpeedupIsNotRegression(t *testing.T) {
+	old := env(130e6, 132e6, 128e6)
+	fast := env(100e6, 102e6, 98e6)
+	d := compareEnvelopes(old, fast, 0.10)[0]
+	if !d.significant || d.regression {
+		t.Fatalf("speedup misjudged: %+v", d)
+	}
+}
+
+func TestCompareMissingScenarios(t *testing.T) {
+	old := env(100e6)
+	newer := engineEnvelope{Schema: engineEnvelopeSchema,
+		Scenarios: []perfScenario{{Experiment: "rack1", Name: "rack1/es2", WallNs: []int64{5e6}}}}
+	deltas := compareEnvelopes(old, newer, 0.10)
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %d, want 2 (one new, one removed)", len(deltas))
+	}
+	var sawNew, sawRemoved bool
+	for _, d := range deltas {
+		sawNew = sawNew || d.missingOld
+		sawRemoved = sawRemoved || d.missingNew
+		if d.regression {
+			t.Fatalf("unmatched scenario counted as regression: %+v", d)
+		}
+	}
+	if !sawNew || !sawRemoved {
+		t.Fatalf("missing-scenario markers absent: %+v", deltas)
+	}
+}
+
+func TestEnvelopeRoundTripAndSchemaCheck(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_engine.json")
+	if err := writeEngineEnvelope(path, env(1e6, 2e6)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readEngineEnvelope(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != engineEnvelopeSchema || len(got.Scenarios) != 1 || len(got.Scenarios[0].WallNs) != 2 {
+		t.Fatalf("round trip mangled envelope: %+v", got)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"es2bench/v1"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readEngineEnvelope(bad); err == nil {
+		t.Fatalf("wrong schema accepted")
+	}
+}
+
+func TestPerfSlowdownHook(t *testing.T) {
+	t.Setenv(perfSlowdownEnv, "2500000")
+	if got := perfSlowdownNs(); got != 2500000 {
+		t.Fatalf("slowdown = %d, want 2500000", got)
+	}
+	t.Setenv(perfSlowdownEnv, "junk")
+	if got := perfSlowdownNs(); got != 0 {
+		t.Fatalf("malformed hook = %d, want 0", got)
+	}
+	t.Setenv(perfSlowdownEnv, "-5")
+	if got := perfSlowdownNs(); got != 0 {
+		t.Fatalf("negative hook = %d, want 0", got)
+	}
+}
+
+func TestResolvePerfTargets(t *testing.T) {
+	targets, err := resolvePerfTargets("table1,rack1", 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) < 3 {
+		t.Fatalf("table1+rack1 resolved to %d targets, want >= 3", len(targets))
+	}
+	seenExp := map[string]bool{}
+	for _, tg := range targets {
+		seenExp[tg.exp] = true
+		if tg.name == "" || tg.run == nil {
+			t.Fatalf("degenerate target: %+v", tg)
+		}
+	}
+	if !seenExp["table1"] || !seenExp["rack1"] {
+		t.Fatalf("experiments missing from targets: %v", seenExp)
+	}
+	if _, err := resolvePerfTargets("nosuch", 0, 1); err == nil {
+		t.Fatalf("unknown experiment accepted")
+	}
+}
+
+// TestRunPerfEndToEnd runs one real rep of the smallest cluster target
+// and validates the envelope on disk, including the slowdown hook's
+// effect on recorded wall times.
+func TestRunPerfEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real engine run skipped in -short")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_engine.json")
+	// A huge slowdown dominates real wall time, making the hook's
+	// presence in the recorded values unambiguous.
+	t.Setenv(perfSlowdownEnv, "3600000000000")
+	if err := runPerf("rack1", 1, 0, 64, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readEngineEnvelope(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Reps != 1 || got.Scale != 64 || got.GoVersion == "" || got.GOMAXPROCS < 1 {
+		t.Fatalf("envelope header: %+v", got)
+	}
+	if len(got.Scenarios) == 0 {
+		t.Fatalf("no scenarios in envelope")
+	}
+	for _, s := range got.Scenarios {
+		if s.Experiment != "rack1" || s.Name == "" {
+			t.Fatalf("bad scenario identity: %+v", s)
+		}
+		if len(s.WallNs) != 1 || s.WallNs[0] < 3600000000000 {
+			t.Fatalf("slowdown hook not applied: %+v", s.WallNs)
+		}
+		if s.EventsFired == 0 || s.MeanNs <= 0 || s.Engine == nil {
+			t.Fatalf("scenario stats not populated: %+v", s)
+		}
+		if s.Engine.Heap.Pushes == 0 {
+			t.Fatalf("engine report missing heap stats: %+v", s.Engine)
+		}
+	}
+}

@@ -7,9 +7,12 @@
 //
 //	es2cluster [-exp all|rack1] [-parallel N] [-seed S] [-scale F]
 //	           [-list] [-json FILE] [-telemetry-dir DIR] [-check]
+//	           [-engine-stats] [-soak N [-progress]]
 //
 // -scale F (> 1) divides each scenario's flow count and measurement
-// window by F, for smoke runs on constrained CI.
+// window by F, for smoke runs on constrained CI. -engine-stats prints
+// the simulator's own wall-clock performance report per scenario;
+// -progress emits a per-seed stderr heartbeat during -soak runs.
 package main
 
 import (
@@ -41,6 +44,8 @@ func main() {
 	check := flag.Bool("check", false, "enable the runtime invariant checker on every host (also: ES2_CHECK=1)")
 	chaosFlag := flag.String("chaos", "", "attach a chaos timeline to every scenario: 'rack1' (built-in host-crash + link-flap preset) or a JSON ChaosSpec file")
 	soak := flag.Int("soak", 0, "chaos-soak mode: run each scenario N times on consecutive seeds with the invariant checker forced on, asserting every fault recovers and every flow is accounted for")
+	progress := flag.Bool("progress", false, "with -soak: print one stderr heartbeat line per seed (wall time, events/sec) so long soaks are not silent")
+	engStats := flag.Bool("engine-stats", false, "measure the simulator itself (wall time, events/sec, heap, per-subsystem cost) and print the report per scenario")
 	list := flag.Bool("list", false, "list cluster experiment ids and exit")
 	faultFlags := cliflags.RegisterFaultFlags(flag.CommandLine)
 	flag.Parse()
@@ -107,9 +112,10 @@ func main() {
 		spec.Telemetry = spec.Telemetry || *telemetryDir != "" || *metricsOut != ""
 		spec.Check = spec.Check || *check
 		spec.CritPath = spec.CritPath || *critpath || *critDir != ""
+		spec.EngineStats = spec.EngineStats || *engStats
 		if *soak > 0 {
 			runSoak([]experiments.ClusterExperiment{{ID: "spec", Title: spec.Name,
-				Specs: []es2.ClusterSpec{spec}}}, *soak, *seed, *parallel, *jsonOut)
+				Specs: []es2.ClusterSpec{spec}}}, *soak, *seed, *parallel, *jsonOut, *progress)
 			return
 		}
 		r, err := es2.RunCluster(spec)
@@ -170,7 +176,7 @@ func main() {
 	}
 
 	if *soak > 0 {
-		runSoak(exps, *soak, *seed, *parallel, *jsonOut)
+		runSoak(exps, *soak, *seed, *parallel, *jsonOut, *progress)
 		return
 	}
 
@@ -189,6 +195,9 @@ func main() {
 			}
 			if *check {
 				e.Specs[i].Check = true
+			}
+			if *engStats {
+				e.Specs[i].EngineStats = true
 			}
 		}
 		start := time.Now()
@@ -221,6 +230,15 @@ func main() {
 		fmt.Printf("=== %s — %s\n", e.ID, e.Title)
 		fmt.Printf("    paper: %s\n\n", e.PaperClaim)
 		fmt.Println(indent(e.Render(results), "    "))
+		if *engStats {
+			for _, r := range results {
+				if r.EngineReport == nil {
+					continue
+				}
+				fmt.Printf("    --- %s\n", r.Name)
+				fmt.Println(indent(r.EngineReport.Render(), "    "))
+			}
+		}
 		fmt.Printf("    (%d scenarios in %v wall time)\n\n", len(e.Specs), time.Since(start).Round(time.Millisecond))
 	}
 
@@ -249,8 +267,10 @@ func main() {
 // recovered (finite MTTR) and every flow completed or migrated;
 // violations are reported and exit the process non-zero. Invariant
 // failures themselves panic inside the run, so a clean exit here means
-// zero violations of either kind.
-func runSoak(exps []experiments.ClusterExperiment, n int, seedOverride uint64, parallel int, jsonOut string) {
+// zero violations of either kind. With progress, every run also prints
+// one stderr heartbeat line (seed, wall time, events/sec), so multi-
+// minute soaks are never silent.
+func runSoak(exps []experiments.ClusterExperiment, n int, seedOverride uint64, parallel int, jsonOut string, progress bool) {
 	type soakRun struct {
 		Experiment      string              `json:"experiment"`
 		Name            string              `json:"name"`
@@ -275,6 +295,9 @@ func runSoak(exps []experiments.ClusterExperiment, n int, seedOverride uint64, p
 				}
 				specs[i].Seed = base + uint64(s)
 				specs[i].Check = true
+				if progress {
+					specs[i].EngineStats = true
+				}
 			}
 			results, err := es2.RunManyCluster(specs, parallel)
 			if err != nil {
@@ -282,6 +305,12 @@ func runSoak(exps []experiments.ClusterExperiment, n int, seedOverride uint64, p
 				os.Exit(1)
 			}
 			for i, r := range results {
+				if progress && r.EngineReport != nil {
+					er := r.EngineReport
+					fmt.Fprintf(os.Stderr, "progress %-24s seed=%-6d wall=%v events/s=%.0f\n",
+						r.Name, specs[i].Seed,
+						time.Duration(er.WallNs).Round(time.Millisecond), er.EventsPerSec)
+				}
 				rec := r.Recovery
 				runs = append(runs, soakRun{Experiment: e.ID, Name: r.Name,
 					Seed: specs[i].Seed, InvariantChecks: r.InvariantChecks, Recovery: rec})
@@ -350,6 +379,9 @@ func printClusterSummary(r *es2.ClusterResult) {
 		fmt.Printf("  rpc: timeouts=%d retries=%d migrated=%d unaccounted=%d; drops: link=%d blackhole=%d\n",
 			rec.Timeouts, rec.Retries, rec.MigratedFlows, rec.FlowsUnaccounted,
 			rec.LinkDrops, rec.BlackholeDrops)
+	}
+	if er := r.EngineReport; er != nil {
+		fmt.Print(er.Render())
 	}
 	if cp := r.CriticalPath; cp != nil {
 		fmt.Printf("critical path: %d requests, mean=%v p50=%v p99=%v max=%v (stage-sum err %.2g)\n",

@@ -58,7 +58,8 @@ func main() {
 		metrics  = flag.String("metrics", "", "write the OpenMetrics exposition to FILE")
 		telWin   = flag.Duration("telemetry-window", 0, "telemetry sampling window, simulated (0 = 10ms default)")
 
-		check = flag.Bool("check", false, "enable the runtime invariant checker (also: ES2_CHECK=1)")
+		check    = flag.Bool("check", false, "enable the runtime invariant checker (also: ES2_CHECK=1)")
+		engStats = flag.Bool("engine-stats", false, "measure the simulator itself (wall time, events/sec, heap, per-subsystem cost) and print the report")
 	)
 	faultFlags := cliflags.RegisterFaultFlags(flag.CommandLine)
 	flag.Parse()
@@ -73,6 +74,7 @@ func main() {
 			timeline: *timeline, cpuprof: *cpuprof, folded: *folded,
 			telDir: *telDir, metrics: *metrics, telWin: *telWin,
 			critpath: *critpath, critEx: *critEx, asJSON: *asJSON,
+			engineStats: *engStats,
 		})
 		return
 	}
@@ -134,6 +136,7 @@ func main() {
 		timeline: *timeline, cpuprof: *cpuprof, folded: *folded,
 		telDir: *telDir, metrics: *metrics, telWin: *telWin,
 		critpath: *critpath, critEx: *critEx, asJSON: *asJSON,
+		engineStats: *engStats,
 	})
 }
 
@@ -146,6 +149,7 @@ type outputFlags struct {
 	critpath                  bool
 	critEx                    int
 	asJSON                    bool
+	engineStats               bool
 }
 
 func run(spec es2.ScenarioSpec, out outputFlags) {
@@ -159,6 +163,7 @@ func run(spec es2.ScenarioSpec, out outputFlags) {
 	if out.critEx > 0 {
 		spec.CritPathExemplars = out.critEx
 	}
+	spec.EngineStats = spec.EngineStats || out.engineStats
 
 	res, err := es2.Run(spec)
 	if err != nil {
@@ -226,6 +231,11 @@ func run(spec es2.ScenarioSpec, out outputFlags) {
 			fmt.Fprintf(os.Stderr, "es2sim: %v\n", err)
 			os.Exit(1)
 		}
+		// The engine report is machine-dependent and excluded from the
+		// deterministic JSON surface; print it on stderr instead.
+		if res.EngineReport != nil {
+			fmt.Fprint(os.Stderr, res.EngineReport.Render())
+		}
 		return
 	}
 
@@ -284,6 +294,9 @@ func run(spec es2.ScenarioSpec, out outputFlags) {
 	}
 	if ti := res.Telemetry; ti != nil {
 		fmt.Printf("telemetry  %d series over %d windows of %gms\n", ti.Series, ti.Windows, ti.WindowMs)
+	}
+	if res.EngineReport != nil {
+		fmt.Print(res.EngineReport.Render())
 	}
 	if res.TraceSummary != "" {
 		fmt.Print(res.TraceSummary)

@@ -1,0 +1,152 @@
+package es2
+
+// Engine self-observability: the wall-clock performance collector must
+// never perturb the simulation (byte-identical Result JSON with stats
+// on or off, including faulted and chaotic runs), must produce a sane
+// EngineReport, and must stay cheap.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// marshalResult renders the deterministic JSON surface of a result.
+func marshalResult(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestEngineStatsNonPerturbing(t *testing.T) {
+	spec := short(Full(4), WorkloadSpec{Kind: Memcached})
+	spec.Faults = FaultSpec{LostKickProb: 0.05, PacketLossProb: 0.01}
+
+	off := mustRun(t, spec)
+	on := spec
+	on.EngineStats = true
+	onRes := mustRun(t, on)
+
+	if onRes.EngineReport == nil {
+		t.Fatalf("EngineStats run has no EngineReport")
+	}
+	if off.EngineReport != nil {
+		t.Fatalf("stats-off run has an EngineReport")
+	}
+	// Clearing the report must make the structs identical; the JSON
+	// surface must be byte-identical even without clearing, because the
+	// report is excluded from it.
+	if !bytes.Equal(marshalResult(t, off), marshalResult(t, onRes)) {
+		t.Fatalf("Result JSON differs with engine stats enabled")
+	}
+}
+
+func TestEngineStatsClusterNonPerturbing(t *testing.T) {
+	spec := chaosClusterSpec()
+	spec.Faults = FaultSpec{LostKickProb: 0.02}
+
+	off, err := RunCluster(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := spec
+	on.EngineStats = true
+	onRes, err := RunCluster(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onRes.EngineReport == nil {
+		t.Fatalf("EngineStats cluster run has no EngineReport")
+	}
+	if !bytes.Equal(marshalResult(t, off), marshalResult(t, onRes)) {
+		t.Fatalf("ClusterResult JSON differs with engine stats enabled")
+	}
+}
+
+func TestEngineReportContents(t *testing.T) {
+	spec := short(Full(4), WorkloadSpec{Kind: NetperfTCPSend, MsgBytes: 1024})
+	spec.EngineStats = true
+	r := mustRun(t, spec)
+	er := r.EngineReport
+	if er == nil {
+		t.Fatalf("no EngineReport")
+	}
+	if er.WallNs <= 0 || er.EventsFired == 0 || er.EventsPerSec <= 0 {
+		t.Fatalf("rates not populated: wall=%d fired=%d eps=%g", er.WallNs, er.EventsFired, er.EventsPerSec)
+	}
+	wantSim := (spec.Warmup + spec.Duration).Seconds()
+	if er.SimSeconds != wantSim {
+		t.Fatalf("SimSeconds = %g, want %g", er.SimSeconds, wantSim)
+	}
+	if er.SampleN != DefaultEngineStatsSampleN {
+		t.Fatalf("SampleN = %d, want default %d", er.SampleN, DefaultEngineStatsSampleN)
+	}
+	if er.Heap.Pushes == 0 || er.Heap.Pops == 0 || er.Heap.MaxDepth <= 0 || er.Heap.MeanDepth <= 0 {
+		t.Fatalf("heap stats not populated: %+v", er.Heap)
+	}
+	if er.Heap.Pops > er.Heap.Pushes {
+		t.Fatalf("more pops than pushes: %+v", er.Heap)
+	}
+	if er.Ticks == 0 || len(er.EventsPerTick) == 0 {
+		t.Fatalf("tick distribution empty: ticks=%d buckets=%d", er.Ticks, len(er.EventsPerTick))
+	}
+	var bucketTicks uint64
+	for _, b := range er.EventsPerTick {
+		bucketTicks += b.Ticks
+	}
+	if bucketTicks != er.Ticks {
+		t.Fatalf("events-per-tick buckets sum to %d, want %d", bucketTicks, er.Ticks)
+	}
+	if er.SampledEvents == 0 || len(er.Subsystems) == 0 {
+		t.Fatalf("no sampled subsystem attribution: sampled=%d rows=%d", er.SampledEvents, len(er.Subsystems))
+	}
+	for _, row := range er.Subsystems {
+		if row.Name == "" || row.Samples == 0 {
+			t.Fatalf("degenerate subsystem row: %+v", row)
+		}
+	}
+	if er.AllocBytes == 0 || er.Mallocs == 0 {
+		t.Fatalf("memstats deltas not populated: %+v", er)
+	}
+	if er.Render() == "" {
+		t.Fatalf("empty Render")
+	}
+}
+
+// TestEngineStatsOverhead checks that instrumentation stays cheap. The
+// acceptance bar is <2% mean overhead (measured and recorded in
+// EXPERIMENTS.md); the test bound is deliberately loose so scheduler
+// noise on shared CI runners cannot flake it.
+func TestEngineStatsOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead measurement skipped in -short")
+	}
+	spec := short(Full(4), WorkloadSpec{Kind: NetperfTCPSend, MsgBytes: 1024})
+	spec.Duration = 800 * time.Millisecond
+
+	run := func(stats bool) time.Duration {
+		s := spec
+		s.EngineStats = stats
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			t0 := time.Now()
+			mustRun(t, s)
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	run(false) // warm caches before timing
+	off := run(false)
+	on := run(true)
+	overhead := float64(on-off) / float64(off)
+	t.Logf("engine stats overhead: off=%v on=%v (%+.2f%%)", off, on, 100*overhead)
+	if overhead > 0.15 {
+		t.Fatalf("instrumentation overhead %.1f%% exceeds the 15%% test bound (target <2%%)", 100*overhead)
+	}
+}

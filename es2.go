@@ -30,6 +30,7 @@ import (
 
 	"es2/internal/causal"
 	"es2/internal/core"
+	"es2/internal/enginestats"
 	"es2/internal/faults"
 	"es2/internal/profile"
 	"es2/internal/telemetry"
@@ -293,6 +294,22 @@ type ScenarioSpec struct {
 	// full timelines (default 8, max 1024).
 	CritPathExemplars int
 
+	// EngineStats enables wall-clock performance telemetry of the
+	// simulation engine itself: real time and allocations spent running
+	// the event loop, heap push/pop counts and depth, the
+	// events-per-sim-tick distribution, and sampled per-subsystem
+	// wall/allocation attribution charged at event-callback boundaries
+	// (1-in-EngineStatsSampleN sampling keeps overhead under 2%).
+	// Result.EngineReport carries the report. Stats never perturb the
+	// simulation: simulated results are byte-identical with and without
+	// them, only real-world timings are read. Wall-clock values are
+	// machine-dependent, so the report is excluded from Result's
+	// deterministic JSON; es2bench -perf publishes it separately.
+	EngineStats bool
+	// EngineStatsSampleN is the 1-in-N event-callback sampling interval
+	// (default 128).
+	EngineStatsSampleN int
+
 	// testCosts, when non-nil, overrides the hypervisor cost model.
 	// Unexported: only the what-if validation tests use it, to compare
 	// a predicted speedup against an actually-cheapened mechanism.
@@ -476,6 +493,15 @@ type Result struct {
 	// runs): per-stage blame, tail exemplars and what-if estimates.
 	CriticalPath *CriticalPath `json:"critical_path,omitempty"`
 
+	// EngineReport is the engine's wall-clock performance report
+	// (EngineStats runs): real time, events/sec, heap behavior,
+	// per-subsystem wall/allocation attribution and GC activity.
+	// Excluded from JSON — wall-clock values are machine-dependent and
+	// nondeterministic, and Result's JSON surface stays byte-identical
+	// across identical-seed runs; the CLIs render it and es2bench -perf
+	// publishes it in the BENCH_engine.json envelope.
+	EngineReport *EngineReport `json:"-"`
+
 	// Faults reports fault-injection and recovery activity over the
 	// window (nil for fault-free runs).
 	Faults *FaultReport `json:"faults,omitempty"`
@@ -582,6 +608,25 @@ type CriticalPathWhatIf = causal.WhatIf
 // DefaultWhatIfSpeedup is the virtual speedup Report evaluates for
 // every traversed stage.
 const DefaultWhatIfSpeedup = causal.DefaultWhatIfSpeedup
+
+// EngineReport is the engine's wall-clock performance report (see
+// ScenarioSpec.EngineStats): real time and allocation cost of running
+// the event loop, heap behavior, the events-per-sim-tick distribution
+// and sampled per-subsystem attribution. JSON keys are stable
+// snake_case; values are machine-dependent real-world measurements.
+type EngineReport = enginestats.Report
+
+// EngineHeapStats summarizes event-queue behavior inside an
+// EngineReport.
+type EngineHeapStats = enginestats.HeapStats
+
+// EngineSubsystemRow is one sampled wall/allocation attribution row of
+// an EngineReport, labeled by the scheduling Go package.
+type EngineSubsystemRow = enginestats.SubsystemRow
+
+// DefaultEngineStatsSampleN is the default 1-in-N event sampling
+// interval behind EngineStats (see ScenarioSpec.EngineStatsSampleN).
+const DefaultEngineStatsSampleN = enginestats.DefaultSampleN
 
 // FaultReport summarizes injected faults and the recovery work they
 // triggered, measured over the scenario's measurement window.

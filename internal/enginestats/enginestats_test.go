@@ -1,0 +1,169 @@
+package enginestats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewDefaultsSampleN(t *testing.T) {
+	if got := New(0).SampleN(); got != DefaultSampleN {
+		t.Fatalf("New(0).SampleN() = %d, want %d", got, DefaultSampleN)
+	}
+	if got := New(-3).SampleN(); got != DefaultSampleN {
+		t.Fatalf("New(-3).SampleN() = %d, want %d", got, DefaultSampleN)
+	}
+	if got := New(7).SampleN(); got != 7 {
+		t.Fatalf("New(7).SampleN() = %d, want 7", got)
+	}
+}
+
+func TestSampleSiteInterval(t *testing.T) {
+	c := New(4)
+	sampled := 0
+	for i := 0; i < 40; i++ {
+		if c.SampleSite() != 0 {
+			sampled++
+		}
+	}
+	if sampled != 10 {
+		t.Fatalf("sampled %d of 40 with N=4, want 10", sampled)
+	}
+}
+
+// atDepth stands in for Engine.At: SampleSite's skip count is tuned
+// for being called one frame below the scheduling call site.
+func atDepth(c *Collector) int32 { return c.SampleSite() }
+
+func TestSampleSiteLabelsThisPackage(t *testing.T) {
+	c := New(1)
+	id := atDepth(c)
+	if id == 0 {
+		t.Fatalf("N=1 collector returned unsampled")
+	}
+	// The caller stack has no sim frames, so the first foreign frame is
+	// this test (package enginestats).
+	if got := c.labels[id]; got != "enginestats" {
+		t.Fatalf("label = %q, want enginestats", got)
+	}
+	if id2 := atDepth(c); id2 != id {
+		t.Fatalf("same call site resolved to different ids: %d then %d", id, id2)
+	}
+}
+
+func TestRunEventChargesLabel(t *testing.T) {
+	c := New(1)
+	id := c.intern("vhost")
+	ran := false
+	c.RunEvent(10, id, func() {
+		ran = true
+		time.Sleep(time.Millisecond)
+	})
+	c.RunEvent(10, 0, func() {}) // unsampled: counted in tick run only
+	if !ran {
+		t.Fatalf("callback did not run")
+	}
+	r := c.Report(2, HeapStats{}, 1e-3, 0)
+	if len(r.Subsystems) != 1 || r.Subsystems[0].Name != "vhost" {
+		t.Fatalf("subsystems = %+v, want one vhost row", r.Subsystems)
+	}
+	row := r.Subsystems[0]
+	if row.Samples != 1 || row.WallNs < int64(time.Millisecond/2) {
+		t.Fatalf("vhost row = %+v, want 1 sample with >=0.5ms wall", row)
+	}
+	if row.WallShare != 1 {
+		t.Fatalf("WallShare = %v, want 1 (only row)", row.WallShare)
+	}
+	if r.SampledEvents != 1 {
+		t.Fatalf("SampledEvents = %d, want 1", r.SampledEvents)
+	}
+}
+
+func TestTickDistribution(t *testing.T) {
+	c := New(1 << 30) // effectively never sample; ticks still count
+	// Tick 5: 1 event. Tick 6: 3 events. Tick 9: 8 events.
+	c.RunEvent(5, 0, func() {})
+	for i := 0; i < 3; i++ {
+		c.RunEvent(6, 0, func() {})
+	}
+	for i := 0; i < 8; i++ {
+		c.RunEvent(9, 0, func() {})
+	}
+	r := c.Report(12, HeapStats{}, 1, 0)
+	if r.Ticks != 3 {
+		t.Fatalf("Ticks = %d, want 3", r.Ticks)
+	}
+	want := map[uint64]uint64{1: 1, 4: 1, 8: 1} // buckets by MaxEvents: [1,1], [3,4], [5,8]
+	got := map[uint64]uint64{}
+	for _, b := range r.EventsPerTick {
+		got[b.MaxEvents] = b.Ticks
+	}
+	for maxEv, n := range want {
+		if got[maxEv] != n {
+			t.Fatalf("events-per-tick = %+v, want buckets %v", r.EventsPerTick, want)
+		}
+	}
+}
+
+func TestReportRatesAndTopK(t *testing.T) {
+	c := New(1)
+	for i, name := range []string{"a", "b", "c"} {
+		id := c.intern(name)
+		for j := 0; j <= i; j++ {
+			c.RunEvent(int64(i), id, func() { time.Sleep(50 * time.Microsecond) })
+		}
+	}
+	c.Start()
+	time.Sleep(2 * time.Millisecond)
+	r := c.Report(1000, HeapStats{Pushes: 1000, Pops: 1000}, 0.5, 2)
+	if r.WallNs <= 0 {
+		t.Fatalf("WallNs = %d, want > 0", r.WallNs)
+	}
+	if r.EventsPerSec <= 0 || r.SimSecondsPerWallSecond <= 0 {
+		t.Fatalf("rates not computed: %+v", r)
+	}
+	if len(r.Subsystems) != 2 {
+		t.Fatalf("topK=2 kept %d rows", len(r.Subsystems))
+	}
+	// "c" ran 3 sampled events, "b" 2 — wall-descending keeps them.
+	if r.Subsystems[0].Samples < r.Subsystems[1].Samples {
+		t.Fatalf("rows not wall-sorted: %+v", r.Subsystems)
+	}
+}
+
+func TestStartStopAccumulate(t *testing.T) {
+	c := New(1)
+	c.Start()
+	time.Sleep(time.Millisecond)
+	c.Stop()
+	first := c.wallNs
+	if first <= 0 {
+		t.Fatalf("wallNs = %d after first interval", first)
+	}
+	c.Start()
+	time.Sleep(time.Millisecond)
+	c.Stop()
+	if c.wallNs <= first {
+		t.Fatalf("wallNs did not accumulate: %d then %d", first, c.wallNs)
+	}
+	// Idempotent stop, nil-safe both.
+	c.Stop()
+	var nilC *Collector
+	nilC.Start()
+	nilC.Stop()
+}
+
+func TestRenderMentionsKeyFigures(t *testing.T) {
+	c := New(1)
+	id := c.intern("sched")
+	c.RunEvent(1, id, func() {})
+	c.Start()
+	time.Sleep(time.Millisecond)
+	r := c.Report(42, HeapStats{Pushes: 42, Pops: 42, MaxDepth: 7}, 1, 0)
+	out := r.Render()
+	for _, want := range []string{"engine", "heap", "memory", "sched", "max depth 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render() missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"es2/internal/enginestats"
 )
 
 // Handle identifies a scheduled event and allows it to be cancelled or
@@ -13,6 +15,9 @@ type Handle struct {
 	index    int // position in the heap, -1 when not queued
 	fn       func()
 	canceled bool
+	// perfLabel is the enginestats subsystem label of a sampled event
+	// (0 for the unsampled majority and when stats are off).
+	perfLabel int32
 }
 
 // Cancel prevents the event from firing. Cancelling an event that has
@@ -73,8 +78,19 @@ type Engine struct {
 	rng     *Rand
 	stopped bool
 
-	// Stats, useful for harness introspection and tests.
-	fired uint64
+	// Stats, useful for harness introspection and tests. The heap
+	// counters are maintained unconditionally — they are plain
+	// increments — and read through HeapStats.
+	fired      uint64
+	heapPushes uint64
+	heapPops   uint64
+	heapFixes  uint64
+	maxDepth   int
+	depthSum   uint64 // queue length summed at each push (mean depth)
+
+	// stats, when non-nil, receives the event stream for wall-clock
+	// performance telemetry (see SetStats).
+	stats *enginestats.Collector
 }
 
 // NewEngine returns an engine with its clock at zero and randomness
@@ -95,6 +111,32 @@ func (e *Engine) EventsFired() uint64 { return e.fired }
 // Pending returns the number of events currently queued.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// HeapStats snapshots the event-queue counters: pushes, pops, in-place
+// fixes, max and mean queue depth, and the current pending count.
+func (e *Engine) HeapStats() enginestats.HeapStats {
+	hs := enginestats.HeapStats{
+		Pushes:   e.heapPushes,
+		Pops:     e.heapPops,
+		Fixes:    e.heapFixes,
+		MaxDepth: e.maxDepth,
+		Pending:  len(e.queue),
+	}
+	if e.heapPushes > 0 {
+		hs.MeanDepth = float64(e.depthSum) / float64(e.heapPushes)
+	}
+	return hs
+}
+
+// SetStats attaches a wall-clock performance collector: subsequent
+// events flow through it for events-per-tick accounting and sampled
+// per-subsystem wall/allocation attribution. Pass nil to detach.
+// Attaching a collector never perturbs the simulation — event order
+// and simulated results are identical with and without one.
+func (e *Engine) SetStats(c *enginestats.Collector) { e.stats = c }
+
+// Stats returns the attached performance collector (nil when off).
+func (e *Engine) Stats() *enginestats.Collector { return e.stats }
+
 // At schedules fn to run at instant t. Scheduling in the past panics:
 // it always indicates a model bug, and silently clamping would hide it.
 func (e *Engine) At(t Time, fn func()) *Handle {
@@ -107,6 +149,15 @@ func (e *Engine) At(t Time, fn func()) *Handle {
 	h := &Handle{t: t, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.queue, h)
+	e.heapPushes++
+	n := len(e.queue)
+	if n > e.maxDepth {
+		e.maxDepth = n
+	}
+	e.depthSum += uint64(n)
+	if e.stats != nil {
+		h.perfLabel = e.stats.SampleSite()
+	}
 	return h
 }
 
@@ -126,6 +177,7 @@ func (e *Engine) Step() bool {
 			return false
 		}
 		h := heap.Pop(&e.queue).(*Handle)
+		e.heapPops++
 		if h.canceled {
 			continue
 		}
@@ -136,7 +188,11 @@ func (e *Engine) Step() bool {
 		fn := h.fn
 		h.fn = nil
 		e.fired++
-		fn()
+		if e.stats != nil {
+			e.stats.RunEvent(int64(h.t), h.perfLabel, fn)
+		} else {
+			fn()
+		}
 		return true
 	}
 }
@@ -151,6 +207,7 @@ func (e *Engine) Run(until Time) {
 		next := e.queue[0]
 		if next.canceled {
 			heap.Pop(&e.queue)
+			e.heapPops++
 			continue
 		}
 		if next.t > until {

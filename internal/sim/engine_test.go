@@ -4,6 +4,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"es2/internal/enginestats"
 )
 
 func TestTimeUnits(t *testing.T) {
@@ -310,5 +312,78 @@ func TestRandFork(t *testing.T) {
 	f2 := r.Fork()
 	if f1.Uint64() == f2.Uint64() {
 		t.Fatal("forked generators should differ")
+	}
+}
+
+func TestEngineHeapStats(t *testing.T) {
+	e := NewEngine(1)
+	hs := e.HeapStats()
+	if hs.Pushes != 0 || hs.Pops != 0 || hs.MaxDepth != 0 || hs.MeanDepth != 0 || hs.Pending != 0 {
+		t.Fatalf("fresh engine heap stats not zero: %+v", hs)
+	}
+	e.At(10, func() {})
+	e.At(20, func() {})
+	e.At(30, func() {})
+	hs = e.HeapStats()
+	if hs.Pushes != 3 || hs.MaxDepth != 3 || hs.Pending != 3 {
+		t.Fatalf("after 3 pushes: %+v", hs)
+	}
+	// Depth at push time was 1, 2, 3 → mean 2.
+	if hs.MeanDepth != 2 {
+		t.Fatalf("MeanDepth = %v, want 2", hs.MeanDepth)
+	}
+	e.RunAll()
+	hs = e.HeapStats()
+	if hs.Pops != 3 || hs.Pending != 0 {
+		t.Fatalf("after drain: %+v", hs)
+	}
+	if hs.Fixes != 0 {
+		t.Fatalf("binary-heap engine reported fixes: %+v", hs)
+	}
+}
+
+func TestEngineHeapStatsCountsCancelledPops(t *testing.T) {
+	e := NewEngine(1)
+	h := e.At(10, func() {})
+	h.Cancel()
+	e.At(20, func() {})
+	e.Run(100)
+	hs := e.HeapStats()
+	// Both handles leave the heap: the cancelled one via the Run peek
+	// path or Step's skip loop, the live one via Step.
+	if hs.Pushes != 2 || hs.Pops != 2 {
+		t.Fatalf("pushes/pops = %d/%d, want 2/2", hs.Pushes, hs.Pops)
+	}
+}
+
+func TestEngineSetStats(t *testing.T) {
+	e := NewEngine(1)
+	if e.Stats() != nil {
+		t.Fatalf("fresh engine has a collector")
+	}
+	c := enginestats.New(1) // sample every event
+	e.SetStats(c)
+	if e.Stats() != c {
+		t.Fatalf("Stats() did not return the attached collector")
+	}
+	fired := 0
+	e.At(10, func() { fired++ })
+	e.At(10, func() { fired++ })
+	e.At(25, func() { fired++ })
+	e.RunAll()
+	if fired != 3 {
+		t.Fatalf("fired = %d, want 3 (collector must pass events through)", fired)
+	}
+	r := c.Report(e.EventsFired(), e.HeapStats(), e.Now().Seconds(), 0)
+	if r.EventsFired != 3 || r.Heap.Pushes != 3 {
+		t.Fatalf("report fired/pushes = %d/%d, want 3/3", r.EventsFired, r.Heap.Pushes)
+	}
+	// Two distinct instants executed: tick 10 ran 2 events, tick 25 ran 1.
+	if r.Ticks != 2 {
+		t.Fatalf("Ticks = %d, want 2", r.Ticks)
+	}
+	e.SetStats(nil)
+	if e.Stats() != nil {
+		t.Fatalf("SetStats(nil) did not detach")
 	}
 }

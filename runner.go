@@ -9,6 +9,7 @@ import (
 
 	"es2/internal/causal"
 	"es2/internal/core"
+	"es2/internal/enginestats"
 	"es2/internal/faults"
 	"es2/internal/guest"
 	"es2/internal/metrics"
@@ -113,6 +114,9 @@ func (s ScenarioSpec) withDefaults() ScenarioSpec {
 	if s.CritPath && s.CritPathExemplars <= 0 {
 		s.CritPathExemplars = 8
 	}
+	if s.EngineStats && s.EngineStatsSampleN <= 0 {
+		s.EngineStatsSampleN = enginestats.DefaultSampleN
+	}
 	// The paper selects quota 4 for TCP streams and 8 for UDP streams
 	// (Section VI-B); default accordingly when hybrid is on.
 	if s.Config.Hybrid && s.Config.Quota <= 0 {
@@ -159,7 +163,14 @@ type testbed struct {
 
 	// Causal critical-path tracker (nil unless spec.CritPath).
 	crit *causal.Tracker
+
+	// Engine wall-clock performance collector (nil unless
+	// spec.EngineStats).
+	perf *enginestats.Collector
 }
+
+// engineTopK bounds the subsystem table of an EngineReport.
+const engineTopK = 12
 
 // probeVar is one periodically sampled state variable.
 type probeVar struct {
@@ -208,6 +219,11 @@ func Run(spec ScenarioSpec) (*Result, error) {
 
 	warmup := sim.DurationOf(spec.Warmup)
 	window := sim.DurationOf(spec.Duration)
+	if tb.perf != nil {
+		// The wall clock opens here, so testbed assembly is excluded and
+		// the report measures only the event loop.
+		tb.perf.Start()
+	}
 	tb.eng.Run(warmup)
 	for _, vm := range tb.vms {
 		vm.ResetStats()
@@ -260,6 +276,11 @@ func Run(spec ScenarioSpec) (*Result, error) {
 		col.onWarmupEnd()
 	}
 	tb.eng.Run(warmup + window)
+	if tb.perf != nil {
+		// Close the wall clock before result assembly, which is real
+		// work the engine never saw.
+		tb.perf.Stop()
+	}
 	if tb.tel != nil {
 		// Close the final (possibly partial) window at the horizon.
 		tb.tel.rec.Finalize()
@@ -372,6 +393,10 @@ func Run(spec ScenarioSpec) (*Result, error) {
 	if tb.crit != nil {
 		r.CriticalPath = tb.crit.Report()
 	}
+	if tb.perf != nil {
+		r.EngineReport = tb.perf.Report(tb.eng.EventsFired(), tb.eng.HeapStats(),
+			(warmup + window).Seconds(), engineTopK)
+	}
 	col.fill(r, window)
 	return r, nil
 }
@@ -444,6 +469,13 @@ func build(spec ScenarioSpec) (*testbed, error) {
 	if spec.CritPath {
 		tb.crit = causal.NewTracker(spec.CritPathExemplars)
 		k.Causal = tb.crit.Probe(0)
+	}
+	if spec.EngineStats {
+		// Attach before any event is scheduled so build-time
+		// registrations sample like everything else. The wall clock only
+		// starts at the first Run.
+		tb.perf = enginestats.New(spec.EngineStatsSampleN)
+		eng.SetStats(tb.perf)
 	}
 	if spec.Faults.Enabled() {
 		// The injector forks the engine RNG here, after the scheduler and

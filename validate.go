@@ -78,6 +78,9 @@ func (s ScenarioSpec) validate() error {
 	if s.CritPathExemplars < 0 || s.CritPathExemplars > 1024 {
 		return specErr("CritPathExemplars", "%d outside [0, 1024]", s.CritPathExemplars)
 	}
+	if s.EngineStatsSampleN < 0 || s.EngineStatsSampleN > 1<<20 {
+		return specErr("EngineStatsSampleN", "%d outside [0, %d]", s.EngineStatsSampleN, 1<<20)
+	}
 	if s.Warmup > maxDuration {
 		return specErr("Warmup", "%v exceeds the supported maximum %v", s.Warmup, maxDuration)
 	}
