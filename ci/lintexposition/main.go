@@ -1,0 +1,32 @@
+// Command lintexposition reads an OpenMetrics exposition from stdin
+// and fails (exit 1) unless it parses under the repo's strict lint:
+// # TYPE before # HELP before samples, counter _total suffixes, label
+// escaping that round-trips, and a final # EOF terminator. CI pipes
+// live /metrics scrapes of the es2cluster ops plane through it.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"es2/internal/telemetry"
+)
+
+func main() {
+	body, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintexposition: read:", err)
+		os.Exit(1)
+	}
+	fams, err := telemetry.ParseExposition(string(body))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lintexposition:", err)
+		os.Exit(1)
+	}
+	samples := 0
+	for _, f := range fams {
+		samples += len(f.Samples)
+	}
+	fmt.Printf("ok: %d families, %d samples\n", len(fams), samples)
+}

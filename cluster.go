@@ -141,6 +141,15 @@ type ClusterSpec struct {
 	// loss, lost kicks, stalls, …), applied per host from one forked
 	// injector stream each.
 	Faults FaultSpec
+	// SLO declares service-level objectives over the rack's RPC
+	// workload (latency vs. threshold, availability =
+	// completions-vs-timeouts, goodput vs. floor), evaluated
+	// streamingly with multi-window multi-burn-rate alert rules.
+	// ClusterResult.SLO carries the compliance report and the
+	// deterministic fire/clear alert timeline, with active chaos
+	// faults and the top critical-path blame stage attached to each
+	// alert as correlated context. Zero value: no SLOs.
+	SLO SLOSpec
 	// Chaos configures rack-scale macro-fault timelines: whole-host
 	// crash/freeze windows, fabric link flaps and rate degradation,
 	// and switch egress blackholing, drawn deterministically from the
@@ -248,6 +257,7 @@ func (s ClusterSpec) withClusterDefaults() ClusterSpec {
 			s.HostConfigs[i].Quota = 4
 		}
 	}
+	s.SLO = s.SLO.WithDefaults()
 	if s.Warmup <= 0 {
 		s.Warmup = 100 * time.Millisecond
 	}
@@ -381,6 +391,9 @@ func (s ClusterSpec) validate() error {
 		if c < 0 || c >= totalCores {
 			return specErr("Faults.StormCores", "core %d outside [0, %d) (per-host cores)", c, totalCores)
 		}
+	}
+	if err := s.SLO.Validate(); err != nil {
+		return &SpecError{Field: "SLO", Reason: err.Error()}
 	}
 	if err := s.Chaos.Validate(); err != nil {
 		return &SpecError{Field: "Chaos", Reason: err.Error()}
@@ -553,6 +566,12 @@ type ClusterResult struct {
 	// only): per-fault MTTR, availability windows, degraded-window
 	// goodput and client resilience totals.
 	Recovery *RecoveryReport `json:"recovery,omitempty"`
+
+	// SLO is the service-level-objective report (SLO runs): run-wide
+	// compliance per objective plus the deterministic fire/clear alert
+	// timeline with correlated chaos/critical-path context. Part of
+	// the deterministic JSON surface.
+	SLO *SLOReport `json:"slo,omitempty"`
 
 	// Telemetry summarizes the windowed recording (Telemetry runs);
 	// the recorder itself is exported separately.

@@ -212,6 +212,26 @@ func (cc *chaosController) failover(flowID int) bool {
 	return false
 }
 
+// activeFaults names every fault currently in effect ("host_crash h2",
+// "link_flap port5"), using the same target naming as the recovery
+// report. The SLO evaluator attaches the list to alert events so a
+// fired alert carries its probable cause.
+func (cc *chaosController) activeFaults() []string {
+	now := cc.cb.eng.Now()
+	var names []string
+	for _, f := range cc.faults {
+		if f.start <= now && now < f.end {
+			target := fmt.Sprintf("h%d", f.ev.Target)
+			switch f.ev.Kind {
+			case faults.ChaosLinkFlap, faults.ChaosLinkDegrade, faults.ChaosBlackhole:
+				target = fmt.Sprintf("port%d", f.ev.Target)
+			}
+			names = append(names, f.ev.Kind.String()+" "+target)
+		}
+	}
+	return names
+}
+
 // report assembles ClusterResult.Recovery at the horizon.
 func (cc *chaosController) report(window sim.Time) *RecoveryReport {
 	cb := cc.cb

@@ -18,6 +18,7 @@ import (
 	"es2/internal/profile"
 	"es2/internal/sched"
 	"es2/internal/sim"
+	"es2/internal/slo"
 	"es2/internal/trace"
 	"es2/internal/vhost"
 	"es2/internal/vmm"
@@ -97,10 +98,11 @@ type clusterBed struct {
 	clusterLat *metrics.LogHistogram
 	crit       *causal.Tracker
 
-	chaos *chaosController
-	chk   *faults.Checker
-	tel   *clusterTelemetry
-	perf  *enginestats.Collector
+	chaos   *chaosController
+	chk     *faults.Checker
+	tel     *clusterTelemetry
+	perf    *enginestats.Collector
+	sloEval *slo.Evaluator
 }
 
 // faultsOn reports whether micro-fault injection is active (per-host
@@ -158,6 +160,12 @@ func RunCluster(spec ClusterSpec) (*ClusterResult, error) {
 	cb.perf.Start()
 	cb.eng.Run(warmup)
 	cb.resetAtWarmupEnd()
+	if spec.SLO.Enabled() {
+		// Bind at warmup end so baselines post-date the stat resets;
+		// registered before telemetry so es2_slo_* series can probe it.
+		cb.setupClusterSLO()
+		cb.sloEval.Start(cb.eng, warmup, warmup+window)
+	}
 	if cb.tel != nil {
 		cb.startTelemetry(warmup + window)
 	}
@@ -753,6 +761,9 @@ func (cb *clusterBed) collect(window sim.Time) *ClusterResult {
 	}
 	if cb.chaos != nil {
 		res.Recovery = cb.chaos.report(window)
+	}
+	if cb.sloEval != nil {
+		res.SLO = cb.sloEval.Report()
 	}
 	if cb.chk != nil {
 		res.InvariantChecks = cb.chk.Ticks

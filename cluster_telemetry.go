@@ -216,6 +216,8 @@ func (cb *clusterBed) startTelemetry(end sim.Time) {
 		"End-to-end RPC latency across all client VMs.",
 		[]telemetry.Label{{Key: "host", Value: "all"}}, cb.clusterLat)
 
+	registerSLOSeries(rec, cb.sloEval)
+
 	rec.Start(end)
 }
 

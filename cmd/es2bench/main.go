@@ -6,7 +6,7 @@
 //	es2bench [-exp all|table1|fig4a|fig4b|fig5a|fig5b|fig6a|fig6b|fig7|fig8a|fig8b|fig9]
 //	         [-parallel N] [-seed S] [-list] [-json FILE] [-profile-dir DIR]
 //	         [-timeline-dir DIR] [-telemetry-dir DIR] [-check] [-engine-stats]
-//	es2bench -perf [-reps N] [-exp IDS] [-scale F] [-seed S] [-json FILE]
+//	es2bench -perf [-reps N] [-exp IDS] [-scale F] [-seed S] [-json FILE] [-progress]
 //	es2bench -compare old.json new.json [-threshold F]
 //
 // Each experiment prints the paper's claim followed by the regenerated
@@ -50,6 +50,7 @@ func main() {
 	perfMode := flag.Bool("perf", false, "benchmark the engine: run each scenario -reps times and emit BENCH_engine.json")
 	reps := flag.Int("reps", 5, "repetitions per scenario in -perf mode")
 	scale := flag.Float64("scale", 1, "shrink cluster experiments by this factor in -perf mode (see es2cluster -scale)")
+	progress := flag.Bool("progress", false, "with -perf: print one stderr heartbeat line per rep (wall time, events/sec) so long benchmark runs are not silent")
 	compareMode := flag.Bool("compare", false, "compare two BENCH_engine.json files (old new); exit non-zero on confirmed regressions")
 	threshold := flag.Float64("threshold", 0.10, "relative slowdown beyond which a significant delta is a regression in -compare mode")
 	list := flag.Bool("list", false, "list experiment ids and exit")
@@ -71,7 +72,7 @@ func main() {
 		return
 	}
 	if *perfMode {
-		if err := runPerf(*expFlag, *reps, *seed, *scale, *jsonOut); err != nil {
+		if err := runPerf(*expFlag, *reps, *seed, *scale, *jsonOut, *progress); err != nil {
 			fmt.Fprintf(os.Stderr, "es2bench: %v\n", err)
 			os.Exit(1)
 		}

@@ -157,9 +157,10 @@ func perfSlowdownNs() int64 {
 }
 
 // runPerf executes every resolved scenario reps times and writes the
-// engine envelope to jsonOut. Returns a non-nil error on any failed
-// run.
-func runPerf(expFlag string, reps int, seed uint64, scale float64, jsonOut string) error {
+// engine envelope to jsonOut. With progress, every rep prints one
+// stderr heartbeat line (wall time, events/sec) so long benchmark runs
+// are never silent. Returns a non-nil error on any failed run.
+func runPerf(expFlag string, reps int, seed uint64, scale float64, jsonOut string, progress bool) error {
 	if reps < 1 {
 		reps = 1
 	}
@@ -186,6 +187,11 @@ func runPerf(expFlag string, reps int, seed uint64, scale float64, jsonOut strin
 			ps.SimSeconds = rep.SimSeconds
 			ps.EventsFired = rep.EventsFired
 			ps.Engine = rep
+			if progress {
+				fmt.Fprintf(os.Stderr, "progress %-28s rep=%d/%d wall=%v events/s=%.0f\n",
+					t.exp+"/"+t.name, r+1, reps,
+					time.Duration(rep.WallNs).Round(time.Millisecond), rep.EventsPerSec)
+			}
 		}
 		xs := make([]float64, len(ps.WallNs))
 		for i, w := range ps.WallNs {

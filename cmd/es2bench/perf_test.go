@@ -164,7 +164,7 @@ func TestRunPerfEndToEnd(t *testing.T) {
 	// A huge slowdown dominates real wall time, making the hook's
 	// presence in the recorded values unambiguous.
 	t.Setenv(perfSlowdownEnv, "3600000000000")
-	if err := runPerf("rack1", 1, 0, 64, path); err != nil {
+	if err := runPerf("rack1", 1, 0, 64, path, false); err != nil {
 		t.Fatal(err)
 	}
 	got, err := readEngineEnvelope(path)

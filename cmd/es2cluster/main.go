@@ -7,12 +7,21 @@
 //
 //	es2cluster [-exp all|rack1] [-parallel N] [-seed S] [-scale F]
 //	           [-list] [-json FILE] [-telemetry-dir DIR] [-check]
-//	           [-engine-stats] [-soak N [-progress]]
+//	           [-engine-stats] [-soak N] [-progress]
+//	           [-slo default|FILE] [-slo-log FILE]
+//	           [-serve ADDR [-serve-wait D]]
 //
 // -scale F (> 1) divides each scenario's flow count and measurement
 // window by F, for smoke runs on constrained CI. -engine-stats prints
 // the simulator's own wall-clock performance report per scenario;
-// -progress emits a per-seed stderr heartbeat during -soak runs.
+// -progress emits a per-scenario (and per-seed, under -soak) stderr
+// heartbeat with wall time and events/sec.
+//
+// -slo attaches service-level objectives to every scenario and reports
+// the streaming burn-rate alert timeline; -slo-log writes the merged
+// fault/alert timeline as JSONL. -serve exposes the live ops plane —
+// real-process Prometheus /metrics, /healthz, /progress JSON and
+// /debug/pprof — while the scenarios run.
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"es2"
 	"es2/experiments"
 	"es2/internal/cliflags"
+	"es2/internal/ops"
 )
 
 func main() {
@@ -44,7 +54,11 @@ func main() {
 	check := flag.Bool("check", false, "enable the runtime invariant checker on every host (also: ES2_CHECK=1)")
 	chaosFlag := flag.String("chaos", "", "attach a chaos timeline to every scenario: 'rack1' (built-in host-crash + link-flap preset) or a JSON ChaosSpec file")
 	soak := flag.Int("soak", 0, "chaos-soak mode: run each scenario N times on consecutive seeds with the invariant checker forced on, asserting every fault recovers and every flow is accounted for")
-	progress := flag.Bool("progress", false, "with -soak: print one stderr heartbeat line per seed (wall time, events/sec) so long soaks are not silent")
+	progress := flag.Bool("progress", false, "print one stderr heartbeat line per scenario (per seed under -soak) with wall time and events/sec, so long runs are not silent")
+	sloFlag := flag.String("slo", "", "attach SLO objectives to every scenario: 'default' (availability + tail-latency + goodput-floor preset) or a JSON SLOSpec file")
+	sloLog := flag.String("slo-log", "", "write the merged fault/alert timeline as JSONL to FILE ('-' for stdout; the run must produce exactly one scenario)")
+	serveFlag := flag.String("serve", "", "serve the live ops plane on ADDR (e.g. :9090): Prometheus /metrics, /healthz, /progress JSON, /debug/pprof")
+	serveWait := flag.Duration("serve-wait", 0, "with -serve: keep serving this long after the runs finish, so scrapers can collect final state")
 	engStats := flag.Bool("engine-stats", false, "measure the simulator itself (wall time, events/sec, heap, per-subsystem cost) and print the report per scenario")
 	list := flag.Bool("list", false, "list cluster experiment ids and exit")
 	faultFlags := cliflags.RegisterFaultFlags(flag.CommandLine)
@@ -87,9 +101,24 @@ func main() {
 		}
 	}
 
-	// applyInjection overlays the -chaos and -fault-* selections onto a
-	// scenario; called before scaling so chaos timelines shrink with the
-	// window.
+	var sloSpec es2.SLOSpec
+	if *sloFlag != "" {
+		switch *sloFlag {
+		case "default":
+			sloSpec = experiments.DefaultSLO()
+		default:
+			ss, err := es2.LoadSLOSpec(*sloFlag)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "es2cluster: %v\n", err)
+				os.Exit(1)
+			}
+			sloSpec = ss
+		}
+	}
+
+	// applyInjection overlays the -chaos, -fault-* and -slo selections
+	// onto a scenario; called before scaling so chaos timelines shrink
+	// with the window.
 	applyInjection := func(s *es2.ClusterSpec) {
 		if *chaosFlag != "" {
 			s.Chaos = chaosSpec
@@ -97,6 +126,34 @@ func main() {
 		if faultSpec.Enabled() {
 			s.Faults = faultSpec
 		}
+		if *sloFlag != "" {
+			s.SLO = sloSpec
+		}
+	}
+
+	// The ops plane serves live process state over HTTP for the whole
+	// run; the sim itself never sees it, so serving cannot perturb
+	// results. finishServe lingers (-serve-wait) so external scrapers
+	// can collect final state, then shuts the listener down.
+	var plane *ops.Server
+	if *serveFlag != "" {
+		p, err := ops.Serve(*serveFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "es2cluster: %v\n", err)
+			os.Exit(1)
+		}
+		plane = p
+		fmt.Fprintf(os.Stderr, "es2cluster: ops plane on http://%s (/metrics /healthz /progress /debug/pprof)\n", p.Addr())
+	}
+	finishServe := func() {
+		if plane == nil {
+			return
+		}
+		if *serveWait > 0 {
+			fmt.Fprintf(os.Stderr, "es2cluster: runs finished; ops plane stays up for %v\n", *serveWait)
+			time.Sleep(*serveWait)
+		}
+		plane.Close()
 	}
 
 	if *specFile != "" {
@@ -112,18 +169,30 @@ func main() {
 		spec.Telemetry = spec.Telemetry || *telemetryDir != "" || *metricsOut != ""
 		spec.Check = spec.Check || *check
 		spec.CritPath = spec.CritPath || *critpath || *critDir != ""
-		spec.EngineStats = spec.EngineStats || *engStats
+		spec.EngineStats = spec.EngineStats || *engStats || *progress || plane != nil
 		if *soak > 0 {
 			runSoak([]experiments.ClusterExperiment{{ID: "spec", Title: spec.Name,
-				Specs: []es2.ClusterSpec{spec}}}, *soak, *seed, *parallel, *jsonOut, *progress)
+				Specs: []es2.ClusterSpec{spec}}}, *soak, *seed, *parallel, *jsonOut, *progress, plane)
+			finishServe()
 			return
+		}
+		if plane != nil {
+			plane.StartRun(spec.Name, int64(spec.Seed))
 		}
 		r, err := es2.RunCluster(spec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "es2cluster: %v\n", err)
 			os.Exit(1)
 		}
+		progressLine(r, spec.Seed, *progress)
+		reportRun(plane, r, spec.Seed)
 		printClusterSummary(r)
+		if *sloLog != "" {
+			if err := writeEventLogFile(*sloLog, r); err != nil {
+				fmt.Fprintf(os.Stderr, "es2cluster: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		base := fmt.Sprintf("spec-00-%s", sanitize(r.Name))
 		if *telemetryDir != "" {
 			if err := writeTelemetry(filepath.Join(*telemetryDir, base), r); err != nil {
@@ -151,6 +220,7 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		finishServe()
 		return
 	}
 
@@ -176,7 +246,8 @@ func main() {
 	}
 
 	if *soak > 0 {
-		runSoak(exps, *soak, *seed, *parallel, *jsonOut, *progress)
+		runSoak(exps, *soak, *seed, *parallel, *jsonOut, *progress, plane)
+		finishServe()
 		return
 	}
 
@@ -196,15 +267,24 @@ func main() {
 			if *check {
 				e.Specs[i].Check = true
 			}
-			if *engStats {
+			if *engStats || *progress || plane != nil {
 				e.Specs[i].EngineStats = true
 			}
 		}
 		start := time.Now()
+		if plane != nil {
+			for i := range e.Specs {
+				plane.StartRun(e.Specs[i].Name, int64(e.Specs[i].Seed))
+			}
+		}
 		results, err := es2.RunManyCluster(e.Specs, *parallel)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "es2cluster: %s failed: %v\n", e.ID, err)
 			os.Exit(1)
+		}
+		for i, r := range results {
+			progressLine(r, e.Specs[i].Seed, *progress)
+			reportRun(plane, r, e.Specs[i].Seed)
 		}
 		allResults = append(allResults, results...)
 		for i, r := range results {
@@ -239,6 +319,15 @@ func main() {
 				fmt.Println(indent(r.EngineReport.Render(), "    "))
 			}
 		}
+		if *sloFlag != "" {
+			for _, r := range results {
+				if r.SLO == nil {
+					continue
+				}
+				fmt.Printf("    --- %s\n", r.Name)
+				fmt.Println(indent(r.SLO.Render(), "    "))
+			}
+		}
 		fmt.Printf("    (%d scenarios in %v wall time)\n\n", len(e.Specs), time.Since(start).Round(time.Millisecond))
 	}
 
@@ -253,12 +342,69 @@ func main() {
 		}
 	}
 
+	if *sloLog != "" {
+		if len(allResults) != 1 {
+			fmt.Fprintf(os.Stderr, "es2cluster: -slo-log needs exactly one scenario, got %d (narrow -exp or use -spec)\n", len(allResults))
+			os.Exit(2)
+		}
+		if err := writeEventLogFile(*sloLog, allResults[0]); err != nil {
+			fmt.Fprintf(os.Stderr, "es2cluster: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if *jsonOut != "" {
 		if err := writeJSONReport(*jsonOut, report); err != nil {
 			fmt.Fprintf(os.Stderr, "es2cluster: %v\n", err)
 			os.Exit(1)
 		}
 	}
+	finishServe()
+}
+
+// progressLine prints the per-scenario stderr heartbeat (-progress).
+func progressLine(r *es2.ClusterResult, seed uint64, on bool) {
+	if !on || r.EngineReport == nil {
+		return
+	}
+	er := r.EngineReport
+	fmt.Fprintf(os.Stderr, "progress %-24s seed=%-6d wall=%v events/s=%.0f\n",
+		r.Name, seed, time.Duration(er.WallNs).Round(time.Millisecond), er.EventsPerSec)
+}
+
+// reportRun folds one finished scenario into the ops plane.
+func reportRun(plane *ops.Server, r *es2.ClusterResult, seed uint64) {
+	if plane == nil {
+		return
+	}
+	u := ops.RunUpdate{Name: r.Name, Seed: int64(seed)}
+	if er := r.EngineReport; er != nil {
+		u.EventsFired = er.EventsFired
+		u.SimSeconds = er.SimSeconds
+		u.WallSeconds = float64(er.WallNs) / 1e9
+		u.EventsPerSec = er.EventsPerSec
+	}
+	if s := r.SLO; s != nil {
+		u.AlertsFired = uint64(s.Fires)
+		u.AlertsCleared = uint64(s.Clears)
+		u.AlertsActive = uint64(s.ActiveAtEnd)
+	}
+	plane.FinishRun(u)
+}
+
+// writeEventLogFile writes the merged fault/alert JSONL timeline for
+// one scenario ('-' for stdout).
+func writeEventLogFile(path string, r *es2.ClusterResult) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	return es2.WriteEventLog(out, r.SLO, r.Recovery)
 }
 
 // runSoak is the -soak N harness: every scenario of every selected
@@ -270,13 +416,14 @@ func main() {
 // zero violations of either kind. With progress, every run also prints
 // one stderr heartbeat line (seed, wall time, events/sec), so multi-
 // minute soaks are never silent.
-func runSoak(exps []experiments.ClusterExperiment, n int, seedOverride uint64, parallel int, jsonOut string, progress bool) {
+func runSoak(exps []experiments.ClusterExperiment, n int, seedOverride uint64, parallel int, jsonOut string, progress bool, plane *ops.Server) {
 	type soakRun struct {
 		Experiment      string              `json:"experiment"`
 		Name            string              `json:"name"`
 		Seed            uint64              `json:"seed"`
 		InvariantChecks uint64              `json:"invariant_checks"`
 		Recovery        *es2.RecoveryReport `json:"recovery,omitempty"`
+		SLO             *es2.SLOReport      `json:"slo,omitempty"`
 	}
 	var runs []soakRun
 	violations := 0
@@ -295,8 +442,13 @@ func runSoak(exps []experiments.ClusterExperiment, n int, seedOverride uint64, p
 				}
 				specs[i].Seed = base + uint64(s)
 				specs[i].Check = true
-				if progress {
+				if progress || plane != nil {
 					specs[i].EngineStats = true
+				}
+			}
+			if plane != nil {
+				for i := range specs {
+					plane.StartRun(specs[i].Name, int64(specs[i].Seed))
 				}
 			}
 			results, err := es2.RunManyCluster(specs, parallel)
@@ -305,21 +457,22 @@ func runSoak(exps []experiments.ClusterExperiment, n int, seedOverride uint64, p
 				os.Exit(1)
 			}
 			for i, r := range results {
-				if progress && r.EngineReport != nil {
-					er := r.EngineReport
-					fmt.Fprintf(os.Stderr, "progress %-24s seed=%-6d wall=%v events/s=%.0f\n",
-						r.Name, specs[i].Seed,
-						time.Duration(er.WallNs).Round(time.Millisecond), er.EventsPerSec)
-				}
+				progressLine(r, specs[i].Seed, progress)
+				reportRun(plane, r, specs[i].Seed)
 				rec := r.Recovery
 				runs = append(runs, soakRun{Experiment: e.ID, Name: r.Name,
-					Seed: specs[i].Seed, InvariantChecks: r.InvariantChecks, Recovery: rec})
+					Seed: specs[i].Seed, InvariantChecks: r.InvariantChecks,
+					Recovery: rec, SLO: r.SLO})
 				if specs[i].Chaos.Enabled() && rec == nil {
 					bad("%s seed %d: chaos enabled but no recovery report", r.Name, specs[i].Seed)
 					continue
 				}
+				sloNote := ""
+				if s := r.SLO; s != nil {
+					sloNote = fmt.Sprintf(" alerts=%d/%d", s.Fires, s.Clears)
+				}
 				if rec == nil {
-					fmt.Printf("soak %-24s seed=%-6d checks=%d\n", r.Name, specs[i].Seed, r.InvariantChecks)
+					fmt.Printf("soak %-24s seed=%-6d checks=%d%s\n", r.Name, specs[i].Seed, r.InvariantChecks, sloNote)
 					continue
 				}
 				for _, f := range rec.Faults {
@@ -332,9 +485,9 @@ func runSoak(exps []experiments.ClusterExperiment, n int, seedOverride uint64, p
 					bad("%s seed %d: %d flows neither completed nor failed over",
 						r.Name, specs[i].Seed, rec.FlowsUnaccounted)
 				}
-				fmt.Printf("soak %-24s seed=%-6d checks=%d faults=%d timeouts=%d retries=%d migrated=%d avail=%.0f%%\n",
+				fmt.Printf("soak %-24s seed=%-6d checks=%d faults=%d timeouts=%d retries=%d migrated=%d avail=%.0f%%%s\n",
 					r.Name, specs[i].Seed, r.InvariantChecks, len(rec.Faults),
-					rec.Timeouts, rec.Retries, rec.MigratedFlows, 100*rec.Availability)
+					rec.Timeouts, rec.Retries, rec.MigratedFlows, 100*rec.Availability, sloNote)
 			}
 		}
 	}
@@ -363,6 +516,9 @@ func printClusterSummary(r *es2.ClusterResult) {
 	if a := r.Aggregate; a != nil {
 		fmt.Printf("aggregate  ops=%.0f/s tput=%.1fMbps mean=%v p99=%v drops=%d\n",
 			a.OpsPerSec, a.ThroughputMbps, a.MeanLatency, a.P99Latency, a.Drops)
+	}
+	if s := r.SLO; s != nil {
+		fmt.Print(s.Render())
 	}
 	if rec := r.Recovery; rec != nil {
 		fmt.Printf("chaos      %d faults, availability %.0f%%/%d windows, degraded %.1fms (%.0f ops/s vs %.0f healthy)\n",

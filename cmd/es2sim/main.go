@@ -23,6 +23,7 @@ import (
 func main() {
 	var (
 		specFile = flag.String("spec", "", "load the scenario from a JSON ScenarioSpec file (scenario flags ignored; output flags still apply)")
+		sloFile  = flag.String("slo", "", "load SLO objectives from a JSON SLOSpec file and evaluate them streamingly during the run")
 		critpath = flag.Bool("critpath", false, "enable the causal critical-path analyzer (blame profile, tail exemplars, what-if)")
 		critEx   = flag.Int("critpath-exemplars", 0, "slowest-request exemplars to retain (0 = default 8)")
 		name     = flag.String("name", "es2sim", "scenario name")
@@ -74,7 +75,7 @@ func main() {
 			timeline: *timeline, cpuprof: *cpuprof, folded: *folded,
 			telDir: *telDir, metrics: *metrics, telWin: *telWin,
 			critpath: *critpath, critEx: *critEx, asJSON: *asJSON,
-			engineStats: *engStats,
+			engineStats: *engStats, sloFile: *sloFile,
 		})
 		return
 	}
@@ -136,7 +137,7 @@ func main() {
 		timeline: *timeline, cpuprof: *cpuprof, folded: *folded,
 		telDir: *telDir, metrics: *metrics, telWin: *telWin,
 		critpath: *critpath, critEx: *critEx, asJSON: *asJSON,
-		engineStats: *engStats,
+		engineStats: *engStats, sloFile: *sloFile,
 	})
 }
 
@@ -150,9 +151,18 @@ type outputFlags struct {
 	critEx                    int
 	asJSON                    bool
 	engineStats               bool
+	sloFile                   string
 }
 
 func run(spec es2.ScenarioSpec, out outputFlags) {
+	if out.sloFile != "" {
+		sloSpec, err := es2.LoadSLOSpec(out.sloFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "es2sim: %v\n", err)
+			os.Exit(1)
+		}
+		spec.SLO = sloSpec
+	}
 	spec.Timeline = spec.Timeline || out.timeline != ""
 	spec.CPUProfile = spec.CPUProfile || out.cpuprof != "" || out.folded != ""
 	spec.Telemetry = spec.Telemetry || out.telDir != "" || out.metrics != "" || out.telWin > 0
@@ -291,6 +301,9 @@ func run(spec es2.ScenarioSpec, out outputFlags) {
 	}
 	if res.CriticalPath != nil {
 		printCritPath(res.CriticalPath)
+	}
+	if res.SLO != nil {
+		fmt.Print(res.SLO.Render())
 	}
 	if ti := res.Telemetry; ti != nil {
 		fmt.Printf("telemetry  %d series over %d windows of %gms\n", ti.Series, ti.Windows, ti.WindowMs)

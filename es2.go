@@ -33,6 +33,7 @@ import (
 	"es2/internal/enginestats"
 	"es2/internal/faults"
 	"es2/internal/profile"
+	"es2/internal/slo"
 	"es2/internal/telemetry"
 	"es2/internal/trace"
 	"es2/internal/vmm"
@@ -165,6 +166,34 @@ type FaultSpec = faults.Spec
 // chaotic run replays bit-identically.
 type ChaosSpec = faults.ChaosSpec
 
+// SLOSpec declares service-level objectives for a run — latency
+// versus a threshold, availability, goodput versus a floor — each
+// evaluated streamingly on sim time with Google SRE-style
+// multi-window multi-burn-rate alert rules (see internal/slo for the
+// knob semantics). The zero value disables SLO evaluation.
+// Evaluation is purely observational: results are bit-identical with
+// and without it, and the alert timeline replays byte-identically
+// under a fixed seed.
+type SLOSpec = slo.Spec
+
+// SLOObjective is one declared objective of an SLOSpec.
+type SLOObjective = slo.Objective
+
+// SLOReport is the deterministic SLO outcome of a run: run-wide
+// compliance per objective plus the fire/clear alert timeline with
+// correlated context (Result.SLO / ClusterResult.SLO).
+type SLOReport = slo.Report
+
+// SLOEvent is one fire/clear entry of the alert timeline.
+type SLOEvent = slo.Event
+
+// SLO objective kinds.
+const (
+	SLOLatency      = slo.KindLatency
+	SLOAvailability = slo.KindAvailability
+	SLOGoodput      = slo.KindGoodput
+)
+
 // ScenarioSpec describes one simulated testbed run.
 type ScenarioSpec struct {
 	// Name labels the run in results.
@@ -293,6 +322,17 @@ type ScenarioSpec struct {
 	// CritPathExemplars is the number of slowest requests retained with
 	// full timelines (default 8, max 1024).
 	CritPathExemplars int
+
+	// SLO declares service-level objectives evaluated streamingly over
+	// the measurement window (latency vs. threshold, availability,
+	// goodput vs. floor) with multi-window multi-burn-rate alert
+	// rules; Result.SLO carries the compliance report and the
+	// deterministic fire/clear alert timeline. Latency and goodput
+	// objectives require a workload that measures request completions
+	// (Ping, Memcached, Apache, Httperf); availability objectives use
+	// delivered-vs-lost wire traffic and work for every I/O workload.
+	// Zero value: no SLOs.
+	SLO SLOSpec
 
 	// EngineStats enables wall-clock performance telemetry of the
 	// simulation engine itself: real time and allocations spent running
@@ -501,6 +541,11 @@ type Result struct {
 	// across identical-seed runs; the CLIs render it and es2bench -perf
 	// publishes it in the BENCH_engine.json envelope.
 	EngineReport *EngineReport `json:"-"`
+
+	// SLO is the service-level-objective report (SLO runs): run-wide
+	// compliance per objective plus the deterministic fire/clear alert
+	// timeline. Part of the deterministic JSON surface.
+	SLO *SLOReport `json:"slo,omitempty"`
 
 	// Faults reports fault-injection and recovery activity over the
 	// window (nil for fault-free runs).

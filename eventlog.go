@@ -1,0 +1,136 @@
+package es2
+
+import (
+	"io"
+	"log/slog"
+	"sort"
+)
+
+// The ops event log: one JSON object per line (JSONL via log/slog),
+// merging the run's chaos timeline with its SLO alert timeline into a
+// single stream ordered by simulated time. Wall-clock timestamps are
+// deliberately dropped — every record carries at_ms, milliseconds since
+// the start of the measurement window — so the log is byte-identical
+// across replays of the same spec and seed.
+
+// logEvent is one merged record before rendering.
+type logEvent struct {
+	atMs  float64
+	seq   int // input order, for a stable sort among ties
+	level slog.Level
+	typ   string
+	attrs []slog.Attr
+}
+
+// WriteEventLog writes the merged fault/alert/recovery timeline as
+// JSONL. Either report may be nil; an empty timeline writes nothing.
+// Event types: fault_injected, fault_recovered (from the chaos recovery
+// report) and alert_fire, alert_clear (from the SLO report).
+func WriteEventLog(w io.Writer, slr *SLOReport, rec *RecoveryReport) error {
+	var evs []logEvent
+	if rec != nil {
+		for _, f := range rec.Faults {
+			evs = append(evs, logEvent{
+				atMs:  f.StartMs,
+				level: slog.LevelWarn,
+				typ:   "fault_injected",
+				attrs: []slog.Attr{
+					slog.String("kind", f.Kind),
+					slog.String("target", f.Target),
+					slog.Float64("outage_ms", f.OutageMs),
+				},
+			})
+			end := logEvent{
+				atMs:  f.StartMs + f.OutageMs,
+				level: slog.LevelInfo,
+				typ:   "fault_recovered",
+				attrs: []slog.Attr{
+					slog.String("kind", f.Kind),
+					slog.String("target", f.Target),
+					slog.Float64("mttr_ms", f.MTTRMs),
+				},
+			}
+			if f.MTTRMs < 0 {
+				// The outage ended but no completion confirmed recovery
+				// inside the window.
+				end.level = slog.LevelWarn
+			}
+			evs = append(evs, end)
+		}
+	}
+	if slr != nil {
+		for _, e := range slr.Events {
+			le := logEvent{
+				atMs:  e.AtMs,
+				level: slog.LevelInfo,
+				typ:   "alert_" + e.Type,
+				attrs: []slog.Attr{
+					slog.String("objective", e.Objective),
+					slog.String("kind", e.Kind),
+					slog.String("rule", e.Rule),
+					slog.Float64("burn_rate", e.BurnRate),
+					slog.Float64("burn_short", e.BurnShort),
+				},
+			}
+			if e.Type == "fire" {
+				le.level = slog.LevelError
+			}
+			if len(e.ActiveFaults) > 0 {
+				faults := make([]any, len(e.ActiveFaults))
+				for i, f := range e.ActiveFaults {
+					faults[i] = f
+				}
+				le.attrs = append(le.attrs, slog.Any("active_faults", faults))
+			}
+			if e.BlameStage != "" {
+				le.attrs = append(le.attrs, slog.String("blame_stage", e.BlameStage))
+			}
+			evs = append(evs, le)
+		}
+	}
+	for i := range evs {
+		evs[i].seq = i
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].atMs != evs[j].atMs {
+			return evs[i].atMs < evs[j].atMs
+		}
+		return evs[i].seq < evs[j].seq
+	})
+
+	var werr error
+	cw := &countingWriter{w: w, err: &werr}
+	lg := slog.New(slog.NewJSONHandler(cw, &slog.HandlerOptions{
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			// Drop the wall-clock timestamp: simulated time (at_ms) is
+			// the only clock, keeping replays byte-identical.
+			if len(groups) == 0 && a.Key == slog.TimeKey {
+				return slog.Attr{}
+			}
+			return a
+		},
+	}))
+	for _, e := range evs {
+		attrs := append([]slog.Attr{slog.Float64("at_ms", e.atMs)}, e.attrs...)
+		lg.LogAttrs(nil, e.level, e.typ, attrs...)
+		if werr != nil {
+			return werr
+		}
+	}
+	return werr
+}
+
+// countingWriter latches the first write error (slog's handler drops
+// them on the floor).
+type countingWriter struct {
+	w   io.Writer
+	err *error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	if err != nil && *c.err == nil {
+		*c.err = err
+	}
+	return n, err
+}

@@ -107,6 +107,39 @@ func DefaultChaos() es2.ChaosSpec {
 	}
 }
 
+// DefaultSLO is the rack1-derived objective set es2cluster's
+// -slo default preset attaches to any scenario. The targets are tuned
+// so the full-ES2 rack1 config stays silent (healthy runs at CI's
+// -scale 4 are silent for every config) while a chaos run breaches
+// promptly:
+//
+//   - availability 99.9%: request deadlines expired vs completions.
+//     Healthy scenarios run without deadlines (zero timeouts, zero
+//     burn); under chaos the outage-phase timeout rate exceeds the
+//     0.1% budget by orders of magnitude, so the fast rule fires
+//     within a few evaluation ticks of the fault.
+//   - tail latency 99% under 75ms: rack1's healthy p99 sits in the
+//     tens of milliseconds under 4x vCPU multiplexing, so the 75ms
+//     ceiling fires only when the tail collapses beyond the healthy
+//     envelope.
+//   - goodput floor 1000 ops/s: a liveness objective — it burns only
+//     when the rack effectively stops completing work. With the 1ms
+//     tick the floor expects one completion per tick, so a rack-wide
+//     completion gap one tick long already reads as a total local
+//     stall; the unscaled rack1/PI config trips it once mid-run, a
+//     genuine microstall the burn-rate rules are meant to surface.
+func DefaultSLO() es2.SLOSpec {
+	return es2.SLOSpec{
+		Objectives: []es2.SLOObjective{
+			{Name: "availability", Kind: es2.SLOAvailability, Target: 0.999},
+			{Name: "tail-latency", Kind: es2.SLOLatency, Target: 0.99,
+				Threshold: 75 * time.Millisecond},
+			{Name: "goodput-floor", Kind: es2.SLOGoodput, Target: 0.99,
+				MinOpsPerSec: 1000},
+		},
+	}
+}
+
 // Chaos is the robustness scenario: the rack1 topology under the full
 // event path, with a macro-fault timeline — one whole-host crash and
 // two fabric link flaps — injected during the measurement window.

@@ -142,3 +142,90 @@ func FuzzChaosSpec(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSLOSpec is the SLO validation contract: for every SLOSpec the
+// fuzzer can construct, Validate never panics, and any spec it accepts
+// runs end-to-end on a tiny cluster — producing an SLO report whose
+// invariants (tick count, event pairing, burn arithmetic) hold — with
+// Validate's verdict agreeing with RunCluster's.
+func FuzzSLOSpec(f *testing.F) {
+	f.Add("availability", "", 0.999, int64(0), 0.0, int64(0), int64(0), 0.0, 0.0, 0, int64(time.Millisecond))
+	f.Add("latency", "tail", 0.99, int64(20*time.Millisecond), 0.0,
+		int64(5*time.Millisecond), int64(20*time.Millisecond), 8.0, 2.0, 10, int64(500*time.Microsecond))
+	f.Add("goodput", "floor", 0.9, int64(0), 1000.0, int64(0), int64(0), 14.4, 6.0, 1, int64(2*time.Millisecond))
+	f.Add("uptime", "x", 1.5, int64(-1), math.Inf(1), int64(time.Hour), int64(time.Microsecond),
+		math.NaN(), -2.0, -7, int64(0))
+
+	f.Fuzz(func(t *testing.T, kind, name string, target float64, threshold int64,
+		minOps float64, fastWin, slowWin int64, fastBurn, slowBurn float64,
+		minSamples int, window int64) {
+
+		spec := SLOSpec{
+			Window: time.Duration(window),
+			Objectives: []SLOObjective{{
+				Name: name, Kind: kind, Target: target,
+				Threshold:    time.Duration(threshold),
+				MinOpsPerSec: minOps,
+				FastWindow:   time.Duration(fastWin),
+				SlowWindow:   time.Duration(slowWin),
+				FastBurn:     fastBurn, SlowBurn: slowBurn,
+				MinSamples: minSamples,
+			}},
+		}
+		verr := spec.Validate() // must never panic
+
+		cluster := ClusterSpec{
+			Name: "fuzz-slo", Seed: 1, Config: Full(4),
+			Hosts: 2, ClientHosts: 1, VMsPerHost: 1, VCPUs: 1,
+			VMCores: 1, VhostCores: 1,
+			Workload: ClusterWorkloadSpec{Flows: 2, RequestTimeout: 500 * time.Microsecond,
+				RetryBackoff: 50 * time.Microsecond, FailoverAfter: 2},
+			SLO:    spec,
+			Warmup: time.Millisecond, Duration: 4 * time.Millisecond,
+		}
+		cverr := cluster.Validate()
+		res, rerr := RunCluster(cluster) // must never panic
+		if cverr != nil && rerr == nil {
+			t.Fatalf("cluster Validate rejected (%v) but RunCluster accepted", cverr)
+		}
+		if cverr == nil && rerr != nil {
+			t.Fatalf("cluster Validate accepted but RunCluster failed: %v", rerr)
+		}
+		if verr != nil && cverr == nil {
+			t.Fatalf("SLO Validate rejected (%v) but cluster Validate accepted", verr)
+		}
+		if rerr != nil {
+			return
+		}
+		rep := res.SLO
+		if rep == nil {
+			t.Fatal("SLO spec accepted but ClusterResult.SLO is nil")
+		}
+		if rep.Ticks <= 0 {
+			t.Fatalf("accepted spec never ticked: %+v", rep)
+		}
+		if rep.Fires != rep.Clears+rep.ActiveAtEnd {
+			t.Fatalf("event arithmetic broken: fires=%d clears=%d active=%d",
+				rep.Fires, rep.Clears, rep.ActiveAtEnd)
+		}
+		if len(rep.Events) != rep.Fires+rep.Clears {
+			t.Fatalf("timeline has %d events, counters say %d",
+				len(rep.Events), rep.Fires+rep.Clears)
+		}
+		lastAt := -1.0
+		for _, e := range rep.Events {
+			if e.AtMs < lastAt {
+				t.Fatalf("timeline out of order: %.3f after %.3f", e.AtMs, lastAt)
+			}
+			lastAt = e.AtMs
+			if e.Type != "fire" && e.Type != "clear" {
+				t.Fatalf("unknown event type %q", e.Type)
+			}
+		}
+		for _, o := range rep.Objectives {
+			if o.Bad < 0 || (o.Total > 0 && o.Bad > o.Total) {
+				t.Fatalf("objective %s counts out of range: bad=%g total=%g", o.Name, o.Bad, o.Total)
+			}
+		}
+	})
+}

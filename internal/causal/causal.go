@@ -390,6 +390,25 @@ func (t *Tracker) record(c *Chain, now sim.Time) {
 	t.offerTail(c, e2e)
 }
 
+// TopStage returns the name of the stage carrying the most total
+// blame so far, or "" when nothing has been recorded. Nil-safe; used
+// as live correlation context on SLO alert events.
+func (t *Tracker) TopStage() string {
+	if t == nil {
+		return ""
+	}
+	best, total := Stage(0), sim.Time(0)
+	for s := Stage(0); s < NumStages; s++ {
+		if t.stageTotal[s] > total {
+			best, total = s, t.stageTotal[s]
+		}
+	}
+	if total == 0 {
+		return ""
+	}
+	return best.String()
+}
+
 // offerTail inserts c into the slowest-k list. Ordering is fully
 // deterministic: larger end-to-end first; ties broken by earlier
 // start, then smaller flow, then smaller seq — so replayed runs

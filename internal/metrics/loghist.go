@@ -147,6 +147,28 @@ func (h *LogHistogram) Quantile(q float64) sim.Time {
 	return h.max
 }
 
+// CountAbove returns the number of observations strictly above
+// threshold, at bucket resolution: the bucket straddling the
+// threshold counts as below, so the result errs low by at most the
+// bucket's relative width (< 1%). Backs latency SLOs (bad = requests
+// slower than the objective threshold).
+func (h *LogHistogram) CountAbove(threshold sim.Time) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	if threshold < 0 {
+		return h.count
+	}
+	if threshold >= h.max {
+		return 0
+	}
+	var n uint64
+	for i := logBucketIndex(threshold) + 1; i < len(h.counts); i++ {
+		n += h.counts[i]
+	}
+	return n
+}
+
 // Buckets calls fn for every non-empty bucket in ascending order with
 // the bucket's exclusive upper bound and count. Used for histogram
 // exposition.

@@ -1,0 +1,140 @@
+package ops
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"es2/internal/telemetry"
+)
+
+// startPlane boots a server on a free port and tears it down with the
+// test.
+func startPlane(t *testing.T) *Server {
+	t.Helper()
+	s, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func get(t *testing.T, s *Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s%s", s.Addr(), path))
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHealthz(t *testing.T) {
+	s := startPlane(t)
+	code, body := get(t, s, "/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("healthz: code %d body %q", code, body)
+	}
+}
+
+func TestProgressJSON(t *testing.T) {
+	s := startPlane(t)
+	s.StartRun("rack1/pi", 42)
+	s.FinishRun(RunUpdate{
+		Name: "rack1/pi", Seed: 42,
+		EventsFired: 1000, SimSeconds: 0.15, WallSeconds: 0.5,
+		AlertsFired: 2, AlertsCleared: 2,
+	})
+	s.StartRun("rack1/baseline", 43)
+
+	code, body := get(t, s, "/progress")
+	if code != http.StatusOK {
+		t.Fatalf("progress: code %d", code)
+	}
+	var p Progress
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("progress JSON: %v\n%s", err, body)
+	}
+	if p.RunsStarted != 2 || p.RunsFinished != 1 {
+		t.Errorf("runs started/finished = %d/%d, want 2/1", p.RunsStarted, p.RunsFinished)
+	}
+	if p.CurrentRun != "rack1/baseline" || p.CurrentSeed != 43 {
+		t.Errorf("current run %q seed %d, want rack1/baseline 43", p.CurrentRun, p.CurrentSeed)
+	}
+	if p.EventsFired != 1000 || p.AlertsFired != 2 {
+		t.Errorf("events/alerts = %d/%d, want 1000/2", p.EventsFired, p.AlertsFired)
+	}
+	if p.EventsPerSec != 2000 {
+		t.Errorf("events_per_sec = %v, want 2000 (derived from wall seconds)", p.EventsPerSec)
+	}
+	if len(p.Recent) != 1 || p.Recent[0].Seed != 42 {
+		t.Errorf("recent = %+v, want one entry for seed 42", p.Recent)
+	}
+}
+
+// TestMetricsLint scrapes the live endpoint and runs the strict
+// OpenMetrics parser over it — the same gate CI applies to the
+// simulated-telemetry expositions.
+func TestMetricsLint(t *testing.T) {
+	s := startPlane(t)
+	s.StartRun(`soak "odd\name"`+"\n", 7)
+	s.FinishRun(RunUpdate{Name: `soak "odd\name"` + "\n", Seed: 7,
+		EventsFired: 500, WallSeconds: 0.25, AlertsActive: 1})
+
+	code, body := get(t, s, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: code %d", code)
+	}
+	fams, err := telemetry.ParseExposition(body)
+	if err != nil {
+		t.Fatalf("metrics lint: %v\n%s", err, body)
+	}
+	byName := map[string]telemetry.ExpositionFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	for name, typ := range map[string]string{
+		"es2_ops_uptime_seconds":     "gauge",
+		"es2_ops_runs_started":       "counter",
+		"es2_ops_runs_finished":      "counter",
+		"es2_ops_engine_events":      "counter",
+		"es2_ops_events_per_sec":     "gauge",
+		"es2_slo_alerts_fired":       "counter",
+		"es2_slo_alerts_active":      "gauge",
+		"es2_ops_run_events_per_sec": "gauge",
+	} {
+		f, ok := byName[name]
+		if !ok {
+			t.Fatalf("family %q missing from /metrics", name)
+		}
+		if f.Type != typ {
+			t.Errorf("family %q has type %q, want %q", name, f.Type, typ)
+		}
+	}
+	// The hostile run label round-trips through escaping.
+	perRun := byName["es2_ops_run_events_per_sec"]
+	if got := perRun.Samples[0].Labels["run"]; got != `soak "odd\name"`+"\n" {
+		t.Errorf("run label round-tripped to %q", got)
+	}
+	if v := perRun.Samples[0].Value; v != 2000 {
+		t.Errorf("per-run events_per_sec = %v, want 2000", v)
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	s := startPlane(t)
+	code, body := get(t, s, "/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("pprof index: code %d", code)
+	}
+	if len(body) == 0 {
+		t.Fatal("pprof index: empty body")
+	}
+}

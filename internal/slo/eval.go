@@ -1,0 +1,446 @@
+package slo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"es2/internal/sim"
+)
+
+// Context supplies correlated run state attached to alert events at
+// the instant they fire. Both hooks are optional and must be purely
+// observational.
+type Context struct {
+	// ActiveFaults returns the chaos faults active right now (e.g.
+	// "host_crash h3"), or nil outside fault windows.
+	ActiveFaults func() []string
+	// BlameStage returns the critical-path stage carrying the most
+	// blame so far (e.g. "wire"), or "" when no analyzer is attached.
+	BlameStage func() string
+}
+
+// Event is one entry of the deterministic alert timeline. AtMs is
+// sim time in milliseconds since measurement start (the same clock
+// RecoveryReport fault timestamps use).
+type Event struct {
+	AtMs      float64 `json:"at_ms"`
+	Type      string  `json:"type"` // "fire" | "clear"
+	Objective string  `json:"objective"`
+	Kind      string  `json:"kind"`
+	Rule      string  `json:"rule"` // "fast" | "slow"
+	// BurnRate is the long-window burn rate at the event instant;
+	// BurnShort the short-window burn.
+	BurnRate  float64 `json:"burn_rate"`
+	BurnShort float64 `json:"burn_short"`
+	// ActiveFaults and BlameStage snapshot Context at fire time
+	// (cleared events carry them too when still relevant).
+	ActiveFaults []string `json:"active_faults,omitempty"`
+	BlameStage   string   `json:"blame_stage,omitempty"`
+}
+
+// RuleReport summarizes one burn-rate rule over the run.
+type RuleReport struct {
+	Rule          string  `json:"rule"`
+	WindowMs      float64 `json:"window_ms"`
+	ShortWindowMs float64 `json:"short_window_ms"`
+	Threshold     float64 `json:"threshold"`
+	Fires         int     `json:"fires"`
+	Clears        int     `json:"clears"`
+	FiringAtEnd   bool    `json:"firing_at_end"`
+}
+
+// ObjectiveReport summarizes one objective over the run.
+type ObjectiveReport struct {
+	Name   string  `json:"name"`
+	Kind   string  `json:"kind"`
+	Target float64 `json:"target"`
+	// Total and Bad are the run-wide operation counts (goodput: the
+	// expected-completion total and the shortfall).
+	Total     float64 `json:"total"`
+	Bad       float64 `json:"bad"`
+	ErrorRate float64 `json:"error_rate"`
+	// BudgetBurn is the run-wide burn rate: ErrorRate divided by the
+	// error budget rate (1 - Target). Burn > 1 means the objective
+	// missed its target over the whole run.
+	BudgetBurn float64      `json:"budget_burn"`
+	Breached   bool         `json:"breached"`
+	Rules      []RuleReport `json:"rules"`
+}
+
+// Report is the deterministic SLO outcome of one run, exported as
+// Result.SLO / ClusterResult.SLO.
+type Report struct {
+	WindowMs   float64           `json:"window_ms"`
+	Ticks      int               `json:"ticks"`
+	Objectives []ObjectiveReport `json:"objectives"`
+	Events     []Event           `json:"events"`
+	Fires      int               `json:"fires"`
+	Clears     int               `json:"clears"`
+	// Recovered counts fires whose matching clear happened before the
+	// run ended; ActiveAtEnd counts rules still firing at the end.
+	Recovered   int `json:"recovered"`
+	ActiveAtEnd int `json:"active_at_end"`
+}
+
+// Render formats the report for the CLI summary.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "slo: %d objectives, %d fires / %d clears (%d active at end) over %d ticks of %gms\n",
+		len(r.Objectives), r.Fires, r.Clears, r.ActiveAtEnd, r.Ticks, r.WindowMs)
+	for _, o := range r.Objectives {
+		state := "met"
+		if o.Breached {
+			state = "BREACHED"
+		}
+		fmt.Fprintf(&b, "  %-14s %-12s target=%g error_rate=%.5f burn=%.2f %s\n",
+			o.Name, o.Kind, o.Target, o.ErrorRate, o.BudgetBurn, state)
+	}
+	for _, e := range r.Events {
+		ctx := ""
+		if len(e.ActiveFaults) > 0 {
+			ctx = " faults=" + strings.Join(e.ActiveFaults, ",")
+		}
+		if e.BlameStage != "" {
+			ctx += " blame=" + e.BlameStage
+		}
+		fmt.Fprintf(&b, "  %8.2fms %-5s %s/%s burn=%.2f%s\n",
+			e.AtMs, e.Type, e.Objective, e.Rule, e.BurnRate, ctx)
+	}
+	return b.String()
+}
+
+// rule is the live state of one burn-rate rule.
+type rule struct {
+	name       string
+	longTicks  int
+	shortTicks int
+	thr        float64
+	firing     bool
+	fires      int
+	clears     int
+	burnLong   float64
+	burnShort  float64
+}
+
+// objState is the live state of one objective: cumulative-counter
+// snapshots plus per-tick delta rings sized to the slow rule's long
+// window.
+type objState struct {
+	o       Objective
+	budget  float64
+	goodput bool
+	// total/bad are cumulative counters (latency, availability);
+	// completed is the cumulative completion counter (goodput).
+	total, bad, completed func() float64
+	expectedPerTick       float64
+	lastTot, lastBad      float64
+
+	dtot, dbad []float64 // rings of per-tick deltas
+	head       int
+	filled     int
+
+	cumTot, cumBad float64
+	rules          [2]rule
+}
+
+// sumLast sums the most recent n entries of a ring.
+func (s *objState) sumLast(ring []float64, n int) float64 {
+	if n > s.filled {
+		n = s.filled
+	}
+	sum := 0.0
+	idx := s.head // head points at the next write slot; head-1 is newest
+	for i := 0; i < n; i++ {
+		idx--
+		if idx < 0 {
+			idx = len(ring) - 1
+		}
+		sum += ring[idx]
+	}
+	return sum
+}
+
+// burnOver computes the burn rate over the last n ticks: the window's
+// error rate divided by the budget rate. Empty or under-sampled
+// windows burn 0.
+func (s *objState) burnOver(n int) float64 {
+	tot := s.sumLast(s.dtot, n)
+	if tot <= 0 {
+		return 0
+	}
+	if !s.goodput && tot < float64(s.o.MinSamples) {
+		return 0
+	}
+	return (s.sumLast(s.dbad, n) / tot) / s.budget
+}
+
+// Evaluator streams SLO evaluation over a run. Construct with New,
+// bind each objective to its counters, then Start it on the engine;
+// Report assembles the outcome after the run.
+type Evaluator struct {
+	spec   Spec
+	ctx    Context
+	tick   sim.Time
+	start  sim.Time
+	ticks  int
+	objs   []*objState
+	events []Event
+}
+
+// New builds an evaluator for a validated spec (defaults are applied
+// here too, so callers may pass the raw spec).
+func New(spec Spec, ctx Context) *Evaluator {
+	spec = spec.WithDefaults()
+	e := &Evaluator{spec: spec, ctx: ctx, tick: sim.DurationOf(spec.Window)}
+	for _, o := range spec.Objectives {
+		s := &objState{
+			o:       o,
+			budget:  1 - o.Target,
+			goodput: o.Kind == KindGoodput,
+		}
+		if s.goodput {
+			s.expectedPerTick = o.MinOpsPerSec * sim.DurationOf(spec.Window).Seconds()
+		}
+		ticksOf := func(w sim.Time) int {
+			n := int((w + e.tick - 1) / e.tick)
+			if n < 1 {
+				n = 1
+			}
+			return n
+		}
+		fastLong := ticksOf(sim.DurationOf(o.FastWindow))
+		slowLong := ticksOf(sim.DurationOf(o.SlowWindow))
+		shortOf := func(long int) int {
+			n := long / 3
+			if n < 1 {
+				n = 1
+			}
+			return n
+		}
+		s.rules[0] = rule{name: "fast", longTicks: fastLong, shortTicks: shortOf(fastLong), thr: o.FastBurn}
+		s.rules[1] = rule{name: "slow", longTicks: slowLong, shortTicks: shortOf(slowLong), thr: o.SlowBurn}
+		s.dtot = make([]float64, slowLong)
+		s.dbad = make([]float64, slowLong)
+		e.objs = append(e.objs, s)
+	}
+	return e
+}
+
+// BindCounters attaches cumulative total/bad counters to objective i
+// (latency: observations / observations above threshold;
+// availability: attempts / failures).
+func (e *Evaluator) BindCounters(i int, total, bad func() float64) {
+	e.objs[i].total, e.objs[i].bad = total, bad
+}
+
+// BindGoodput attaches a cumulative completion counter to goodput
+// objective i.
+func (e *Evaluator) BindGoodput(i int, completed func() float64) {
+	e.objs[i].completed = completed
+}
+
+// Start snapshots counter baselines at `from` (measurement start,
+// immediately after warm-up resets) and schedules self-rechaining
+// evaluation ticks up to and including `until`. Purely observational:
+// ticks read counters and never touch simulation state.
+func (e *Evaluator) Start(eng *sim.Engine, from, until sim.Time) {
+	e.start = from
+	for _, s := range e.objs {
+		s.lastTot, s.lastBad = e.read(s)
+	}
+	next := from + e.tick
+	var step func()
+	step = func() {
+		e.tickAt(eng.Now())
+		next += e.tick
+		if next <= until {
+			eng.At(next, step)
+		}
+	}
+	if next <= until {
+		eng.At(next, step)
+	}
+}
+
+// read returns the cumulative (total, bad) of one objective right
+// now. Goodput totals are synthesized per tick, not read, so it
+// returns the completion counter in both slots.
+func (e *Evaluator) read(s *objState) (tot, bad float64) {
+	if s.goodput {
+		c := 0.0
+		if s.completed != nil {
+			c = s.completed()
+		}
+		return c, c
+	}
+	if s.total != nil {
+		tot = s.total()
+	}
+	if s.bad != nil {
+		bad = s.bad()
+	}
+	return tot, bad
+}
+
+// tickAt advances every objective by one evaluation tick and
+// re-evaluates its rules at sim instant now.
+func (e *Evaluator) tickAt(now sim.Time) {
+	e.ticks++
+	for _, s := range e.objs {
+		tot, bad := e.read(s)
+		var dtot, dbad float64
+		if s.goodput {
+			completed := tot - s.lastTot
+			dtot = s.expectedPerTick
+			dbad = s.expectedPerTick - completed
+			if dbad < 0 {
+				dbad = 0
+			}
+		} else {
+			dtot = tot - s.lastTot
+			dbad = bad - s.lastBad
+		}
+		s.lastTot, s.lastBad = tot, bad
+		s.dtot[s.head] = dtot
+		s.dbad[s.head] = dbad
+		s.head++
+		if s.head == len(s.dtot) {
+			s.head = 0
+		}
+		if s.filled < len(s.dtot) {
+			s.filled++
+		}
+		s.cumTot += dtot
+		s.cumBad += dbad
+
+		for ri := range s.rules {
+			r := &s.rules[ri]
+			r.burnLong = s.burnOver(r.longTicks)
+			r.burnShort = s.burnOver(r.shortTicks)
+			switch {
+			// A rule may not fire before its short window has fully
+			// filled: with less history than the window claims, one early
+			// transient reads as a sustained burn. Clears are ungated.
+			case !r.firing && s.filled >= r.shortTicks &&
+				r.burnLong >= r.thr && r.burnShort >= r.thr:
+				r.firing = true
+				r.fires++
+				e.emit(now, "fire", s, r)
+			case r.firing && r.burnShort < r.thr:
+				r.firing = false
+				r.clears++
+				e.emit(now, "clear", s, r)
+			}
+		}
+	}
+}
+
+// emit appends one timeline event, snapshotting the correlation
+// context at this instant.
+func (e *Evaluator) emit(now sim.Time, typ string, s *objState, r *rule) {
+	ev := Event{
+		AtMs:      (now - e.start).Millis(),
+		Type:      typ,
+		Objective: s.o.Name,
+		Kind:      s.o.Kind,
+		Rule:      r.name,
+		BurnRate:  r.burnLong,
+		BurnShort: r.burnShort,
+	}
+	if e.ctx.ActiveFaults != nil {
+		if f := e.ctx.ActiveFaults(); len(f) > 0 {
+			ev.ActiveFaults = append([]string(nil), f...)
+			sort.Strings(ev.ActiveFaults)
+		}
+	}
+	if e.ctx.BlameStage != nil {
+		ev.BlameStage = e.ctx.BlameStage()
+	}
+	e.events = append(e.events, ev)
+}
+
+// Live accessors for telemetry probes (sampled at window boundaries).
+
+// NumObjectives returns the number of objectives under evaluation.
+func (e *Evaluator) NumObjectives() int { return len(e.objs) }
+
+// ObjectiveName returns objective i's name.
+func (e *Evaluator) ObjectiveName(i int) string { return e.objs[i].o.Name }
+
+// Burn returns objective i's most recent long-window burn rate for
+// rule 0 (fast) or 1 (slow).
+func (e *Evaluator) Burn(i, rule int) float64 { return e.objs[i].rules[rule].burnLong }
+
+// RuleName returns the name of rule 0 or 1.
+func (e *Evaluator) RuleName(rule int) string { return [...]string{"fast", "slow"}[rule] }
+
+// Firing returns how many of objective i's rules are firing.
+func (e *Evaluator) Firing(i int) int {
+	n := 0
+	for _, r := range e.objs[i].rules {
+		if r.firing {
+			n++
+		}
+	}
+	return n
+}
+
+// Fires and Clears return cumulative event counts across all
+// objectives (monotonic; telemetry counters).
+func (e *Evaluator) Fires() float64 { return float64(e.count("fire")) }
+
+// Clears is the clear-event counterpart of Fires.
+func (e *Evaluator) Clears() float64 { return float64(e.count("clear")) }
+
+func (e *Evaluator) count(typ string) int {
+	n := 0
+	for _, ev := range e.events {
+		if ev.Type == typ {
+			n++
+		}
+	}
+	return n
+}
+
+// Report assembles the deterministic run outcome.
+func (e *Evaluator) Report() *Report {
+	rep := &Report{
+		WindowMs: sim.DurationOf(e.spec.Window).Millis(),
+		Ticks:    e.ticks,
+		Events:   append([]Event(nil), e.events...),
+	}
+	for _, s := range e.objs {
+		or := ObjectiveReport{
+			Name:   s.o.Name,
+			Kind:   s.o.Kind,
+			Target: s.o.Target,
+			Total:  s.cumTot,
+			Bad:    s.cumBad,
+		}
+		if s.cumTot > 0 {
+			or.ErrorRate = s.cumBad / s.cumTot
+			or.BudgetBurn = or.ErrorRate / s.budget
+		}
+		or.Breached = or.ErrorRate > s.budget
+		for _, r := range s.rules {
+			or.Rules = append(or.Rules, RuleReport{
+				Rule:          r.name,
+				WindowMs:      (sim.Time(r.longTicks) * e.tick).Millis(),
+				ShortWindowMs: (sim.Time(r.shortTicks) * e.tick).Millis(),
+				Threshold:     r.thr,
+				Fires:         r.fires,
+				Clears:        r.clears,
+				FiringAtEnd:   r.firing,
+			})
+			rep.Fires += r.fires
+			rep.Clears += r.clears
+			if r.firing {
+				rep.ActiveAtEnd++
+			}
+		}
+		rep.Objectives = append(rep.Objectives, or)
+	}
+	rep.Recovered = rep.Clears
+	return rep
+}

@@ -1,0 +1,248 @@
+package slo
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"es2/internal/sim"
+)
+
+// fakeCounters drives an evaluator with a scripted error stream: cum
+// counters advanced by the test between engine ticks.
+type fakeCounters struct {
+	tot, bad float64
+}
+
+// availEval builds a one-objective availability evaluator ticking
+// every 1ms with a 5ms fast window (short = 1 tick) and 20ms slow
+// window, bound to fc.
+func availEval(fc *fakeCounters, ctx Context) *Evaluator {
+	spec := Spec{
+		Window: time.Millisecond,
+		Objectives: []Objective{{
+			Name: "avail", Kind: KindAvailability, Target: 0.99, MinSamples: 1,
+		}},
+	}
+	ev := New(spec, ctx)
+	ev.BindCounters(0, func() float64 { return fc.tot }, func() float64 { return fc.bad })
+	return ev
+}
+
+// drive runs the evaluator over len(script) ticks; script[i] is the
+// (dtot, dbad) added during tick i.
+func drive(t *testing.T, ev *Evaluator, script [][2]float64, fc *fakeCounters) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	tick := sim.DurationOf(time.Millisecond)
+	for i, s := range script {
+		s := s
+		// Counters advance just before the evaluator's tick fires: the
+		// engine orders same-instant events by schedule order.
+		eng.At(sim.Time(i+1)*tick, func() { fc.tot += s[0]; fc.bad += s[1] })
+	}
+	ev.Start(eng, 0, sim.Time(len(script))*tick)
+	eng.RunAll()
+}
+
+func TestFireAndClear(t *testing.T) {
+	fc := &fakeCounters{}
+	ev := availEval(fc, Context{})
+	// 100 ops/tick; budget 0.01, fast thr 8 → fast fires above 8% errors.
+	// Ticks 1-4 healthy, 5-8 at 50% errors, 9-15 healthy again.
+	var script [][2]float64
+	for i := 0; i < 15; i++ {
+		switch {
+		case i >= 4 && i < 8:
+			script = append(script, [2]float64{100, 50})
+		default:
+			script = append(script, [2]float64{100, 0})
+		}
+	}
+	drive(t, ev, script, fc)
+	rep := ev.Report()
+	if rep.Ticks != 15 {
+		t.Fatalf("ticks = %d, want 15", rep.Ticks)
+	}
+	var fires, clears []Event
+	for _, e := range rep.Events {
+		if e.Type == "fire" {
+			fires = append(fires, e)
+		} else {
+			clears = append(clears, e)
+		}
+	}
+	if len(fires) == 0 {
+		t.Fatal("50% error burst never fired")
+	}
+	if len(clears) != len(fires) {
+		t.Fatalf("%d fires but %d clears; errors stopped at tick 8 so every rule must clear",
+			len(fires), len(clears))
+	}
+	if rep.ActiveAtEnd != 0 {
+		t.Errorf("%d rules still firing after 7 clean ticks", rep.ActiveAtEnd)
+	}
+	if rep.Recovered != rep.Clears {
+		t.Errorf("recovered %d != clears %d", rep.Recovered, rep.Clears)
+	}
+	// The fast rule (short window = 1 tick) must fire on the first
+	// errored tick: burn there is 0.5/0.01 = 50 >> 8.
+	f := fires[0]
+	if f.AtMs != 5 || f.Rule != "fast" {
+		t.Errorf("first fire = %+v, want fast at 5ms", f)
+	}
+	if f.BurnRate < 8 || f.BurnShort < 8 {
+		t.Errorf("fire burns %v/%v below threshold 8", f.BurnRate, f.BurnShort)
+	}
+	// And clear on the first clean tick after the burst (short window
+	// burn drops to 0 at tick 9).
+	var fastClear *Event
+	for i := range clears {
+		if clears[i].Rule == "fast" {
+			fastClear = &clears[i]
+			break
+		}
+	}
+	if fastClear == nil || fastClear.AtMs != 9 {
+		t.Errorf("fast clear = %+v, want 9ms", fastClear)
+	}
+}
+
+func TestQuietRunEmitsNothing(t *testing.T) {
+	fc := &fakeCounters{}
+	ev := availEval(fc, Context{})
+	script := make([][2]float64, 30)
+	for i := range script {
+		script[i] = [2]float64{100, 0}
+	}
+	drive(t, ev, script, fc)
+	rep := ev.Report()
+	if len(rep.Events) != 0 || rep.Fires != 0 || rep.ActiveAtEnd != 0 {
+		t.Fatalf("healthy stream produced events: %+v", rep)
+	}
+	if rep.Objectives[0].Breached {
+		t.Error("zero-error objective reported breached")
+	}
+	if rep.Objectives[0].Total != 3000 {
+		t.Errorf("run-wide total = %g, want 3000", rep.Objectives[0].Total)
+	}
+}
+
+func TestMinSamplesSuppression(t *testing.T) {
+	fc := &fakeCounters{}
+	spec := Spec{
+		Window: time.Millisecond,
+		Objectives: []Objective{{
+			Name: "avail", Kind: KindAvailability, Target: 0.99, MinSamples: 50,
+		}},
+	}
+	ev := New(spec, Context{})
+	ev.BindCounters(0, func() float64 { return fc.tot }, func() float64 { return fc.bad })
+	// One lone failed op per tick: 100% error rate but far under
+	// MinSamples, so no rule may fire.
+	script := make([][2]float64, 10)
+	for i := range script {
+		script[i] = [2]float64{1, 1}
+	}
+	drive(t, ev, script, fc)
+	if rep := ev.Report(); rep.Fires != 0 {
+		t.Fatalf("under-sampled window fired: %+v", rep.Events)
+	}
+}
+
+func TestGoodputShortfallFires(t *testing.T) {
+	fc := &fakeCounters{}
+	spec := Spec{
+		Window: time.Millisecond,
+		Objectives: []Objective{{
+			Name: "floor", Kind: KindGoodput, Target: 0.99,
+			// 100k ops/s = 100 expected completions per 1ms tick.
+			MinOpsPerSec: 100000,
+		}},
+	}
+	ev := New(spec, Context{})
+	ev.BindGoodput(0, func() float64 { return fc.tot })
+	// Ticks 1-5 meet the floor, 6-9 complete nothing, 10-20 recover.
+	var script [][2]float64
+	for i := 0; i < 20; i++ {
+		if i >= 5 && i < 9 {
+			script = append(script, [2]float64{0, 0})
+		} else {
+			script = append(script, [2]float64{120, 0})
+		}
+	}
+	drive(t, ev, script, fc)
+	rep := ev.Report()
+	if rep.Fires == 0 {
+		t.Fatal("total goodput stall never fired")
+	}
+	if rep.ActiveAtEnd != 0 {
+		t.Errorf("%d rules firing after recovery: %+v", rep.ActiveAtEnd, rep.Events)
+	}
+	// Overshoot above the floor must not count as negative badness.
+	if o := rep.Objectives[0]; o.Bad != 4*100 {
+		t.Errorf("shortfall = %g, want 400 (4 stalled ticks x 100 expected)", o.Bad)
+	}
+}
+
+func TestEventContextSnapshot(t *testing.T) {
+	fc := &fakeCounters{}
+	ev := availEval(fc, Context{
+		ActiveFaults: func() []string { return []string{"host_crash h3", "link_flap port1"} },
+		BlameStage:   func() string { return "wire" },
+	})
+	script := [][2]float64{{100, 0}, {100, 0}, {100, 90}}
+	drive(t, ev, script, fc)
+	rep := ev.Report()
+	if len(rep.Events) == 0 {
+		t.Fatal("90% error tick never fired")
+	}
+	e := rep.Events[0]
+	if len(e.ActiveFaults) != 2 || e.ActiveFaults[0] != "host_crash h3" {
+		t.Errorf("fault snapshot = %v", e.ActiveFaults)
+	}
+	if e.BlameStage != "wire" {
+		t.Errorf("blame stage = %q, want wire", e.BlameStage)
+	}
+}
+
+func TestReportJSONShape(t *testing.T) {
+	fc := &fakeCounters{}
+	ev := availEval(fc, Context{})
+	drive(t, ev, [][2]float64{{100, 0}, {100, 50}, {100, 0}}, fc)
+	b, err := json.Marshal(ev.Report())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"window_ms", "ticks", "objectives", "events", "fires", "clears", "recovered", "active_at_end"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("report JSON missing %q: %s", k, b)
+		}
+	}
+}
+
+func TestLiveAccessors(t *testing.T) {
+	fc := &fakeCounters{}
+	ev := availEval(fc, Context{})
+	if ev.NumObjectives() != 1 || ev.ObjectiveName(0) != "avail" {
+		t.Fatalf("objective accessors broken")
+	}
+	if ev.RuleName(0) != "fast" || ev.RuleName(1) != "slow" {
+		t.Fatalf("rule names broken")
+	}
+	script := [][2]float64{{100, 0}, {100, 90}}
+	drive(t, ev, script, fc)
+	if ev.Firing(0) == 0 {
+		t.Error("no rule firing after a 90% error tick")
+	}
+	if ev.Fires() == 0 {
+		t.Error("cumulative fire counter empty")
+	}
+	if ev.Burn(0, 0) <= 0 {
+		t.Error("fast long-window burn not positive")
+	}
+}

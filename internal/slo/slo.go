@@ -1,0 +1,196 @@
+// Package slo evaluates declarative service-level objectives
+// streamingly on simulated time.
+//
+// A Spec names objectives over the signals the simulation already
+// measures — request latency versus a threshold, availability
+// (failed versus attempted operations), and goodput (completions
+// versus a declared floor) — and the Evaluator turns each objective
+// into Google SRE-style multi-window multi-burn-rate alert rules: a
+// fast rule (short windows, high burn threshold) that catches sharp
+// outages quickly, and a slow rule (long windows, low threshold) that
+// catches sustained slow burns. Burn rate is the error rate divided
+// by the error budget rate (1 - Target), so burn 1.0 consumes exactly
+// the budget over the objective's compliance period.
+//
+// Evaluation is purely observational and engine-ordered: the
+// evaluator ticks on sim time, reads cumulative counters the
+// simulation maintains anyway, draws no randomness, and never mutates
+// simulation state — so a run with SLO evaluation enabled is
+// bit-identical to a plain run, and the emitted alert timeline
+// replays byte-identically across runs of the same seed.
+package slo
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Objective kinds.
+const (
+	KindLatency      = "latency"      // bad = requests slower than Threshold
+	KindAvailability = "availability" // bad = failed operations (timeouts, losses)
+	KindGoodput      = "goodput"      // bad = shortfall below MinOpsPerSec
+)
+
+// Objective declares one service-level objective. Target is the
+// good fraction (e.g. 0.999 = "99.9% of requests under Threshold");
+// the error budget rate is 1 - Target.
+type Objective struct {
+	// Name labels the objective in alerts, telemetry and reports.
+	// Defaults to Kind; names must be unique within a Spec.
+	Name string
+	// Kind is one of KindLatency, KindAvailability, KindGoodput.
+	Kind string
+	// Target is the objective's good fraction in (0, 1). Default 0.99.
+	Target float64
+	// Threshold classifies a request as bad when its latency exceeds
+	// it. Required for latency objectives, forbidden otherwise.
+	Threshold time.Duration
+	// MinOpsPerSec is the goodput floor: each evaluation tick expects
+	// MinOpsPerSec * tick completions, and the shortfall is the bad
+	// count. Required for goodput objectives, forbidden otherwise.
+	MinOpsPerSec float64
+	// FastWindow and SlowWindow are the long windows of the fast and
+	// slow burn-rate rules; each rule also checks a short window of
+	// one third the long window (floored at one tick) so alerts clear
+	// promptly once the error stream stops. Defaults: 5x and 20x the
+	// evaluation tick.
+	FastWindow time.Duration
+	SlowWindow time.Duration
+	// FastBurn and SlowBurn are the burn-rate thresholds of the two
+	// rules. Defaults 8 and 2 (wider budgets than Google's canonical
+	// 14.4/6 because simulated runs are short).
+	FastBurn float64
+	SlowBurn float64
+	// MinSamples suppresses burn evaluation for latency and
+	// availability windows holding fewer than this many operations,
+	// so a lone slow request right after warmup cannot fire a 100%
+	// error-rate alert. Ignored for goodput (its totals are
+	// synthetic). Default 10.
+	MinSamples int
+}
+
+// Spec declares the SLOs of one scenario or cluster run.
+type Spec struct {
+	// Objectives lists the declared objectives; an empty list
+	// disables SLO evaluation entirely.
+	Objectives []Objective
+	// Window is the evaluation tick: counters are sampled and rules
+	// re-evaluated every Window of sim time. Default 1ms.
+	Window time.Duration
+}
+
+// Enabled reports whether the spec declares any objective.
+func (s Spec) Enabled() bool { return len(s.Objectives) > 0 }
+
+// WithDefaults fills zero-valued fields. Idempotent; a disabled spec
+// is returned unchanged.
+func (s Spec) WithDefaults() Spec {
+	if !s.Enabled() {
+		return s
+	}
+	if s.Window == 0 {
+		s.Window = time.Millisecond
+	}
+	objs := make([]Objective, len(s.Objectives))
+	copy(objs, s.Objectives)
+	for i := range objs {
+		o := &objs[i]
+		if o.Name == "" {
+			o.Name = o.Kind
+		}
+		if o.Target == 0 {
+			o.Target = 0.99
+		}
+		if o.FastWindow == 0 {
+			o.FastWindow = 5 * s.Window
+		}
+		if o.SlowWindow == 0 {
+			o.SlowWindow = 20 * s.Window
+		}
+		if o.FastBurn == 0 {
+			o.FastBurn = 8
+		}
+		if o.SlowBurn == 0 {
+			o.SlowBurn = 2
+		}
+		if o.MinSamples == 0 {
+			o.MinSamples = 10
+		}
+	}
+	s.Objectives = objs
+	return s
+}
+
+// Validate checks the spec (after applying defaults). The returned
+// errors are plain; callers embedding a Spec wrap them with their own
+// field context.
+func (s Spec) Validate() error {
+	s = s.WithDefaults()
+	if !s.Enabled() {
+		return nil
+	}
+	if len(s.Objectives) > 16 {
+		return fmt.Errorf("Objectives: %d exceeds the supported maximum 16", len(s.Objectives))
+	}
+	if s.Window < 100*time.Microsecond || s.Window > time.Hour {
+		return fmt.Errorf("Window: %v outside [100µs, 1h]", s.Window)
+	}
+	seen := make(map[string]bool, len(s.Objectives))
+	for i, o := range s.Objectives {
+		f := func(field, format string, args ...any) error {
+			return fmt.Errorf("Objectives[%d].%s: %s", i, field, fmt.Sprintf(format, args...))
+		}
+		switch o.Kind {
+		case KindLatency:
+			if o.Threshold <= 0 || o.Threshold > time.Hour {
+				return f("Threshold", "%v outside (0, 1h] (required for latency objectives)", o.Threshold)
+			}
+			if o.MinOpsPerSec != 0 {
+				return f("MinOpsPerSec", "set on a latency objective")
+			}
+		case KindAvailability:
+			if o.Threshold != 0 {
+				return f("Threshold", "set on an availability objective")
+			}
+			if o.MinOpsPerSec != 0 {
+				return f("MinOpsPerSec", "set on an availability objective")
+			}
+		case KindGoodput:
+			if o.Threshold != 0 {
+				return f("Threshold", "set on a goodput objective")
+			}
+			if math.IsNaN(o.MinOpsPerSec) || o.MinOpsPerSec <= 0 || o.MinOpsPerSec > 1e9 {
+				return f("MinOpsPerSec", "%g outside (0, 1e9] (required for goodput objectives)", o.MinOpsPerSec)
+			}
+		default:
+			return f("Kind", "unknown kind %q (want latency, availability or goodput)", o.Kind)
+		}
+		if seen[o.Name] {
+			return f("Name", "duplicate objective name %q", o.Name)
+		}
+		seen[o.Name] = true
+		if !(o.Target > 0 && o.Target < 1) { // also rejects NaN
+			return f("Target", "%g outside (0, 1)", o.Target)
+		}
+		if o.FastWindow < s.Window || o.FastWindow > time.Hour {
+			return f("FastWindow", "%v outside [Window=%v, 1h]", o.FastWindow, s.Window)
+		}
+		if o.SlowWindow < o.FastWindow || o.SlowWindow > time.Hour {
+			return f("SlowWindow", "%v outside [FastWindow=%v, 1h]", o.SlowWindow, o.FastWindow)
+		}
+		for _, b := range []struct {
+			name string
+			v    float64
+		}{{"FastBurn", o.FastBurn}, {"SlowBurn", o.SlowBurn}} {
+			if math.IsNaN(b.v) || math.IsInf(b.v, 0) || b.v <= 0 || b.v > 1e6 {
+				return f(b.name, "%g outside (0, 1e6]", b.v)
+			}
+		}
+		if o.MinSamples < 0 || o.MinSamples > 1<<20 {
+			return f("MinSamples", "%d outside [0, %d]", o.MinSamples, 1<<20)
+		}
+	}
+	return nil
+}

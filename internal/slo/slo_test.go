@@ -1,0 +1,109 @@
+package slo
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func validSpec() Spec {
+	return Spec{Objectives: []Objective{
+		{Name: "avail", Kind: KindAvailability, Target: 0.999},
+		{Name: "tail", Kind: KindLatency, Target: 0.99, Threshold: time.Millisecond},
+		{Name: "floor", Kind: KindGoodput, Target: 0.99, MinOpsPerSec: 100},
+	}}
+}
+
+func TestWithDefaultsFillsAndIsIdempotent(t *testing.T) {
+	s := Spec{Objectives: []Objective{{Kind: KindAvailability}}}.WithDefaults()
+	if s.Window != time.Millisecond {
+		t.Errorf("Window default = %v, want 1ms", s.Window)
+	}
+	o := s.Objectives[0]
+	if o.Name != KindAvailability || o.Target != 0.99 {
+		t.Errorf("name/target defaults: %+v", o)
+	}
+	if o.FastWindow != 5*time.Millisecond || o.SlowWindow != 20*time.Millisecond {
+		t.Errorf("window defaults: fast=%v slow=%v", o.FastWindow, o.SlowWindow)
+	}
+	if o.FastBurn != 8 || o.SlowBurn != 2 || o.MinSamples != 10 {
+		t.Errorf("burn/sample defaults: %+v", o)
+	}
+	if again := s.WithDefaults(); len(again.Objectives) != 1 || again.Objectives[0] != o {
+		t.Errorf("WithDefaults not idempotent: %+v", again)
+	}
+}
+
+func TestWithDefaultsDoesNotAliasInput(t *testing.T) {
+	in := Spec{Objectives: []Objective{{Kind: KindAvailability}}}
+	_ = in.WithDefaults()
+	if in.Objectives[0].Target != 0 {
+		t.Error("WithDefaults mutated the caller's objective slice")
+	}
+}
+
+func TestValidateAcceptsGoodSpec(t *testing.T) {
+	if err := validSpec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if err := (Spec{}).Validate(); err != nil {
+		t.Fatalf("disabled spec rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	mut := func(f func(*Spec)) Spec {
+		s := validSpec()
+		f(&s)
+		return s
+	}
+	cases := []struct {
+		name string
+		spec Spec
+		frag string // expected error fragment
+	}{
+		{"bad kind", mut(func(s *Spec) { s.Objectives[0].Kind = "uptime" }), "unknown kind"},
+		{"latency without threshold", mut(func(s *Spec) { s.Objectives[1].Threshold = 0 }), "Threshold"},
+		{"threshold on availability", mut(func(s *Spec) { s.Objectives[0].Threshold = time.Second }), "Threshold"},
+		{"goodput without floor", mut(func(s *Spec) { s.Objectives[2].MinOpsPerSec = 0 }), "MinOpsPerSec"},
+		{"floor on latency", mut(func(s *Spec) { s.Objectives[1].MinOpsPerSec = 5 }), "MinOpsPerSec"},
+		{"target one", mut(func(s *Spec) { s.Objectives[0].Target = 1 }), "Target"},
+		{"target negative", mut(func(s *Spec) { s.Objectives[0].Target = -0.5 }), "Target"},
+		{"duplicate names", mut(func(s *Spec) { s.Objectives[1].Name = "avail" }), "duplicate"},
+		{"window too small", mut(func(s *Spec) { s.Window = time.Microsecond }), "Window"},
+		{"fast window under tick", mut(func(s *Spec) {
+			s.Window = 10 * time.Millisecond
+			s.Objectives[0].FastWindow = time.Millisecond
+		}), "FastWindow"},
+		{"slow window under fast", mut(func(s *Spec) {
+			s.Objectives[0].FastWindow = 20 * time.Millisecond
+			s.Objectives[0].SlowWindow = 10 * time.Millisecond
+		}), "SlowWindow"},
+		{"zero burn stays zero after defaults? no: negative burn", mut(func(s *Spec) {
+			s.Objectives[0].FastBurn = -1
+		}), "FastBurn"},
+		{"negative min samples", mut(func(s *Spec) { s.Objectives[0].MinSamples = -1 }), "MinSamples"},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestValidateRejectsTooManyObjectives(t *testing.T) {
+	var s Spec
+	for i := 0; i < 17; i++ {
+		s.Objectives = append(s.Objectives, Objective{
+			Name: string(rune('a' + i)), Kind: KindAvailability,
+		})
+	}
+	if err := s.Validate(); err == nil {
+		t.Error("17 objectives accepted, max is 16")
+	}
+}

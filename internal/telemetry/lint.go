@@ -1,0 +1,216 @@
+package telemetry
+
+// A strict lint parser for the OpenMetrics text exposition format,
+// asserting the structural rules Prometheus-family scrapers rely on:
+// # TYPE and # HELP precede a family's samples, counter samples carry
+// the _total suffix, summary samples are quantile/_sum/_count, label
+// values honor the escape sequences, and the document terminates with
+// # EOF. The telemetry tests run it as a CI lint gate, and the ops
+// server's tests lint the live /metrics endpoint with the same parser.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ExpositionSample is one parsed sample line.
+type ExpositionSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Key renders the sample's identity (name plus labels in sorted order)
+// for cross-exposition comparison.
+func (s ExpositionSample) Key() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	for _, k := range keys {
+		fmt.Fprintf(&b, "|%s=%s", k, s.Labels[k])
+	}
+	return b.String()
+}
+
+// ExpositionFamily is one parsed metric family.
+type ExpositionFamily struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []ExpositionSample
+}
+
+// ParseExposition validates an OpenMetrics exposition's structure and
+// returns its families in order. The first violation is returned as an
+// error naming the offending line.
+func ParseExposition(text string) ([]ExpositionFamily, error) {
+	if !strings.HasSuffix(text, "# EOF\n") {
+		return nil, fmt.Errorf("exposition does not terminate with %q", "# EOF\n")
+	}
+	lines := strings.Split(strings.TrimSuffix(text, "\n"), "\n")
+	if lines[len(lines)-1] != "# EOF" {
+		return nil, fmt.Errorf("last line is %q, want %q", lines[len(lines)-1], "# EOF")
+	}
+	var fams []ExpositionFamily
+	var cur *ExpositionFamily
+	seen := map[string]bool{}
+	for i, line := range lines[:len(lines)-1] {
+		switch {
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# TYPE "), " ", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", i+1, line)
+			}
+			name, typ := parts[0], parts[1]
+			if seen[name] {
+				return nil, fmt.Errorf("line %d: family %q declared twice", i+1, name)
+			}
+			seen[name] = true
+			switch typ {
+			case "counter", "gauge", "summary":
+			default:
+				return nil, fmt.Errorf("line %d: family %q has unknown type %q", i+1, name, typ)
+			}
+			fams = append(fams, ExpositionFamily{Name: name, Type: typ})
+			cur = &fams[len(fams)-1]
+		case strings.HasPrefix(line, "# HELP "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if cur == nil || parts[0] != cur.Name {
+				return nil, fmt.Errorf("line %d: HELP for %q outside its family block", i+1, parts[0])
+			}
+			if len(cur.Samples) > 0 {
+				return nil, fmt.Errorf("line %d: HELP for %q after its samples", i+1, cur.Name)
+			}
+			if cur.Help != "" {
+				return nil, fmt.Errorf("line %d: duplicate HELP for %q", i+1, cur.Name)
+			}
+			if len(parts) != 2 || parts[1] == "" {
+				return nil, fmt.Errorf("line %d: family %q has empty help text", i+1, cur.Name)
+			}
+			cur.Help = parts[1]
+		case strings.HasPrefix(line, "#"):
+			return nil, fmt.Errorf("line %d: unexpected comment %q", i+1, line)
+		default:
+			s, err := parseExpositionSample(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", i+1, err)
+			}
+			if cur == nil {
+				return nil, fmt.Errorf("line %d: sample %q before any TYPE line", i+1, s.Name)
+			}
+			if cur.Help == "" {
+				return nil, fmt.Errorf("line %d: sample %q before its family's HELP", i+1, s.Name)
+			}
+			if err := checkExpositionName(cur, s); err != nil {
+				return nil, fmt.Errorf("line %d: %w", i+1, err)
+			}
+			cur.Samples = append(cur.Samples, s)
+		}
+	}
+	for _, f := range fams {
+		if len(f.Samples) == 0 {
+			return nil, fmt.Errorf("family %q declares TYPE/HELP but has no samples", f.Name)
+		}
+	}
+	return fams, nil
+}
+
+// checkExpositionName enforces the per-type sample naming rules.
+func checkExpositionName(f *ExpositionFamily, s ExpositionSample) error {
+	switch f.Type {
+	case "counter":
+		if s.Name != f.Name+"_total" {
+			return fmt.Errorf("counter sample %q must be %q", s.Name, f.Name+"_total")
+		}
+	case "gauge":
+		if s.Name != f.Name {
+			return fmt.Errorf("gauge sample %q must be %q", s.Name, f.Name)
+		}
+	case "summary":
+		switch s.Name {
+		case f.Name:
+			if _, ok := s.Labels["quantile"]; !ok {
+				return fmt.Errorf("summary sample %q lacks a quantile label", s.Name)
+			}
+		case f.Name + "_sum", f.Name + "_count":
+		default:
+			return fmt.Errorf("summary sample %q not in {%s, %s_sum, %s_count}",
+				s.Name, f.Name, f.Name, f.Name)
+		}
+	}
+	return nil
+}
+
+// parseExpositionSample parses `name{k="v",...} value`, honoring the
+// label escape sequences.
+func parseExpositionSample(line string) (ExpositionSample, error) {
+	s := ExpositionSample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for len(rest) > 0 && rest[0] != '}' {
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+				return s, fmt.Errorf("malformed labels in %q", line)
+			}
+			key := rest[:eq]
+			rest = rest[eq+2:]
+			var raw strings.Builder
+			for {
+				if len(rest) == 0 {
+					return s, fmt.Errorf("unterminated label value in %q", line)
+				}
+				c := rest[0]
+				if c == '\\' {
+					if len(rest) < 2 {
+						return s, fmt.Errorf("dangling escape in %q", line)
+					}
+					raw.WriteByte(rest[0])
+					raw.WriteByte(rest[1])
+					rest = rest[2:]
+					continue
+				}
+				if c == '"' {
+					rest = rest[1:]
+					break
+				}
+				raw.WriteByte(c)
+				rest = rest[1:]
+			}
+			s.Labels[key] = UnescapeLabel(raw.String())
+			if len(rest) > 0 && rest[0] == ',' {
+				rest = rest[1:]
+			}
+		}
+		if len(rest) == 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		rest = rest[1:]
+	}
+	if len(rest) == 0 || rest[0] != ' ' {
+		return s, fmt.Errorf("missing value separator in %q", line)
+	}
+	v, err := strconv.ParseFloat(rest[1:], 64)
+	if err != nil {
+		return s, fmt.Errorf("unparseable value in %q: %v", line, err)
+	}
+	s.Value = v
+	return s, nil
+}

@@ -1,8 +1,8 @@
 package telemetry
 
-// The OpenMetrics lint gate: a small strict parser for the exposition
-// format, asserting the structural rules Prometheus-family scrapers
-// rely on — # TYPE and # HELP precede a family's samples, counter
+// The OpenMetrics lint gate: the strict exposition parser (lint.go)
+// run over a recorder that exercises every family type and the label
+// escapes — # TYPE and # HELP precede a family's samples, counter
 // samples carry the _total suffix, label values round-trip through
 // escaping, counters are monotone across expositions, and the document
 // terminates with # EOF. CI runs these tests (-run TestOpenMetrics) as
@@ -11,209 +11,21 @@ package telemetry
 import (
 	"bytes"
 	"fmt"
-	"strconv"
-	"strings"
 	"testing"
 
 	"es2/internal/metrics"
 	"es2/internal/sim"
 )
 
-// omSample is one parsed sample line.
-type omSample struct {
-	name   string
-	labels map[string]string
-	value  float64
-}
-
-// key renders the sample's identity (name plus labels in order) for
-// cross-exposition comparison.
-func (s omSample) key() string {
-	var b strings.Builder
-	b.WriteString(s.name)
-	keys := make([]string, 0, len(s.labels))
-	for k := range s.labels {
-		keys = append(keys, k)
-	}
-	for i := 0; i < len(keys); i++ {
-		for j := i + 1; j < len(keys); j++ {
-			if keys[j] < keys[i] {
-				keys[i], keys[j] = keys[j], keys[i]
-			}
-		}
-	}
-	for _, k := range keys {
-		fmt.Fprintf(&b, "|%s=%s", k, s.labels[k])
-	}
-	return b.String()
-}
-
-// omFamily is one parsed metric family.
-type omFamily struct {
-	name    string
-	typ     string
-	help    string
-	samples []omSample
-}
-
-// parseOpenMetrics validates the exposition's structure and returns its
-// families in order. Any violation fails the test immediately.
-func parseOpenMetrics(t *testing.T, text string) []omFamily {
+// parseOpenMetrics runs the exported lint parser, failing the test on
+// the first structural violation.
+func parseOpenMetrics(t *testing.T, text string) []ExpositionFamily {
 	t.Helper()
-	if !strings.HasSuffix(text, "# EOF\n") {
-		t.Fatalf("exposition does not terminate with %q", "# EOF\n")
-	}
-	lines := strings.Split(strings.TrimSuffix(text, "\n"), "\n")
-	if lines[len(lines)-1] != "# EOF" {
-		t.Fatalf("last line is %q, want %q", lines[len(lines)-1], "# EOF")
-	}
-	var fams []omFamily
-	var cur *omFamily
-	seen := map[string]bool{}
-	for i, line := range lines[:len(lines)-1] {
-		switch {
-		case strings.HasPrefix(line, "# TYPE "):
-			parts := strings.SplitN(strings.TrimPrefix(line, "# TYPE "), " ", 2)
-			if len(parts) != 2 {
-				t.Fatalf("line %d: malformed TYPE line %q", i+1, line)
-			}
-			name, typ := parts[0], parts[1]
-			if seen[name] {
-				t.Fatalf("line %d: family %q declared twice", i+1, name)
-			}
-			seen[name] = true
-			switch typ {
-			case "counter", "gauge", "summary":
-			default:
-				t.Fatalf("line %d: family %q has unknown type %q", i+1, name, typ)
-			}
-			fams = append(fams, omFamily{name: name, typ: typ})
-			cur = &fams[len(fams)-1]
-		case strings.HasPrefix(line, "# HELP "):
-			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
-			if cur == nil || parts[0] != cur.name {
-				t.Fatalf("line %d: HELP for %q outside its family block", i+1, parts[0])
-			}
-			if len(cur.samples) > 0 {
-				t.Fatalf("line %d: HELP for %q after its samples", i+1, cur.name)
-			}
-			if cur.help != "" {
-				t.Fatalf("line %d: duplicate HELP for %q", i+1, cur.name)
-			}
-			if len(parts) != 2 || parts[1] == "" {
-				t.Fatalf("line %d: family %q has empty help text", i+1, cur.name)
-			}
-			cur.help = parts[1]
-		case strings.HasPrefix(line, "#"):
-			t.Fatalf("line %d: unexpected comment %q", i+1, line)
-		default:
-			s := parseSampleLine(t, i+1, line)
-			if cur == nil {
-				t.Fatalf("line %d: sample %q before any TYPE line", i+1, s.name)
-			}
-			if cur.help == "" {
-				t.Fatalf("line %d: sample %q before its family's HELP", i+1, s.name)
-			}
-			checkSampleName(t, i+1, cur, s)
-			cur.samples = append(cur.samples, s)
-		}
-	}
-	for _, f := range fams {
-		if len(f.samples) == 0 {
-			t.Fatalf("family %q declares TYPE/HELP but has no samples", f.name)
-		}
+	fams, err := ParseExposition(text)
+	if err != nil {
+		t.Fatalf("exposition lint: %v", err)
 	}
 	return fams
-}
-
-// checkSampleName enforces the per-type naming rules.
-func checkSampleName(t *testing.T, lineNo int, f *omFamily, s omSample) {
-	t.Helper()
-	switch f.typ {
-	case "counter":
-		if s.name != f.name+"_total" {
-			t.Fatalf("line %d: counter sample %q must be %q", lineNo, s.name, f.name+"_total")
-		}
-	case "gauge":
-		if s.name != f.name {
-			t.Fatalf("line %d: gauge sample %q must be %q", lineNo, s.name, f.name)
-		}
-	case "summary":
-		switch s.name {
-		case f.name:
-			if _, ok := s.labels["quantile"]; !ok {
-				t.Fatalf("line %d: summary sample %q lacks a quantile label", lineNo, s.name)
-			}
-		case f.name + "_sum", f.name + "_count":
-		default:
-			t.Fatalf("line %d: summary sample %q not in {%s, %s_sum, %s_count}",
-				lineNo, s.name, f.name, f.name, f.name)
-		}
-	}
-}
-
-// parseSampleLine parses `name{k="v",...} value`, honoring the label
-// escape sequences.
-func parseSampleLine(t *testing.T, lineNo int, line string) omSample {
-	t.Helper()
-	s := omSample{labels: map[string]string{}}
-	rest := line
-	if i := strings.IndexAny(rest, "{ "); i < 0 {
-		t.Fatalf("line %d: malformed sample %q", lineNo, line)
-	} else {
-		s.name = rest[:i]
-		rest = rest[i:]
-	}
-	if rest[0] == '{' {
-		rest = rest[1:]
-		for rest[0] != '}' {
-			eq := strings.IndexByte(rest, '=')
-			if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
-				t.Fatalf("line %d: malformed labels in %q", lineNo, line)
-			}
-			key := rest[:eq]
-			rest = rest[eq+2:]
-			var raw strings.Builder
-			for {
-				if len(rest) == 0 {
-					t.Fatalf("line %d: unterminated label value in %q", lineNo, line)
-				}
-				c := rest[0]
-				if c == '\\' {
-					if len(rest) < 2 {
-						t.Fatalf("line %d: dangling escape in %q", lineNo, line)
-					}
-					raw.WriteByte(rest[0])
-					raw.WriteByte(rest[1])
-					rest = rest[2:]
-					continue
-				}
-				if c == '"' {
-					rest = rest[1:]
-					break
-				}
-				if c == '\n' {
-					t.Fatalf("line %d: unescaped newline in label value", lineNo)
-				}
-				raw.WriteByte(c)
-				rest = rest[1:]
-			}
-			s.labels[key] = UnescapeLabel(raw.String())
-			if rest[0] == ',' {
-				rest = rest[1:]
-			}
-		}
-		rest = rest[1:]
-	}
-	if len(rest) == 0 || rest[0] != ' ' {
-		t.Fatalf("line %d: missing value separator in %q", lineNo, line)
-	}
-	v, err := strconv.ParseFloat(rest[1:], 64)
-	if err != nil {
-		t.Fatalf("line %d: unparseable value in %q: %v", lineNo, line, err)
-	}
-	s.value = v
-	return s
 }
 
 const nastyLabel = "cls \"a\\b\"\nend"
@@ -242,9 +54,9 @@ func TestOpenMetricsStructure(t *testing.T) {
 	}
 	fams := parseOpenMetrics(t, buf.String())
 
-	byName := map[string]omFamily{}
+	byName := map[string]ExpositionFamily{}
 	for _, f := range fams {
-		byName[f.name] = f
+		byName[f.Name] = f
 	}
 	for name, typ := range map[string]string{
 		"t_ops":         "counter",
@@ -258,15 +70,15 @@ func TestOpenMetricsStructure(t *testing.T) {
 		if !ok {
 			t.Fatalf("family %q missing from exposition", name)
 		}
-		if f.typ != typ {
-			t.Errorf("family %q has type %q, want %q", name, f.typ, typ)
+		if f.Type != typ {
+			t.Errorf("family %q has type %q, want %q", name, f.Type, typ)
 		}
 	}
 	// Summaries expose the full quantile spectrum plus _sum/_count.
 	lat := byName["t_lat_seconds"]
 	var quantiles []string
-	for _, s := range lat.samples {
-		if q, ok := s.labels["quantile"]; ok {
+	for _, s := range lat.Samples {
+		if q, ok := s.Labels["quantile"]; ok {
 			quantiles = append(quantiles, q)
 		}
 	}
@@ -285,10 +97,10 @@ func TestOpenMetricsLabelEscapingRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, f := range parseOpenMetrics(t, buf.String()) {
-		if f.name != "t_escaped" {
+		if f.Name != "t_escaped" {
 			continue
 		}
-		got := f.samples[0].labels["cls"]
+		got := f.Samples[0].Labels["cls"]
 		if got != nastyLabel {
 			t.Fatalf("label value round-tripped to %q, want %q", got, nastyLabel)
 		}
@@ -309,11 +121,11 @@ func TestOpenMetricsCounterMonotonicity(t *testing.T) {
 		}
 		out := map[string]float64{}
 		for _, f := range parseOpenMetrics(t, buf.String()) {
-			if f.typ != "counter" {
+			if f.Type != "counter" {
 				continue
 			}
-			for _, s := range f.samples {
-				out[s.key()] = s.value
+			for _, s := range f.Samples {
+				out[s.Key()] = s.Value
 			}
 		}
 		return out
@@ -337,5 +149,26 @@ func TestOpenMetricsCounterMonotonicity(t *testing.T) {
 	// baselined away, so the scrape shows 9-3 = 6.
 	if second["t_escaped_total|cls="+nastyLabel] != 6 {
 		t.Errorf("escaped counter value %v, want 6", second["t_escaped_total|cls="+nastyLabel])
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		text string
+	}{
+		{"no eof", "# TYPE a gauge\n# HELP a x.\na 1\n"},
+		{"sample before type", "a 1\n# EOF\n"},
+		{"sample before help", "# TYPE a gauge\na 1\n# EOF\n"},
+		{"counter without total", "# TYPE a counter\n# HELP a x.\na 1\n# EOF\n"},
+		{"duplicate family", "# TYPE a gauge\n# HELP a x.\na 1\n# TYPE a gauge\n# HELP a x.\na 2\n# EOF\n"},
+		{"unknown type", "# TYPE a widget\n# HELP a x.\na 1\n# EOF\n"},
+		{"empty family", "# TYPE a gauge\n# HELP a x.\n# EOF\n"},
+		{"bad value", "# TYPE a gauge\n# HELP a x.\na pear\n# EOF\n"},
+		{"unterminated labels", "# TYPE a gauge\n# HELP a x.\na{k=\"v\" 1\n# EOF\n"},
+	} {
+		if _, err := ParseExposition(tc.text); err == nil {
+			t.Errorf("%s: parser accepted malformed exposition", tc.name)
+		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"es2/internal/profile"
 	"es2/internal/sched"
 	"es2/internal/sim"
+	"es2/internal/slo"
 	"es2/internal/trace"
 	"es2/internal/vhost"
 	"es2/internal/vmm"
@@ -117,6 +118,7 @@ func (s ScenarioSpec) withDefaults() ScenarioSpec {
 	if s.EngineStats && s.EngineStatsSampleN <= 0 {
 		s.EngineStatsSampleN = enginestats.DefaultSampleN
 	}
+	s.SLO = s.SLO.WithDefaults()
 	// The paper selects quota 4 for TCP streams and 8 for UDP streams
 	// (Section VI-B); default accordingly when hybrid is on.
 	if s.Config.Hybrid && s.Config.Quota <= 0 {
@@ -167,6 +169,10 @@ type testbed struct {
 	// Engine wall-clock performance collector (nil unless
 	// spec.EngineStats).
 	perf *enginestats.Collector
+
+	// Streaming SLO evaluator (nil unless spec.SLO declares
+	// objectives).
+	sloEval *slo.Evaluator
 }
 
 // engineTopK bounds the subsystem table of an EngineReport.
@@ -195,6 +201,12 @@ func (d rxDemux) Receive(p *netsim.Packet) {
 type collector struct {
 	onWarmupEnd func()
 	fill        func(r *Result, window sim.Time)
+
+	// SLO signal sources (set by request workloads): the latency
+	// histogram backing latency objectives and the cumulative
+	// completion counter backing goodput objectives.
+	sloLat *metrics.LogHistogram
+	sloOps func() float64
 }
 
 // Run executes one scenario to completion and returns its result.
@@ -215,6 +227,13 @@ func Run(spec ScenarioSpec) (*Result, error) {
 	col, err := tb.startWorkload()
 	if err != nil {
 		return nil, err
+	}
+	if spec.SLO.Enabled() {
+		// The evaluator must exist before telemetry registration (the
+		// es2_slo_* probes read it) but only starts ticking — and
+		// baselines its counters — at warmup end, after the histogram
+		// resets below.
+		tb.setupSLO(col)
 	}
 
 	warmup := sim.DurationOf(spec.Warmup)
@@ -274,6 +293,11 @@ func Run(spec ScenarioSpec) (*Result, error) {
 	tb.crit.Reset()
 	if col.onWarmupEnd != nil {
 		col.onWarmupEnd()
+	}
+	if tb.sloEval != nil {
+		// Baselines are snapshotted here, after every warm-up reset, so
+		// the first evaluation tick sees only measurement-window deltas.
+		tb.sloEval.Start(tb.eng, warmup, warmup+window)
 	}
 	tb.eng.Run(warmup + window)
 	if tb.perf != nil {
@@ -397,8 +421,51 @@ func Run(spec ScenarioSpec) (*Result, error) {
 		r.EngineReport = tb.perf.Report(tb.eng.EventsFired(), tb.eng.HeapStats(),
 			(warmup + window).Seconds(), engineTopK)
 	}
+	if tb.sloEval != nil {
+		r.SLO = tb.sloEval.Report()
+	}
 	col.fill(r, window)
 	return r, nil
+}
+
+// setupSLO builds the streaming SLO evaluator and binds every
+// objective to its signal source: latency objectives read the
+// workload's latency histogram, goodput objectives its completion
+// counter, and availability objectives the tested VM's
+// delivered-vs-lost wire traffic (drops plus TCP retransmits).
+// Validation has already rejected objectives the workload cannot
+// back.
+func (tb *testbed) setupSLO(col collector) {
+	ev := slo.New(tb.spec.SLO, slo.Context{BlameStage: tb.crit.TopStage})
+	for i, o := range tb.spec.SLO.Objectives {
+		switch o.Kind {
+		case slo.KindLatency:
+			h, thr := col.sloLat, sim.DurationOf(o.Threshold)
+			ev.BindCounters(i,
+				func() float64 { return float64(h.Count()) },
+				func() float64 { return float64(h.CountAbove(thr)) })
+		case slo.KindGoodput:
+			ev.BindGoodput(i, col.sloOps)
+		case slo.KindAvailability:
+			bad := func() float64 {
+				var n uint64
+				for _, d := range tb.devsByVM[0] {
+					n += d.BacklogDrops
+				}
+				n += tb.kerns[0].Dev.LocalDrops
+				n += tb.sumRetransmits()
+				return float64(n)
+			}
+			ev.BindCounters(i, func() float64 {
+				var n uint64
+				for _, d := range tb.devsByVM[0] {
+					n += d.TxPkts + d.RxPkts
+				}
+				return float64(n) + bad()
+			}, bad)
+		}
+	}
+	tb.sloEval = ev
 }
 
 // RunMany executes scenarios concurrently (parallelism <= 0 selects
@@ -832,6 +899,8 @@ func (tb *testbed) startWorkload() (collector, error) {
 		p.Causal = tb.crit.Probe(0)
 		seriesStart := 0
 		return collector{
+			sloLat: p.Hist,
+			sloOps: func() float64 { return float64(p.Hist.Count()) },
 			onWarmupEnd: func() {
 				p.Hist.Reset()
 				seriesStart = p.RTTs.Len()
@@ -855,6 +924,8 @@ func (tb *testbed) startWorkload() (collector, error) {
 		m.Causal = tb.crit.Probe(0)
 		var done0 uint64
 		return collector{
+			sloLat:      m.Lat,
+			sloOps:      func() float64 { return float64(m.Completed) },
 			onWarmupEnd: func() { done0 = m.Completed; m.Lat.Reset() },
 			fill: func(r *Result, win sim.Time) {
 				r.OpsPerSec = rate(m.Completed-done0, win)
@@ -869,6 +940,8 @@ func (tb *testbed) startWorkload() (collector, error) {
 		ab := workloads.StartApacheBench(peer, &tb.ids, w.Concurrency, w.PageBytes)
 		var done0, bytes0 uint64
 		return collector{
+			sloLat:      ab.ConnTime,
+			sloOps:      func() float64 { return float64(ab.Completed) },
 			onWarmupEnd: func() { done0, bytes0 = ab.Completed, ab.BytesReceived; ab.ConnTime.Reset() },
 			fill: func(r *Result, win sim.Time) {
 				r.OpsPerSec = rate(ab.Completed-done0, win)
@@ -884,6 +957,8 @@ func (tb *testbed) startWorkload() (collector, error) {
 		h := workloads.StartHttperf(peer, &tb.ids, w.ConnRate, w.PageBytes)
 		var est0 uint64
 		return collector{
+			sloLat:      h.ConnTime,
+			sloOps:      func() float64 { return float64(h.Established) },
 			onWarmupEnd: func() { est0 = h.Established; h.ConnTime.Reset() },
 			fill: func(r *Result, win sim.Time) {
 				r.OpsPerSec = rate(h.Established-est0, win)

@@ -1,0 +1,253 @@
+package es2
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sloTestObjectives mirrors experiments.DefaultSLO at test scale:
+// availability is the chaos discriminator (healthy runs without
+// expired deadlines burn nothing), the latency ceiling sits well above
+// the healthy p99, and the goodput floor is liveness-only.
+func sloTestObjectives() SLOSpec {
+	return SLOSpec{Objectives: []SLOObjective{
+		{Name: "availability", Kind: SLOAvailability, Target: 0.999},
+		{Name: "tail-latency", Kind: SLOLatency, Target: 0.99, Threshold: 20 * time.Millisecond},
+		{Name: "goodput-floor", Kind: SLOGoodput, Target: 0.99, MinOpsPerSec: 1000},
+	}}
+}
+
+// sloHealthySpec is the chaos-test topology with no faults: resilient
+// clients, a request deadline comfortably above the healthy tail, and
+// the full objective set.
+func sloHealthySpec() ClusterSpec {
+	s := chaosClusterSpec()
+	s.Name = "slo-healthy"
+	s.Chaos = ChaosSpec{}
+	s.Workload.RequestTimeout = 2 * time.Millisecond
+	s.SLO = sloTestObjectives()
+	return s
+}
+
+// sloCrashSpec injects exactly one whole-host crash. The 2ms deadline
+// keeps the healthy phases timeout-free, so availability burns only
+// while the crash outage is live and the alert must both fire and
+// clear inside the window.
+func sloCrashSpec() ClusterSpec {
+	s := sloHealthySpec()
+	s.Name = "slo-crash"
+	s.Chaos = ChaosSpec{
+		HostCrashes: 1,
+		CrashDown:   3 * time.Millisecond,
+		MinGap:      time.Millisecond,
+		MaxGap:      2500 * time.Microsecond,
+	}
+	return s
+}
+
+// TestClusterSLOHealthySilent is the false-positive contract: a
+// healthy rack evaluated against the default-shaped objectives must
+// end with zero alert events and every objective met.
+func TestClusterSLOHealthySilent(t *testing.T) {
+	spec := sloHealthySpec()
+	spec.Telemetry = true
+	spec.TelemetryWindow = 5 * time.Millisecond
+	res, err := RunCluster(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.SLO
+	if rep == nil {
+		t.Fatal("SLO spec set but ClusterResult.SLO is nil")
+	}
+	if rep.Ticks == 0 {
+		t.Fatal("evaluator never ticked")
+	}
+	if len(rep.Events) != 0 || rep.Fires != 0 || rep.Clears != 0 || rep.ActiveAtEnd != 0 {
+		t.Fatalf("healthy rack raised alerts: %s", rep.Render())
+	}
+	if len(rep.Objectives) != 3 {
+		t.Fatalf("objectives = %d, want 3", len(rep.Objectives))
+	}
+	for _, o := range rep.Objectives {
+		if o.Breached {
+			t.Errorf("objective %s breached on a healthy rack (error_rate=%.5f)", o.Name, o.ErrorRate)
+		}
+		if o.Total == 0 {
+			t.Errorf("objective %s observed no operations", o.Name)
+		}
+	}
+	var om bytes.Buffer
+	if err := res.TelemetryRecorder.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{
+		"es2_slo_burn_rate", "es2_slo_alerts_active",
+		"es2_slo_alerts_fired", "es2_slo_alerts_cleared",
+	} {
+		if !bytes.Contains(om.Bytes(), []byte(series)) {
+			t.Errorf("OpenMetrics export missing SLO series %s", series)
+		}
+	}
+}
+
+// TestClusterSLOCrashAlertReconcilesWithMTTR is the detection
+// contract: a host crash must fire the availability alert inside the
+// fault window, and the alert timeline must reconcile with the
+// recovery report — the final clear lands within one telemetry window
+// of the fault's recovery instant, and nothing is left firing.
+func TestClusterSLOCrashAlertReconcilesWithMTTR(t *testing.T) {
+	spec := sloCrashSpec()
+	spec.Telemetry = true
+	spec.TelemetryWindow = 5 * time.Millisecond
+	res, err := RunCluster(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, rep := res.Recovery, res.SLO
+	if rec == nil || len(rec.Faults) != 1 {
+		t.Fatalf("want exactly one injected fault, got %+v", rec)
+	}
+	f := rec.Faults[0]
+	if f.Kind != "host_crash" || f.MTTRMs < 0 {
+		t.Fatalf("crash did not recover: %+v", f)
+	}
+	if rep == nil || rep.Fires == 0 {
+		t.Fatalf("host crash raised no SLO alerts: %+v", rep)
+	}
+
+	var fires, clears []SLOEvent
+	for _, e := range rep.Events {
+		if e.Objective != "availability" {
+			t.Errorf("objective %s alerted on a pure-outage fault: %+v", e.Objective, e)
+			continue
+		}
+		if e.Type == "fire" {
+			fires = append(fires, e)
+		} else {
+			clears = append(clears, e)
+		}
+	}
+	if len(fires) == 0 || len(clears) == 0 {
+		t.Fatalf("availability fire/clear missing: %s", rep.Render())
+	}
+
+	// Detection: the first fire lands after the fault starts and
+	// before the outage (plus one evaluation window of latency) ends.
+	winMs := rep.WindowMs
+	first := fires[0]
+	if first.AtMs < f.StartMs {
+		t.Errorf("alert fired at %.2fms, before the fault started at %.2fms", first.AtMs, f.StartMs)
+	}
+	if first.AtMs > f.StartMs+f.OutageMs+winMs {
+		t.Errorf("alert fired at %.2fms, after the outage ended at %.2fms",
+			first.AtMs, f.StartMs+f.OutageMs)
+	}
+	if first.BurnRate < 8 {
+		t.Errorf("first fire burn %.2f below the fast threshold 8", first.BurnRate)
+	}
+
+	// Reconciliation: the recovery instant is StartMs+MTTRMs; the last
+	// clear must land within one telemetry window of it, and no rule
+	// may still be firing at the end of the run.
+	recoveredMs := f.StartMs + f.MTTRMs
+	lastClear := clears[len(clears)-1]
+	tolMs := spec.TelemetryWindow.Seconds() * 1e3
+	if lastClear.AtMs > recoveredMs+tolMs {
+		t.Errorf("last clear at %.2fms, more than one telemetry window (%.0fms) after recovery at %.2fms",
+			lastClear.AtMs, tolMs, recoveredMs)
+	}
+	if rep.ActiveAtEnd != 0 {
+		t.Errorf("%d rules still firing at end of run: %s", rep.ActiveAtEnd, rep.Render())
+	}
+	if rep.Recovered != rep.Clears || rep.Recovered == 0 {
+		t.Errorf("recovered=%d clears=%d; every fire must have recovered", rep.Recovered, rep.Clears)
+	}
+
+	// The fire event must carry the correlated chaos context.
+	var sawFaultCtx bool
+	for _, e := range fires {
+		for _, af := range e.ActiveFaults {
+			if strings.HasPrefix(af, "host_crash ") {
+				sawFaultCtx = true
+			}
+		}
+	}
+	if !sawFaultCtx {
+		t.Errorf("no fire event carried the active host_crash fault: %+v", fires)
+	}
+}
+
+// TestClusterSLODeterministicReplay pins the observability guarantee:
+// with SLO evaluation, telemetry, the critical-path analyzer and the
+// invariant checker all on, two runs of the same chaotic spec must
+// produce byte-identical SLO reports and JSONL event logs.
+func TestClusterSLODeterministicReplay(t *testing.T) {
+	spec := sloCrashSpec()
+	spec.Telemetry = true
+	spec.TelemetryWindow = 5 * time.Millisecond
+	spec.CritPath = true
+	spec.Check = true
+
+	run := func() ([]byte, []byte) {
+		res, err := RunCluster(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SLO == nil || res.SLO.Fires == 0 {
+			t.Fatal("crash replay run raised no alerts")
+		}
+		sj, err := json.Marshal(res.SLO)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var log bytes.Buffer
+		if err := WriteEventLog(&log, res.SLO, res.Recovery); err != nil {
+			t.Fatal(err)
+		}
+		return sj, log.Bytes()
+	}
+	s1, l1 := run()
+	s2, l2 := run()
+	if !bytes.Equal(s1, s2) {
+		t.Errorf("SLO reports differ between identical runs:\n%s\n---\n%s", s1, s2)
+	}
+	if !bytes.Equal(l1, l2) {
+		t.Errorf("event logs differ between identical runs:\n%s\n---\n%s", l1, l2)
+	}
+
+	// The JSONL stream must interleave fault and alert records, carry
+	// no wall-clock timestamps, and order records by at_ms.
+	lines := strings.Split(strings.TrimSpace(string(l1)), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("event log too short: %s", l1)
+	}
+	seen := map[string]bool{}
+	lastAt := -1.0
+	for _, ln := range lines {
+		var rec struct {
+			Time *string `json:"time"`
+			Msg  string  `json:"msg"`
+			AtMs float64 `json:"at_ms"`
+		}
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("malformed JSONL line %q: %v", ln, err)
+		}
+		if rec.Time != nil {
+			t.Fatalf("event log line carries a wall-clock timestamp: %s", ln)
+		}
+		if rec.AtMs < lastAt {
+			t.Errorf("event log out of order: %.2f after %.2f", rec.AtMs, lastAt)
+		}
+		lastAt = rec.AtMs
+		seen[rec.Msg] = true
+	}
+	for _, typ := range []string{"fault_injected", "fault_recovered", "alert_fire", "alert_clear"} {
+		if !seen[typ] {
+			t.Errorf("event log missing %s records: %s", typ, l1)
+		}
+	}
+}

@@ -95,6 +95,30 @@ func ParseChaosSpec(r io.Reader) (ChaosSpec, error) {
 	return s, nil
 }
 
+// ParseSLOSpec reads one JSON SLOSpec from r and validates it
+// standalone — workload-compatibility of the objectives is checked
+// when the spec is attached to a ScenarioSpec or ClusterSpec.
+func ParseSLOSpec(r io.Reader) (SLOSpec, error) {
+	var s SLOSpec
+	if err := decodeSpec(r, &s); err != nil {
+		return s, fmt.Errorf("es2: parse slo spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return s, &SpecError{Field: "SLO", Reason: err.Error()}
+	}
+	return s.WithDefaults(), nil
+}
+
+// LoadSLOSpec reads and validates a JSON SLOSpec file.
+func LoadSLOSpec(path string) (SLOSpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return SLOSpec{}, err
+	}
+	defer f.Close()
+	return ParseSLOSpec(f)
+}
+
 // LoadChaosSpec reads and validates a JSON ChaosSpec file.
 func LoadChaosSpec(path string) (ChaosSpec, error) {
 	f, err := os.Open(path)

@@ -13,6 +13,7 @@ import (
 
 	"es2/internal/metrics"
 	"es2/internal/sim"
+	"es2/internal/slo"
 	"es2/internal/telemetry"
 	"es2/internal/vmm"
 )
@@ -210,7 +211,37 @@ func (tb *testbed) startTelemetry(end sim.Time) {
 		"vhost I/O thread wakeup-to-run delay.",
 		nil, tel.vhostWake)
 
+	registerSLOSeries(rec, tb.sloEval)
+
 	rec.Start(end)
+}
+
+// registerSLOSeries registers the live es2_slo_* series on a
+// recorder: per-objective long-window burn rates (one gauge per
+// rule), the number of rules currently firing, and cumulative
+// fire/clear counters. Shared by the single-host and cluster
+// telemetry paths; no-op when the run has no SLO evaluator.
+func registerSLOSeries(rec *telemetry.Recorder, ev *slo.Evaluator) {
+	if ev == nil {
+		return
+	}
+	for i := 0; i < ev.NumObjectives(); i++ {
+		i := i
+		name := ev.ObjectiveName(i)
+		for ri := 0; ri < 2; ri++ {
+			ri := ri
+			rec.Gauge("es2_slo_burn_rate", "Long-window error-budget burn rate, per objective and rule.",
+				[]telemetry.Label{{Key: "objective", Value: name}, {Key: "rule", Value: ev.RuleName(ri)}},
+				func() float64 { return ev.Burn(i, ri) })
+		}
+		rec.Gauge("es2_slo_alerts_active", "Burn-rate rules currently firing, per objective.",
+			[]telemetry.Label{{Key: "objective", Value: name}},
+			func() float64 { return float64(ev.Firing(i)) })
+	}
+	rec.Counter("es2_slo_alerts_fired", "SLO alert fire events across all objectives.",
+		nil, ev.Fires)
+	rec.Counter("es2_slo_alerts_cleared", "SLO alert clear events across all objectives.",
+		nil, ev.Clears)
 }
 
 // fillTelemetry publishes the finalized recording into the result.

@@ -146,6 +146,27 @@ func (s ScenarioSpec) validate() error {
 		return specErr("Workload.ServiceCost", "%v exceeds the supported maximum 1s", w.ServiceCost)
 	}
 
+	if err := s.SLO.Validate(); err != nil {
+		return &SpecError{Field: "SLO", Reason: err.Error()}
+	}
+	if s.SLO.Enabled() {
+		// Latency and goodput objectives need a workload that measures
+		// request completions; availability needs wire traffic at all.
+		for i, o := range s.SLO.Objectives {
+			switch o.Kind {
+			case SLOLatency, SLOGoodput:
+				switch w.Kind {
+				case Ping, Memcached, Apache, Httperf:
+				default:
+					return specErr("SLO", "Objectives[%d]: %s objectives need a request workload (ping, memcached, apache, httperf), got %v", i, o.Kind, w.Kind)
+				}
+			case SLOAvailability:
+				if w.Kind == IdleBurn {
+					return specErr("SLO", "Objectives[%d]: availability objectives need an I/O workload, got %v", i, w.Kind)
+				}
+			}
+		}
+	}
 	if err := s.Faults.Validate(); err != nil {
 		return &SpecError{Field: "Faults", Reason: err.Error()}
 	}
