@@ -61,6 +61,18 @@ type ClusterWorkloadSpec struct {
 	// RequestTimeout and only acts when chaos is enabled, since only
 	// the chaos controller knows which hosts are impaired).
 	FailoverAfter int
+
+	// Load, when non-zero, replaces the closed-loop RPC flows with the
+	// open-loop generator: client VMs arm arrivals on the sim clock per
+	// Load's classes and day profile, regardless of completions, so
+	// offered load can exceed capacity and the rack can exhibit
+	// queueing collapse. Flows, ReqBytes, RespBytes, StartSpread and
+	// the retry knobs are ignored under load (sizes and stream counts
+	// come from the load classes; open-loop requests are never
+	// retried); ServiceCost still applies to the servers.
+	// ClusterResult.Load reports offered-vs-completed, shed, backlog,
+	// per-phase spectra and the collapse knee.
+	Load LoadSpec
 }
 
 // ClusterSpec describes one simulated rack: Hosts independent machines
@@ -78,6 +90,18 @@ type ClusterSpec struct {
 	// HostConfigs, when non-empty, overrides Config per host (length
 	// must equal Hosts) — for mixed-fleet studies.
 	HostConfigs []Config
+
+	// DirectAssign models SR-IOV direct device assignment on every
+	// host, exactly as ScenarioSpec.DirectAssign does for the single
+	// host: guest doorbell writes reach the assigned VF without VM
+	// exits, and the hybrid kick-polling machinery is ignored (there
+	// are no kick exits to eliminate). Interrupt delivery still follows
+	// each host's Config.
+	DirectAssign bool
+	// DirectHosts, when non-empty, selects direct assignment per host
+	// (length must equal Hosts), overriding DirectAssign — for mixed
+	// fleets where only some racks have VFs to hand out.
+	DirectHosts []bool
 
 	// Hosts is the number of machines (default 2). The first
 	// ClientHosts run client VMs; the rest run server VMs.
@@ -205,7 +229,12 @@ func (s ClusterSpec) withClusterDefaults() ClusterSpec {
 		s.Fabric.QueueCap = 4096
 	}
 	w := &s.Workload
-	if w.Flows <= 0 {
+	if w.Load.Enabled() {
+		w.Load = w.Load.WithDefaults()
+		// Open-loop load replaces the closed-loop flows entirely; Flows
+		// stays zero and the result reports the stream count instead.
+		w.Flows = 0
+	} else if w.Flows <= 0 {
 		w.Flows = 64 * s.ClientHosts * s.VMsPerHost
 	}
 	if w.ReqBytes <= 0 {
@@ -288,6 +317,9 @@ func (s ClusterSpec) validate() error {
 	if len(s.HostConfigs) > 0 && len(s.HostConfigs) != s.Hosts {
 		return specErr("HostConfigs", "length %d does not match Hosts=%d", len(s.HostConfigs), s.Hosts)
 	}
+	if len(s.DirectHosts) > 0 && len(s.DirectHosts) != s.Hosts {
+		return specErr("DirectHosts", "length %d does not match Hosts=%d", len(s.DirectHosts), s.Hosts)
+	}
 	if s.Hosts*s.VMsPerHost > maxClusterVMs {
 		return specErr("VMsPerHost", "%d hosts x %d VMs exceeds the supported maximum %d",
 			s.Hosts, s.VMsPerHost, maxClusterVMs)
@@ -332,6 +364,32 @@ func (s ClusterSpec) validate() error {
 	}
 
 	w := s.Workload
+	if err := w.Load.Validate(); err != nil {
+		return &SpecError{Field: "Workload.Load", Reason: err.Error()}
+	}
+	if w.Load.Enabled() {
+		if s.Chaos.Enabled() {
+			// Chaos recovery (timeouts, retries, failover) lives in the
+			// closed-loop client; the open-loop generator never retries.
+			return specErr("Workload.Load", "open-loop load and chaos are mutually exclusive")
+		}
+		if w.RequestTimeout > 0 {
+			return specErr("Workload.RequestTimeout", "request deadlines apply to the closed-loop client only; open-loop load never retries")
+		}
+		// Every class's streams-times-fan-width flows must fit the
+		// cluster flow budget.
+		total := 0
+		for i, cls := range w.Load.Classes {
+			width := 1
+			if cls.FanOut == "scatter" {
+				width = cls.FanWidth
+			}
+			total += cls.Streams * width
+			if total > maxCount {
+				return specErr("Workload.Load", "Classes[%d]: total flow count exceeds the supported maximum %d", i, maxCount)
+			}
+		}
+	}
 	if w.Flows > maxCount {
 		return specErr("Workload.Flows", "%d exceeds the supported maximum %d", w.Flows, maxCount)
 	}
@@ -572,6 +630,12 @@ type ClusterResult struct {
 	// timeline with correlated chaos/critical-path context. Part of
 	// the deterministic JSON surface.
 	SLO *SLOReport `json:"slo,omitempty"`
+
+	// Load is the open-loop load report (Workload.Load runs):
+	// offered-vs-completed totals, shed and backlog counts, per-phase
+	// windows and the collapse knee. Part of the deterministic JSON
+	// surface.
+	Load *LoadReport `json:"load,omitempty"`
 
 	// Telemetry summarizes the windowed recording (Telemetry runs);
 	// the recorder itself is exported separately.

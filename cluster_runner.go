@@ -13,6 +13,7 @@ import (
 	"es2/internal/fabric"
 	"es2/internal/faults"
 	"es2/internal/guest"
+	"es2/internal/loadgen"
 	"es2/internal/metrics"
 	"es2/internal/netsim"
 	"es2/internal/profile"
@@ -44,9 +45,11 @@ type clusterHost struct {
 	port  *fabric.Port
 	demux *hostDemux
 
-	// Client hosts run one RPC client per VM and aggregate their
-	// latency into lat; server hosts run one Server per VM.
+	// Client hosts run one RPC client (closed loop) or one open-loop
+	// client (Workload.Load runs) per VM and aggregate their latency
+	// into lat; server hosts run one Server per VM.
 	clients []*workloads.RPCClient
+	loads   []*workloads.OpenLoopClient
 	servers []*workloads.Server
 	lat     *metrics.LogHistogram
 
@@ -97,6 +100,14 @@ type clusterBed struct {
 
 	clusterLat *metrics.LogHistogram
 	crit       *causal.Tracker
+
+	// Open-loop load state (nil/zero unless Workload.Load is set): the
+	// resolved profile runtime, the per-phase latency spectra shared by
+	// every client, and the built stream/flow counts.
+	loadRT         *loadgen.Runtime
+	loadPhaseHists []*metrics.LogHistogram
+	loadStreams    int
+	loadFlows      int
 
 	chaos   *chaosController
 	chk     *faults.Checker
@@ -270,7 +281,14 @@ func buildCluster(spec ClusterSpec) (*clusterBed, error) {
 		h.port = cb.sw.AddPort(fmt.Sprintf("h%d", hi), h.demux)
 		h.lat = metrics.NewLogHistogram()
 
-		hybrid := cfg.Hybrid
+		direct := spec.DirectAssign
+		if len(spec.DirectHosts) > 0 {
+			direct = spec.DirectHosts[hi]
+		}
+		// Under direct assignment the back-end stands in for the VF's
+		// DMA engine; the hybrid kick-polling machinery is meaningless
+		// there (there are no kick exits to eliminate).
+		hybrid := cfg.Hybrid && !direct
 		for vi := 0; vi < spec.VMsPerHost; vi++ {
 			cores := make([]int, spec.VCPUs)
 			for j := range cores {
@@ -278,6 +296,7 @@ func buildCluster(spec ClusterSpec) (*clusterBed, error) {
 			}
 			vm := h.k.NewVM(fmt.Sprintf("h%d/vm%d", hi, vi), cores)
 			kern := guest.NewKernelQueues(vm, gcosts, 1024, spec.Queues)
+			kern.Dev.DoorbellNoExit = direct
 			kern.StartBurnAll()
 			h.es.AttachVM(vm)
 
@@ -327,16 +346,19 @@ func buildCluster(spec ClusterSpec) (*clusterBed, error) {
 			}
 		}
 	}
-	for _, r := range clientVMs {
-		c := workloads.NewRPCClient(r.h.kerns[r.vi], r.h.lat, cb.clusterLat)
-		c.Causal = cb.crit.Probe(uint8(r.h.index))
-		if w := spec.Workload; w.RequestTimeout > 0 {
-			c.Timeout = sim.DurationOf(w.RequestTimeout)
-			c.Backoff = sim.DurationOf(w.RetryBackoff)
-			c.BackoffMax = sim.DurationOf(w.RetryBackoffMax)
-			c.FailoverAfter = w.FailoverAfter
+	loadOn := spec.Workload.Load.Enabled()
+	if !loadOn {
+		for _, r := range clientVMs {
+			c := workloads.NewRPCClient(r.h.kerns[r.vi], r.h.lat, cb.clusterLat)
+			c.Causal = cb.crit.Probe(uint8(r.h.index))
+			if w := spec.Workload; w.RequestTimeout > 0 {
+				c.Timeout = sim.DurationOf(w.RequestTimeout)
+				c.Backoff = sim.DurationOf(w.RetryBackoff)
+				c.BackoffMax = sim.DurationOf(w.RetryBackoffMax)
+				c.FailoverAfter = w.FailoverAfter
+			}
+			r.h.clients = append(r.h.clients, c)
 		}
-		r.h.clients = append(r.h.clients, c)
 	}
 	for _, r := range serverVMs {
 		r.h.servers = append(r.h.servers, workloads.StartServer(r.h.kerns[r.vi], srvCfg))
@@ -349,21 +371,79 @@ func buildCluster(spec ClusterSpec) (*clusterBed, error) {
 	var ids workloads.FlowIDs
 	spread := sim.DurationOf(spec.Workload.StartSpread)
 	nc, ns := len(clientVMs), len(serverVMs)
-	for f := 0; f < spec.Workload.Flows; f++ {
-		flowID := ids.Next()
-		cr := clientVMs[f%nc]
-		sr := serverVMs[(f/nc)%ns]
-		qi := flowID % spec.Queues
-		cr.h.demux.byFlow[flowID] = cr.h.devsByVM[cr.vi][qi]
-		sr.h.demux.byFlow[flowID] = sr.h.devsByVM[sr.vi][qi]
-		cb.flowPorts[flowID] = [2]int{cr.h.port.Index(), sr.h.port.Index()}
-		if flowSrv != nil {
-			flowSrv[flowID] = (f / nc) % ns
+	if lspec := spec.Workload.Load; lspec.Enabled() {
+		// Open-loop load: one open-loop client per client VM, streams
+		// dealt round-robin over client VMs in deterministic order.
+		// Arrival RNGs fork off a private root keyed by the seed — not
+		// the engine stream — so the offered sequence is identical
+		// across host configurations of the same spec.
+		cb.loadRT = loadgen.NewRuntime(lspec.Profile,
+			sim.DurationOf(spec.Warmup), sim.DurationOf(spec.Duration))
+		cb.loadPhaseHists = make([]*metrics.LogHistogram, cb.loadRT.NumPhases())
+		for i := range cb.loadPhaseHists {
+			cb.loadPhaseHists[i] = metrics.NewLogHistogram()
 		}
-		start := spread * sim.Time(f) / sim.Time(spec.Workload.Flows)
-		// The client for this VM was appended in clientVMs order; each
-		// client VM has exactly one RPCClient.
-		cr.h.clients[cr.vi].AddFlow(flowID, spec.Workload.ReqBytes, spec.Workload.RespBytes, start)
+		for _, r := range clientVMs {
+			c := workloads.NewOpenLoopClient(r.h.kerns[r.vi], cb.loadRT, cb.loadPhaseHists, r.h.lat, cb.clusterLat)
+			c.Causal = cb.crit.Probe(uint8(r.h.index))
+			r.h.loads = append(r.h.loads, c)
+		}
+		loadRng := sim.NewRand(spec.Seed ^ loadSeedSalt)
+		streams := expandLoadStreams(lspec)
+		cb.loadStreams = len(streams)
+		for gs, st := range streams {
+			rng := loadRng.Fork()
+			cr := clientVMs[gs%nc]
+			// Fan-out targets: single streams spread over all servers,
+			// scatter streams hit FanWidth consecutive servers per
+			// request, incast streams of one class converge on one hot
+			// server VM.
+			var targets []vmRef
+			switch st.cls.FanOut {
+			case "scatter":
+				for j := 0; j < st.cls.FanWidth; j++ {
+					targets = append(targets, serverVMs[(gs+j)%ns])
+				}
+			case "incast":
+				targets = append(targets, serverVMs[st.class%ns])
+			default:
+				targets = append(targets, serverVMs[gs%ns])
+			}
+			var flowIDs []int
+			for _, sr := range targets {
+				flowID := ids.Next()
+				qi := flowID % spec.Queues
+				cr.h.demux.byFlow[flowID] = cr.h.devsByVM[cr.vi][qi]
+				sr.h.demux.byFlow[flowID] = sr.h.devsByVM[sr.vi][qi]
+				cb.flowPorts[flowID] = [2]int{cr.h.port.Index(), sr.h.port.Index()}
+				flowIDs = append(flowIDs, flowID)
+				cb.loadFlows++
+			}
+			start := spread * sim.Time(gs) / sim.Time(len(streams))
+			cr.h.loads[cr.vi].AddStream(workloads.StreamConfig{
+				Flows: flowIDs, RatePerSec: st.rate,
+				Sampler:  newLoadSampler(st.cls, rng),
+				ReqBytes: st.cls.ReqBytes, RespBytes: st.cls.RespBytes,
+				MaxOutstanding: st.cls.MaxOutstanding, Start: start,
+			})
+		}
+	} else {
+		for f := 0; f < spec.Workload.Flows; f++ {
+			flowID := ids.Next()
+			cr := clientVMs[f%nc]
+			sr := serverVMs[(f/nc)%ns]
+			qi := flowID % spec.Queues
+			cr.h.demux.byFlow[flowID] = cr.h.devsByVM[cr.vi][qi]
+			sr.h.demux.byFlow[flowID] = sr.h.devsByVM[sr.vi][qi]
+			cb.flowPorts[flowID] = [2]int{cr.h.port.Index(), sr.h.port.Index()}
+			if flowSrv != nil {
+				flowSrv[flowID] = (f / nc) % ns
+			}
+			start := spread * sim.Time(f) / sim.Time(spec.Workload.Flows)
+			// The client for this VM was appended in clientVMs order; each
+			// client VM has exactly one RPCClient.
+			cr.h.clients[cr.vi].AddFlow(flowID, spec.Workload.ReqBytes, spec.Workload.RespBytes, start)
+		}
 	}
 
 	if spec.Faults.Enabled() {
@@ -486,6 +566,9 @@ func (cb *clusterBed) resetAtWarmupEnd() {
 		for _, c := range h.clients {
 			c.ResetStats()
 		}
+		for _, c := range h.loads {
+			c.ResetStats()
+		}
 		h.lat.Reset()
 		if h.path != nil {
 			h.path.Reset()
@@ -505,6 +588,9 @@ func (cb *clusterBed) resetAtWarmupEnd() {
 	}
 	cb.sw.ResetStats()
 	cb.clusterLat.Reset()
+	for _, h := range cb.loadPhaseHists {
+		h.Reset()
+	}
 	cb.crit.Reset()
 	if cb.chaos != nil {
 		cb.chaos.reset()
@@ -584,7 +670,11 @@ func (cb *clusterBed) hostResult(h *clusterHost, window sim.Time) *Result {
 		done += c.Completed
 		bytes += c.BytesReceived
 	}
-	if len(h.clients) > 0 {
+	for _, c := range h.loads {
+		done += c.Completed
+		bytes += c.BytesReceived
+	}
+	if len(h.clients)+len(h.loads) > 0 {
 		r.OpsPerSec = rate(done, window)
 		r.ThroughputMbps = mbps(bytes, window)
 		fillLatency(r, h.lat)
@@ -626,6 +716,9 @@ func (cb *clusterBed) collect(window sim.Time) *ClusterResult {
 		Hosts:           spec.Hosts,
 		VMs:             spec.Hosts * spec.VMsPerHost,
 		Flows:           spec.Workload.Flows,
+	}
+	if cb.loadRT != nil {
+		res.Flows = cb.loadFlows
 	}
 	agg := &Result{
 		Name:            spec.Name,
@@ -764,6 +857,30 @@ func (cb *clusterBed) collect(window sim.Time) *ClusterResult {
 	}
 	if cb.sloEval != nil {
 		res.SLO = cb.sloEval.Report()
+	}
+	if cb.loadRT != nil {
+		t := loadTotals{
+			phaseOffered:   make([]uint64, cb.loadRT.NumPhases()),
+			phaseShed:      make([]uint64, cb.loadRT.NumPhases()),
+			phaseCompleted: make([]uint64, cb.loadRT.NumPhases()),
+		}
+		for _, h := range cb.hosts {
+			for _, c := range h.loads {
+				t.arrivals += c.Arrivals()
+				t.offered += c.Offered
+				t.admitted += c.Admitted
+				t.shed += c.Shed
+				t.completed += c.Completed
+				t.backlog += c.Backlog()
+				for i := range c.PhaseOffered {
+					t.phaseOffered[i] += c.PhaseOffered[i]
+					t.phaseShed[i] += c.PhaseShed[i]
+					t.phaseCompleted[i] += c.PhaseCompleted[i]
+				}
+			}
+		}
+		horizon := sim.DurationOf(spec.Warmup) + window
+		res.Load = buildLoadReport(cb.loadRT, t, cb.loadPhaseHists, cb.loadStreams, window, horizon)
 	}
 	if cb.chk != nil {
 		res.InvariantChecks = cb.chk.Ticks

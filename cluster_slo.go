@@ -18,6 +18,13 @@ import (
 //     total = completions + timeouts
 //   - goodput:       completions per second vs MinOpsPerSec
 //
+// Under open-loop load (Workload.Load) the closed-loop client does not
+// exist, so the availability SLI becomes shed-vs-offered — the
+// generator's drop counter is exactly the "request the system turned
+// away" a datacenter availability SLO measures — and goodput counts
+// open-loop completions. The latency mapping is unchanged (the
+// open-loop clients observe into the same cluster spectrum).
+//
 // When chaos is on, alert events carry the list of macro-faults in
 // effect at fire/clear time, correlating each breach with its probable
 // cause.
@@ -28,6 +35,18 @@ func (cb *clusterBed) sumClusterClients(get func(*workloads.RPCClient) uint64) f
 	var n uint64
 	for _, h := range cb.hosts {
 		for _, c := range h.clients {
+			n += get(c)
+		}
+	}
+	return float64(n)
+}
+
+// sumClusterLoads folds one open-loop client counter across every
+// client VM of the rack.
+func (cb *clusterBed) sumClusterLoads(get func(*workloads.OpenLoopClient) uint64) float64 {
+	var n uint64
+	for _, h := range cb.hosts {
+		for _, c := range h.loads {
 			n += get(c)
 		}
 	}
@@ -51,6 +70,14 @@ func (cb *clusterBed) setupClusterSLO() {
 				func() float64 { return float64(h.Count()) },
 				func() float64 { return float64(h.CountAbove(thr)) })
 		case slo.KindAvailability:
+			if cb.loadRT != nil {
+				ev.BindCounters(i, func() float64 {
+					return cb.sumClusterLoads(func(c *workloads.OpenLoopClient) uint64 { return c.Offered })
+				}, func() float64 {
+					return cb.sumClusterLoads(func(c *workloads.OpenLoopClient) uint64 { return c.Shed })
+				})
+				break
+			}
 			bad := func() float64 {
 				return cb.sumClusterClients(func(c *workloads.RPCClient) uint64 { return c.Timeouts })
 			}
@@ -58,6 +85,12 @@ func (cb *clusterBed) setupClusterSLO() {
 				return cb.sumClusterClients(func(c *workloads.RPCClient) uint64 { return c.Completed }) + bad()
 			}, bad)
 		case slo.KindGoodput:
+			if cb.loadRT != nil {
+				ev.BindGoodput(i, func() float64 {
+					return cb.sumClusterLoads(func(c *workloads.OpenLoopClient) uint64 { return c.Completed })
+				})
+				break
+			}
 			ev.BindGoodput(i, func() float64 {
 				return cb.sumClusterClients(func(c *workloads.RPCClient) uint64 { return c.Completed })
 			})

@@ -87,16 +87,67 @@ func (cb *clusterBed) startTelemetry(end sim.Time) {
 			rec.Counter("es2_cluster_irq_redirected", "Device interrupts redirected to an online vCPU, per host.",
 				hl, func() float64 { return float64(red.Redirected) })
 		}
-		if len(h.clients) > 0 {
+		if len(h.clients)+len(h.loads) > 0 {
 			rec.Counter("es2_cluster_rpc_completed", "RPC requests completed by the host's client VMs.",
 				hl, func() float64 {
 					var n uint64
 					for _, c := range h.clients {
 						n += c.Completed
 					}
+					for _, c := range h.loads {
+						n += c.Completed
+					}
 					return float64(n)
 				})
 		}
+		if len(h.loads) > 0 {
+			rec.Counter("es2_loadgen_offered", "Open-loop arrivals offered by the host's client VMs.",
+				hl, func() float64 {
+					var n uint64
+					for _, c := range h.loads {
+						n += c.Offered
+					}
+					return float64(n)
+				})
+			rec.Counter("es2_loadgen_admitted", "Open-loop arrivals admitted into the system.",
+				hl, func() float64 {
+					var n uint64
+					for _, c := range h.loads {
+						n += c.Admitted
+					}
+					return float64(n)
+				})
+			rec.Counter("es2_loadgen_shed", "Open-loop arrivals shed at full outstanding caps.",
+				hl, func() float64 {
+					var n uint64
+					for _, c := range h.loads {
+						n += c.Shed
+					}
+					return float64(n)
+				})
+			rec.Counter("es2_loadgen_completed", "Open-loop logical requests completed (all fan-out legs gathered).",
+				hl, func() float64 {
+					var n uint64
+					for _, c := range h.loads {
+						n += c.Completed
+					}
+					return float64(n)
+				})
+			rec.Gauge("es2_loadgen_backlog", "Open-loop requests in flight, sampled at window end.",
+				hl, func() float64 {
+					n := 0
+					for _, c := range h.loads {
+						n += c.Backlog()
+					}
+					return float64(n)
+				})
+		}
+	}
+	if rt := cb.loadRT; rt != nil {
+		rec.Gauge("es2_loadgen_multiplier", "Effective profile rate multiplier (phase x diurnal curve).",
+			nil, func() float64 { return rt.Multiplier(cb.eng.Now()) })
+		rec.Gauge("es2_loadgen_phase", "Index of the profile phase in effect.",
+			nil, func() float64 { return float64(rt.PhaseIndexAt(cb.eng.Now())) })
 	}
 
 	sw := cb.sw
@@ -205,7 +256,7 @@ func (cb *clusterBed) startTelemetry(end sim.Time) {
 	}
 
 	for _, h := range cb.hosts {
-		if len(h.clients) == 0 {
+		if len(h.clients)+len(h.loads) == 0 {
 			continue
 		}
 		rec.Histogram("es2_cluster_rpc_latency_seconds",
@@ -233,7 +284,7 @@ func (cb *clusterBed) fillClusterTelemetry(res *ClusterResult) {
 		Series:   rec.SeriesCount(),
 	}
 	for _, h := range cb.hosts {
-		if len(h.clients) == 0 {
+		if len(h.clients)+len(h.loads) == 0 {
 			continue
 		}
 		res.Aggregate.LatencyProfiles = append(res.Aggregate.LatencyProfiles,

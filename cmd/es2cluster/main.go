@@ -8,6 +8,7 @@
 //	es2cluster [-exp all|rack1] [-parallel N] [-seed S] [-scale F]
 //	           [-list] [-json FILE] [-telemetry-dir DIR] [-check]
 //	           [-engine-stats] [-soak N] [-progress]
+//	           [-load rack1-day|FILE] [-time-scale F]
 //	           [-slo default|FILE] [-slo-log FILE]
 //	           [-serve ADDR [-serve-wait D]]
 //
@@ -16,6 +17,11 @@
 // the simulator's own wall-clock performance report per scenario;
 // -progress emits a per-scenario (and per-seed, under -soak) stderr
 // heartbeat with wall time and events/sec.
+//
+// -load replaces every scenario's closed-loop flows with an open-loop
+// load generator (the 'rack1-day' datacenter-day preset or a JSON
+// LoadSpec file); -time-scale overrides its profile's day-to-window
+// compression factor.
 //
 // -slo attaches service-level objectives to every scenario and reports
 // the streaming burn-rate alert timeline; -slo-log writes the merged
@@ -55,6 +61,8 @@ func main() {
 	chaosFlag := flag.String("chaos", "", "attach a chaos timeline to every scenario: 'rack1' (built-in host-crash + link-flap preset) or a JSON ChaosSpec file")
 	soak := flag.Int("soak", 0, "chaos-soak mode: run each scenario N times on consecutive seeds with the invariant checker forced on, asserting every fault recovers and every flow is accounted for")
 	progress := flag.Bool("progress", false, "print one stderr heartbeat line per scenario (per seed under -soak) with wall time and events/sec, so long runs are not silent")
+	loadFlag := flag.String("load", "", "attach an open-loop load to every scenario, replacing closed-loop flows: 'rack1-day' (built-in datacenter-day preset) or a JSON LoadSpec file")
+	timeScale := flag.Float64("time-scale", 0, "with an open-loop load: override the profile's time compression factor (modeled seconds per simulated second; 0 keeps the spec's, which defaults to auto-fit)")
 	sloFlag := flag.String("slo", "", "attach SLO objectives to every scenario: 'default' (availability + tail-latency + goodput-floor preset) or a JSON SLOSpec file")
 	sloLog := flag.String("slo-log", "", "write the merged fault/alert timeline as JSONL to FILE ('-' for stdout; the run must produce exactly one scenario)")
 	serveFlag := flag.String("serve", "", "serve the live ops plane on ADDR (e.g. :9090): Prometheus /metrics, /healthz, /progress JSON, /debug/pprof")
@@ -101,6 +109,21 @@ func main() {
 		}
 	}
 
+	var loadSpec es2.LoadSpec
+	if *loadFlag != "" {
+		switch *loadFlag {
+		case "rack1-day", "daycycle":
+			loadSpec = experiments.DefaultLoad()
+		default:
+			ls, err := es2.LoadLoadSpec(*loadFlag)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "es2cluster: %v\n", err)
+				os.Exit(1)
+			}
+			loadSpec = ls
+		}
+	}
+
 	var sloSpec es2.SLOSpec
 	if *sloFlag != "" {
 		switch *sloFlag {
@@ -128,6 +151,12 @@ func main() {
 		}
 		if *sloFlag != "" {
 			s.SLO = sloSpec
+		}
+		if *loadFlag != "" {
+			s.Workload.Load = loadSpec
+		}
+		if *timeScale > 0 && s.Workload.Load.Enabled() {
+			s.Workload.Load.Profile.TimeScale = *timeScale
 		}
 	}
 
@@ -328,6 +357,17 @@ func main() {
 				fmt.Println(indent(r.SLO.Render(), "    "))
 			}
 		}
+		if *loadFlag != "" {
+			// Injected open-loop load: the experiment's own renderer
+			// predates it, so print the offered-load tables here.
+			for _, r := range results {
+				if r.Load == nil {
+					continue
+				}
+				fmt.Printf("    --- %s\n", r.Name)
+				fmt.Println(indent(loadSummary(r.Load), "    "))
+			}
+		}
 		fmt.Printf("    (%d scenarios in %v wall time)\n\n", len(e.Specs), time.Since(start).Round(time.Millisecond))
 	}
 
@@ -510,12 +550,30 @@ func runSoak(exps []experiments.ClusterExperiment, n int, seedOverride uint64, p
 
 // printClusterSummary renders one -spec run: aggregate figures plus
 // the critical-path blame tables when enabled.
+// loadSummary renders the open-loop offered-vs-completed line and the
+// per-phase windows of one result's LoadReport.
+func loadSummary(l *es2.LoadReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "load       offered=%.0f/s done=%.0f/s delivery=%.1f%% shed=%d backlog=%d knee=%.0f/s (%d streams, %.0fx compression)\n",
+		l.OfferedPerSec, l.CompletedPerSec, 100*l.DeliveryRatio,
+		l.Shed, l.BacklogEnd, l.KneeOfferedPerSec, l.Streams, l.TimeScale)
+	for _, p := range l.Phases {
+		fmt.Fprintf(&b, "  %-10s %5.2fx offered=%.0f/s delivery=%.1f%% p99=%v\n",
+			p.Name, p.Multiplier, p.OfferedPerSec, 100*p.DeliveryRatio,
+			p.P99Latency.Round(time.Microsecond))
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
 func printClusterSummary(r *es2.ClusterResult) {
 	fmt.Printf("cluster    %s: hosts=%d vms=%d flows=%d window=%.3fs\n",
 		r.Name, r.Hosts, r.VMs, r.Flows, r.MeasuredSeconds)
 	if a := r.Aggregate; a != nil {
 		fmt.Printf("aggregate  ops=%.0f/s tput=%.1fMbps mean=%v p99=%v drops=%d\n",
 			a.OpsPerSec, a.ThroughputMbps, a.MeanLatency, a.P99Latency, a.Drops)
+	}
+	if l := r.Load; l != nil {
+		fmt.Println(loadSummary(l))
 	}
 	if s := r.SLO; s != nil {
 		fmt.Print(s.Render())

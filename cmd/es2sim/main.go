@@ -24,6 +24,8 @@ func main() {
 	var (
 		specFile = flag.String("spec", "", "load the scenario from a JSON ScenarioSpec file (scenario flags ignored; output flags still apply)")
 		sloFile  = flag.String("slo", "", "load SLO objectives from a JSON SLOSpec file and evaluate them streamingly during the run")
+		loadFile = flag.String("load", "", "load an open-loop LoadSpec from a JSON file, replacing the memcached workload's closed-loop generator")
+		tScale   = flag.Float64("time-scale", 0, "with an open-loop load: override the profile's time compression factor (0 keeps the spec's)")
 		critpath = flag.Bool("critpath", false, "enable the causal critical-path analyzer (blame profile, tail exemplars, what-if)")
 		critEx   = flag.Int("critpath-exemplars", 0, "slowest-request exemplars to retain (0 = default 8)")
 		name     = flag.String("name", "es2sim", "scenario name")
@@ -76,6 +78,7 @@ func main() {
 			telDir: *telDir, metrics: *metrics, telWin: *telWin,
 			critpath: *critpath, critEx: *critEx, asJSON: *asJSON,
 			engineStats: *engStats, sloFile: *sloFile,
+			loadFile: *loadFile, timeScale: *tScale,
 		})
 		return
 	}
@@ -138,6 +141,7 @@ func main() {
 		telDir: *telDir, metrics: *metrics, telWin: *telWin,
 		critpath: *critpath, critEx: *critEx, asJSON: *asJSON,
 		engineStats: *engStats, sloFile: *sloFile,
+		loadFile: *loadFile, timeScale: *tScale,
 	})
 }
 
@@ -152,6 +156,8 @@ type outputFlags struct {
 	asJSON                    bool
 	engineStats               bool
 	sloFile                   string
+	loadFile                  string
+	timeScale                 float64
 }
 
 func run(spec es2.ScenarioSpec, out outputFlags) {
@@ -162,6 +168,17 @@ func run(spec es2.ScenarioSpec, out outputFlags) {
 			os.Exit(1)
 		}
 		spec.SLO = sloSpec
+	}
+	if out.loadFile != "" {
+		loadSpec, err := es2.LoadLoadSpec(out.loadFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "es2sim: %v\n", err)
+			os.Exit(1)
+		}
+		spec.Load = loadSpec
+	}
+	if out.timeScale > 0 && spec.Load.Enabled() {
+		spec.Load.Profile.TimeScale = out.timeScale
 	}
 	spec.Timeline = spec.Timeline || out.timeline != ""
 	spec.CPUProfile = spec.CPUProfile || out.cpuprof != "" || out.folded != ""
@@ -268,6 +285,16 @@ func run(spec es2.ScenarioSpec, out outputFlags) {
 	}
 	if res.Drops > 0 {
 		fmt.Printf("drops      %d\n", res.Drops)
+	}
+	if l := res.Load; l != nil {
+		fmt.Printf("load       offered=%.0f/s done=%.0f/s delivery=%.1f%% shed=%d backlog=%d knee=%.0f/s (%d streams, %.0fx compression)\n",
+			l.OfferedPerSec, l.CompletedPerSec, 100*l.DeliveryRatio,
+			l.Shed, l.BacklogEnd, l.KneeOfferedPerSec, l.Streams, l.TimeScale)
+		for _, p := range l.Phases {
+			fmt.Printf("  %-10s %5.2fx offered=%.0f/s delivery=%.1f%% p99=%v\n",
+				p.Name, p.Multiplier, p.OfferedPerSec, 100*p.DeliveryRatio,
+				p.P99Latency.Round(time.Microsecond))
+		}
 	}
 	if res.VhostCPU > 0 {
 		fmt.Printf("vhost CPU  %.1f%%\n", 100*res.VhostCPU)

@@ -334,6 +334,17 @@ type ScenarioSpec struct {
 	// Zero value: no SLOs.
 	SLO SLOSpec
 
+	// Load, when non-zero, replaces the closed-loop generator of a
+	// Memcached workload with the open-loop load generator: the
+	// external peer arms arrivals on the sim clock per Load's classes
+	// and day profile regardless of completions, so offered load can
+	// exceed the host's capacity and queueing collapse becomes
+	// observable. Requires Workload.Kind == Memcached and single
+	// fan-out (there is one host under test); Result.Load reports
+	// offered-vs-completed, shed, backlog, per-phase spectra and the
+	// collapse knee.
+	Load LoadSpec
+
 	// EngineStats enables wall-clock performance telemetry of the
 	// simulation engine itself: real time and allocations spent running
 	// the event loop, heap push/pop counts and depth, the
@@ -546,6 +557,12 @@ type Result struct {
 	// compliance per objective plus the deterministic fire/clear alert
 	// timeline. Part of the deterministic JSON surface.
 	SLO *SLOReport `json:"slo,omitempty"`
+
+	// Load is the open-loop load report (ScenarioSpec.Load runs):
+	// offered-vs-completed totals, shed and backlog counts, per-phase
+	// windows and the collapse knee. Part of the deterministic JSON
+	// surface.
+	Load *LoadReport `json:"load,omitempty"`
 
 	// Faults reports fault-injection and recovery activity over the
 	// window (nil for fault-free runs).

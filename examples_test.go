@@ -1,0 +1,76 @@
+package es2
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExampleSpecs parse-validates every spec file shipped under
+// examples/specs, so a drifting spec surface breaks CI instead of the
+// reader following the docs. The filename suffix declares the spec
+// type; new files must pick one.
+func TestExampleSpecs(t *testing.T) {
+	dir := filepath.Join("examples", "specs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatalf("%s holds no example specs", dir)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(dir, name)
+			switch {
+			case strings.HasSuffix(name, "-cluster.json"):
+				spec, err := LoadClusterSpec(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := spec.Validate(); err != nil {
+					t.Fatal(err)
+				}
+			case strings.HasSuffix(name, "-load.json"):
+				spec, err := LoadLoadSpec(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := spec.Validate(); err != nil {
+					t.Fatal(err)
+				}
+			case strings.HasSuffix(name, "-scenario.json"):
+				spec, err := LoadScenarioSpec(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := spec.Validate(); err != nil {
+					t.Fatal(err)
+				}
+			case strings.HasSuffix(name, "-slo.json"):
+				spec, err := LoadSLOSpec(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := spec.Validate(); err != nil {
+					t.Fatal(err)
+				}
+			case strings.HasSuffix(name, "-chaos.json"):
+				spec, err := LoadChaosSpec(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := spec.Validate(); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				t.Fatalf("%s: unknown spec suffix; name it *-cluster, *-load, *-scenario, *-slo or *-chaos .json", name)
+			}
+		})
+	}
+}

@@ -214,7 +214,7 @@ func Chaos() ClusterExperiment {
 
 // ClusterExperiments returns every rack-scale experiment.
 func ClusterExperiments() []ClusterExperiment {
-	return []ClusterExperiment{Rack1(), Chaos()}
+	return []ClusterExperiment{Rack1(), Chaos(), Daycycle()}
 }
 
 // ClusterByID looks a cluster experiment up by its short handle.
@@ -241,9 +241,14 @@ func ScaleCluster(e ClusterExperiment, factor float64) ClusterExperiment {
 	}
 	for i := range e.Specs {
 		s := &e.Specs[i]
-		s.Workload.Flows = int(float64(s.Workload.Flows) / factor)
-		if s.Workload.Flows < 1 {
-			s.Workload.Flows = 1
+		// Open-loop scenarios scale through the window alone: shrinking
+		// it compresses the modeled day harder (TimeScale auto-fits), so
+		// offered rates — and the knee they sweep — stay comparable.
+		if !s.Workload.Load.Enabled() {
+			s.Workload.Flows = int(float64(s.Workload.Flows) / factor)
+			if s.Workload.Flows < 1 {
+				s.Workload.Flows = 1
+			}
 		}
 		s.Warmup = div(s.Warmup)
 		s.Duration = div(s.Duration)

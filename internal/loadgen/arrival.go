@@ -1,0 +1,152 @@
+package loadgen
+
+import (
+	"math"
+
+	"es2/internal/sim"
+)
+
+// Process is an interarrival distribution.
+type Process int
+
+// Arrival processes.
+const (
+	// Poisson draws exponential interarrivals: memoryless arrivals,
+	// the classic open-loop baseline.
+	Poisson Process = iota
+	// Gamma draws Gamma(shape)-distributed interarrivals normalized to
+	// the requested mean. Shape < 1 clumps arrivals into burst trains;
+	// shape > 1 regularizes them; shape = 1 is Poisson.
+	Gamma
+	// Weibull draws Weibull(shape)-distributed interarrivals
+	// normalized to the requested mean. Shape < 1 produces the
+	// heavy-tailed gaps and bursts measured in production RPC traces;
+	// shape = 1 is Poisson.
+	Weibull
+)
+
+// ParseProcess maps a spec string to its Process.
+func ParseProcess(s string) (Process, bool) {
+	switch s {
+	case "poisson":
+		return Poisson, true
+	case "gamma":
+		return Gamma, true
+	case "weibull":
+		return Weibull, true
+	}
+	return 0, false
+}
+
+// interarrivalCap bounds a single draw at this multiple of the mean,
+// mirroring sim.Rand.ExpDuration's horizon cap: a pathological tail
+// draw must not park a stream beyond the run.
+const interarrivalCap = 20
+
+// Sampler draws interarrival gaps for one stream from a private RNG
+// fork, so the arrival sequence is independent of every other stream
+// and of the system under test.
+type Sampler struct {
+	proc  Process
+	shape float64
+	// norm divides raw draws so their mean is 1: shape for Gamma,
+	// Gamma(1+1/shape) for Weibull.
+	norm float64
+	rng  *sim.Rand
+}
+
+// NewSampler creates a sampler for the given process and shape on rng.
+func NewSampler(proc Process, shape float64, rng *sim.Rand) *Sampler {
+	s := &Sampler{proc: proc, shape: shape, rng: rng, norm: 1}
+	switch proc {
+	case Gamma:
+		s.norm = shape
+	case Weibull:
+		s.norm = math.Gamma(1 + 1/shape)
+	}
+	return s
+}
+
+// Interarrival draws the gap to the next arrival, with the given mean.
+func (s *Sampler) Interarrival(mean sim.Time) sim.Time {
+	if mean < 1 {
+		mean = 1
+	}
+	var x float64
+	switch s.proc {
+	case Gamma:
+		x = s.gamma(s.shape) / s.norm
+	case Weibull:
+		u := s.rng.Float64()
+		if u >= 1 {
+			u = math.Nextafter(1, 0)
+		}
+		x = math.Pow(-math.Log(1-u), 1/s.shape) / s.norm
+	default:
+		x = s.rng.ExpFloat64()
+	}
+	d := sim.Time(float64(mean) * x)
+	if max := interarrivalCap * mean; d > max {
+		d = max
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// normal draws a standard normal via Box-Muller (two uniforms per
+// draw; deterministic given the RNG stream).
+func (s *Sampler) normal() float64 {
+	u1 := s.rng.Float64()
+	if u1 <= 0 {
+		u1 = math.SmallestNonzeroFloat64
+	}
+	u2 := s.rng.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// gamma draws Gamma(k, 1) by Marsaglia-Tsang squeeze; shapes below 1
+// use the boost Gamma(k) = Gamma(k+1) * U^(1/k).
+func (s *Sampler) gamma(k float64) float64 {
+	if k < 1 {
+		u := s.rng.Float64()
+		if u <= 0 {
+			u = math.SmallestNonzeroFloat64
+		}
+		return s.gamma(k+1) * math.Pow(u, 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := s.normal()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := s.rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// ZipfWeights returns n positive weights summing to 1, with weight i
+// proportional to 1/(i+1)^s — the per-stream rate split of a skewed
+// client population. s = 0 yields the uniform split.
+func ZipfWeights(n int, s float64) []float64 {
+	w := make([]float64, n)
+	sum := 0.0
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}

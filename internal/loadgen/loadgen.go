@@ -1,0 +1,300 @@
+// Package loadgen implements a deterministic open-loop load generator
+// for datacenter-day workloads: heterogeneous client populations whose
+// per-stream rates follow a Zipf skew, pluggable arrival processes
+// (Poisson, Gamma and Weibull burst trains), fan-out patterns across
+// server VMs, and declarative load profiles — named phases with rate
+// multipliers plus a diurnal curve — replayed under time compression
+// (a 24h day mapped onto a milliseconds-long measurement window).
+//
+// Unlike the closed-loop clients in internal/workloads, arrivals are
+// armed on the simulated clock and never wait for completions, so
+// offered load beyond the rack's capacity produces genuine queueing
+// collapse: growing backlogs, shed arrivals and goodput below offered.
+// The arrival stream is a pure function of (spec, seed) — it reads no
+// feedback from the system under test — so two configurations of the
+// same rack see byte-identical offered load.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Resource caps: a spec inside these limits always builds and keeps
+// event counts bounded.
+const (
+	maxClasses        = 16
+	maxStreams        = 4096
+	maxTotalStreams   = 1 << 14
+	maxRatePerSec     = 1e6
+	maxZipfS          = 8
+	maxShape          = 64
+	maxBytes          = 1 << 20
+	maxFanWidth       = 64
+	maxOutstandingCap = 1 << 16
+	maxPhases         = 64
+	maxDay            = 100 * 24 * time.Hour
+	maxTimeScale      = 1e9
+	maxMultiplier     = 1e3
+)
+
+// Class is one client population: Streams independent open-loop
+// generators sharing an arrival process and message shape, their
+// individual rates Zipf-skewed across the population.
+type Class struct {
+	// Name labels the class in reports.
+	Name string
+	// Streams is the number of independent generator streams (client
+	// populations; default 4). Each stream owns its flows and its own
+	// arrival RNG fork.
+	Streams int
+	// RatePerSec is the class's mean per-stream arrival rate at profile
+	// multiplier 1.0 (default 1000). The class aggregate, RatePerSec x
+	// Streams, is split across streams by the Zipf weights.
+	RatePerSec float64
+	// ZipfS skews the per-stream rate split: stream i carries weight
+	// 1/(i+1)^ZipfS, normalized. Zero (the default) splits uniformly.
+	ZipfS float64
+	// Process selects the interarrival distribution: "poisson"
+	// (default), "gamma" or "weibull". Gamma and Weibull with Shape < 1
+	// produce burst trains — clumped arrivals with heavy gaps — at the
+	// same mean rate.
+	Process string
+	// Shape is the Gamma/Weibull shape parameter (default 1, which
+	// degenerates to Poisson for both).
+	Shape float64
+	// ReqBytes and RespBytes size the messages (defaults 128, 1024).
+	ReqBytes  int
+	RespBytes int
+	// FanOut selects the request pattern: "single" (default; each
+	// stream talks to one server VM), "scatter" (each arrival fans out
+	// to FanWidth server VMs and completes when all respond —
+	// scatter/gather), or "incast" (every stream of the class targets
+	// the same server VM).
+	FanOut string
+	// FanWidth is the scatter fan-out width (default 2; scatter only).
+	FanWidth int
+	// MaxOutstanding bounds a stream's in-flight requests; arrivals
+	// beyond it are shed and counted, modeling an admission-controlled
+	// client (default 64).
+	MaxOutstanding int
+}
+
+// Phase is one named segment of the load profile, expressed in modeled
+// (profile) time: from Start until the next phase's Start, every class
+// rate is scaled by Multiplier.
+type Phase struct {
+	// Name labels the phase in reports and telemetry.
+	Name string
+	// Start is the phase's start in modeled time (the first phase must
+	// start at 0).
+	Start time.Duration
+	// Multiplier scales every class rate during the phase. Zero keeps
+	// the generators dormant.
+	Multiplier float64
+}
+
+// Profile shapes offered load over a modeled day replayed under time
+// compression, pg_workload style: a run with Day=24h over a 240ms
+// measurement window replays the whole day at TimeScale 360000x.
+type Profile struct {
+	// Day is the modeled day length (default 24h). Profile time wraps
+	// modulo Day.
+	Day time.Duration
+	// TimeScale is the compression factor: one second of simulated
+	// time advances TimeScale seconds of modeled time. Zero (the
+	// default) auto-fits the day onto the measurement window
+	// (TimeScale = Day / Duration).
+	TimeScale float64
+	// Phases partitions the day (default: one "steady" phase at 1.0).
+	Phases []Phase
+	// DiurnalAmplitude, in [0, 1], superimposes a sinusoidal diurnal
+	// curve on the phase multipliers: rate x (1 + A*cos(2pi*(t/Day -
+	// DiurnalPeak))). Zero (the default) disables the curve.
+	DiurnalAmplitude float64
+	// DiurnalPeak locates the curve's peak as a fraction of the day
+	// (0.5 = mid-day). Only meaningful with DiurnalAmplitude > 0.
+	DiurnalPeak float64
+}
+
+// Spec declares an open-loop load: one or more client classes driven
+// through a shared profile. The zero value disables the generator.
+type Spec struct {
+	Classes []Class
+	Profile Profile
+}
+
+// Enabled reports whether the spec declares any load.
+func (s Spec) Enabled() bool { return len(s.Classes) > 0 }
+
+// WithDefaults fills zero fields.
+func (s Spec) WithDefaults() Spec {
+	if !s.Enabled() {
+		return s
+	}
+	classes := make([]Class, len(s.Classes))
+	copy(classes, s.Classes)
+	s.Classes = classes
+	for i := range s.Classes {
+		c := &s.Classes[i]
+		if c.Name == "" {
+			c.Name = fmt.Sprintf("class%d", i)
+		}
+		if c.Streams == 0 {
+			c.Streams = 4
+		}
+		if c.RatePerSec == 0 {
+			c.RatePerSec = 1000
+		}
+		if c.Process == "" {
+			c.Process = "poisson"
+		}
+		if c.Shape == 0 {
+			c.Shape = 1
+		}
+		if c.ReqBytes == 0 {
+			c.ReqBytes = 128
+		}
+		if c.RespBytes == 0 {
+			c.RespBytes = 1024
+		}
+		if c.FanOut == "" {
+			c.FanOut = "single"
+		}
+		if c.FanWidth == 0 {
+			if c.FanOut == "scatter" {
+				c.FanWidth = 2
+			} else {
+				c.FanWidth = 1
+			}
+		}
+		if c.MaxOutstanding == 0 {
+			c.MaxOutstanding = 64
+		}
+	}
+	if s.Profile.Day == 0 {
+		s.Profile.Day = 24 * time.Hour
+	}
+	if len(s.Profile.Phases) == 0 {
+		s.Profile.Phases = []Phase{{Name: "steady", Start: 0, Multiplier: 1}}
+	} else {
+		phases := make([]Phase, len(s.Profile.Phases))
+		copy(phases, s.Profile.Phases)
+		s.Profile.Phases = phases
+	}
+	for i := range s.Profile.Phases {
+		if s.Profile.Phases[i].Name == "" {
+			s.Profile.Phases[i].Name = fmt.Sprintf("phase%d", i)
+		}
+	}
+	return s
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Validate reports whether the spec (after defaulting) is runnable.
+func (s Spec) Validate() error {
+	if !s.Enabled() {
+		return nil
+	}
+	s = s.WithDefaults()
+	if len(s.Classes) > maxClasses {
+		return fmt.Errorf("Classes: %d exceeds the supported maximum %d", len(s.Classes), maxClasses)
+	}
+	total := 0
+	for i, c := range s.Classes {
+		pfx := fmt.Sprintf("Classes[%d]", i)
+		if c.Streams < 0 || c.Streams > maxStreams {
+			return fmt.Errorf("%s.Streams: %d outside [1, %d]", pfx, c.Streams, maxStreams)
+		}
+		total += c.Streams
+		if !finite(c.RatePerSec) || c.RatePerSec < 0 || c.RatePerSec > maxRatePerSec {
+			return fmt.Errorf("%s.RatePerSec: %g outside (0, %g]", pfx, c.RatePerSec, float64(maxRatePerSec))
+		}
+		if !finite(c.ZipfS) || c.ZipfS < 0 || c.ZipfS > maxZipfS {
+			return fmt.Errorf("%s.ZipfS: %g outside [0, %d]", pfx, c.ZipfS, maxZipfS)
+		}
+		if _, ok := ParseProcess(c.Process); !ok {
+			return fmt.Errorf("%s.Process: unknown arrival process %q (poisson, gamma, weibull)", pfx, c.Process)
+		}
+		if !finite(c.Shape) || c.Shape <= 0 || c.Shape > maxShape {
+			return fmt.Errorf("%s.Shape: %g outside (0, %d]", pfx, c.Shape, maxShape)
+		}
+		if c.ReqBytes < 0 || c.ReqBytes > maxBytes {
+			return fmt.Errorf("%s.ReqBytes: %d outside [1, %d]", pfx, c.ReqBytes, maxBytes)
+		}
+		if c.RespBytes < 0 || c.RespBytes > maxBytes {
+			return fmt.Errorf("%s.RespBytes: %d outside [1, %d]", pfx, c.RespBytes, maxBytes)
+		}
+		switch c.FanOut {
+		case "single", "scatter", "incast":
+		default:
+			return fmt.Errorf("%s.FanOut: unknown fan-out %q (single, scatter, incast)", pfx, c.FanOut)
+		}
+		if c.FanWidth < 0 || c.FanWidth > maxFanWidth {
+			return fmt.Errorf("%s.FanWidth: %d outside [1, %d]", pfx, c.FanWidth, maxFanWidth)
+		}
+		if c.FanOut == "scatter" && c.FanWidth < 2 {
+			return fmt.Errorf("%s.FanWidth: scatter fan-out needs width >= 2, got %d", pfx, c.FanWidth)
+		}
+		if c.FanOut != "scatter" && c.FanWidth > 1 {
+			return fmt.Errorf("%s.FanWidth: width %d requires scatter fan-out", pfx, c.FanWidth)
+		}
+		if c.MaxOutstanding < 0 || c.MaxOutstanding > maxOutstandingCap {
+			return fmt.Errorf("%s.MaxOutstanding: %d outside [1, %d]", pfx, c.MaxOutstanding, maxOutstandingCap)
+		}
+	}
+	if total > maxTotalStreams {
+		return fmt.Errorf("Classes: %d total streams exceed the supported maximum %d", total, maxTotalStreams)
+	}
+
+	p := s.Profile
+	if p.Day <= 0 || p.Day > maxDay {
+		return fmt.Errorf("Profile.Day: %v outside (0, %v]", p.Day, maxDay)
+	}
+	if !finite(p.TimeScale) || p.TimeScale < 0 || p.TimeScale > maxTimeScale {
+		return fmt.Errorf("Profile.TimeScale: %g outside [0, %g]", p.TimeScale, float64(maxTimeScale))
+	}
+	if len(p.Phases) > maxPhases {
+		return fmt.Errorf("Profile.Phases: %d exceeds the supported maximum %d", len(p.Phases), maxPhases)
+	}
+	anyPositive := false
+	for i, ph := range p.Phases {
+		pfx := fmt.Sprintf("Profile.Phases[%d]", i)
+		if i == 0 && ph.Start != 0 {
+			return fmt.Errorf("%s.Start: the first phase must start at 0, got %v", pfx, ph.Start)
+		}
+		if ph.Start < 0 || ph.Start >= p.Day {
+			return fmt.Errorf("%s.Start: %v outside [0, Day=%v)", pfx, ph.Start, p.Day)
+		}
+		if i > 0 && ph.Start <= p.Phases[i-1].Start {
+			return fmt.Errorf("%s.Start: %v does not follow the previous phase's %v", pfx, ph.Start, p.Phases[i-1].Start)
+		}
+		if !finite(ph.Multiplier) || ph.Multiplier < 0 || ph.Multiplier > maxMultiplier {
+			return fmt.Errorf("%s.Multiplier: %g outside [0, %g]", pfx, ph.Multiplier, float64(maxMultiplier))
+		}
+		if ph.Multiplier > 0 {
+			anyPositive = true
+		}
+	}
+	if !anyPositive {
+		return fmt.Errorf("Profile.Phases: every phase multiplier is zero — the generator would never fire")
+	}
+	if !finite(p.DiurnalAmplitude) || p.DiurnalAmplitude < 0 || p.DiurnalAmplitude > 1 {
+		return fmt.Errorf("Profile.DiurnalAmplitude: %g outside [0, 1]", p.DiurnalAmplitude)
+	}
+	if !finite(p.DiurnalPeak) || p.DiurnalPeak < 0 || p.DiurnalPeak > 1 {
+		return fmt.Errorf("Profile.DiurnalPeak: %g outside [0, 1]", p.DiurnalPeak)
+	}
+	return nil
+}
+
+// TotalStreams sums stream counts across classes.
+func (s Spec) TotalStreams() int {
+	n := 0
+	for _, c := range s.Classes {
+		n += c.Streams
+	}
+	return n
+}

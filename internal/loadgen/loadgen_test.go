@@ -1,0 +1,203 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"es2/internal/sim"
+)
+
+func TestWithDefaultsFillsZeroFields(t *testing.T) {
+	s := Spec{Classes: []Class{{}}}.WithDefaults()
+	c := s.Classes[0]
+	if c.Streams != 4 || c.RatePerSec != 1000 || c.Process != "poisson" ||
+		c.ReqBytes != 128 || c.RespBytes != 1024 || c.FanOut != "single" ||
+		c.FanWidth != 1 || c.MaxOutstanding != 64 {
+		t.Fatalf("unexpected class defaults: %+v", c)
+	}
+	if s.Profile.Day != 24*time.Hour {
+		t.Fatalf("Day default = %v", s.Profile.Day)
+	}
+	if len(s.Profile.Phases) != 1 || s.Profile.Phases[0].Multiplier != 1 {
+		t.Fatalf("phase default = %+v", s.Profile.Phases)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("defaulted spec invalid: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []Spec{
+		{Classes: []Class{{Process: "pareto"}}},
+		{Classes: []Class{{RatePerSec: -1}}},
+		{Classes: []Class{{RatePerSec: math.NaN()}}},
+		{Classes: []Class{{FanOut: "broadcast"}}},
+		{Classes: []Class{{FanOut: "scatter", FanWidth: 1}}},
+		{Classes: []Class{{FanOut: "single", FanWidth: 3}}},
+		{Classes: []Class{{Streams: maxStreams + 1}}},
+		{Classes: []Class{{}}, Profile: Profile{Phases: []Phase{{Start: time.Hour}}}},
+		{Classes: []Class{{}}, Profile: Profile{Phases: []Phase{{Multiplier: 0}}}},
+		{Classes: []Class{{}}, Profile: Profile{Phases: []Phase{
+			{Multiplier: 1}, {Start: 2 * time.Hour, Multiplier: 1}, {Start: time.Hour, Multiplier: 1}}}},
+		{Classes: []Class{{}}, Profile: Profile{DiurnalAmplitude: 1.5}},
+		{Classes: []Class{{}}, Profile: Profile{TimeScale: math.Inf(1)}},
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, s)
+		}
+	}
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(4, 0)
+	for _, v := range w {
+		if math.Abs(v-0.25) > 1e-12 {
+			t.Fatalf("uniform split broken: %v", w)
+		}
+	}
+	w = ZipfWeights(8, 1.2)
+	sum := 0.0
+	for i, v := range w {
+		sum += v
+		if i > 0 && v >= w[i-1] {
+			t.Fatalf("weights not decreasing: %v", w)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %g", sum)
+	}
+}
+
+// Every process must honor the requested mean (law of large numbers
+// over a deterministic stream) and stay within the horizon cap.
+func TestSamplerMeans(t *testing.T) {
+	const n = 20000
+	mean := sim.Time(1000)
+	for _, tc := range []struct {
+		proc  Process
+		shape float64
+	}{
+		{Poisson, 1}, {Gamma, 0.5}, {Gamma, 3}, {Weibull, 0.7}, {Weibull, 2},
+	} {
+		s := NewSampler(tc.proc, tc.shape, sim.NewRand(42))
+		var sum sim.Time
+		for i := 0; i < n; i++ {
+			d := s.Interarrival(mean)
+			if d < 1 || d > interarrivalCap*mean {
+				t.Fatalf("proc %d shape %g: draw %d out of bounds", tc.proc, tc.shape, d)
+			}
+			sum += d
+		}
+		got := float64(sum) / n / float64(mean)
+		if got < 0.93 || got > 1.07 {
+			t.Errorf("proc %d shape %g: empirical mean %.3f of requested", tc.proc, tc.shape, got)
+		}
+	}
+}
+
+// Burstiness ordering: a sub-1 shape must produce a more variable
+// interarrival stream than Poisson at the same mean.
+func TestBurstShapesIncreaseVariance(t *testing.T) {
+	const n = 20000
+	mean := sim.Time(1000)
+	cv := func(proc Process, shape float64) float64 {
+		s := NewSampler(proc, shape, sim.NewRand(7))
+		var sum, sq float64
+		for i := 0; i < n; i++ {
+			d := float64(s.Interarrival(mean))
+			sum += d
+			sq += d * d
+		}
+		m := sum / n
+		return math.Sqrt(sq/n-m*m) / m
+	}
+	pois := cv(Poisson, 1)
+	if g := cv(Gamma, 0.4); g <= pois {
+		t.Errorf("gamma(0.4) cv %.3f not burstier than poisson %.3f", g, pois)
+	}
+	if w := cv(Weibull, 0.6); w <= pois {
+		t.Errorf("weibull(0.6) cv %.3f not burstier than poisson %.3f", w, pois)
+	}
+}
+
+func TestSamplerDeterminism(t *testing.T) {
+	a := NewSampler(Weibull, 0.7, sim.NewRand(99))
+	b := NewSampler(Weibull, 0.7, sim.NewRand(99))
+	for i := 0; i < 1000; i++ {
+		if a.Interarrival(500) != b.Interarrival(500) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRuntimePhasesAndCompression(t *testing.T) {
+	p := Spec{
+		Classes: []Class{{}},
+		Profile: Profile{
+			Day: 24 * time.Hour,
+			Phases: []Phase{
+				{Name: "night", Start: 0, Multiplier: 0.25},
+				{Name: "day", Start: 8 * time.Hour, Multiplier: 1},
+				{Name: "peak", Start: 16 * time.Hour, Multiplier: 1.5},
+			},
+		},
+	}.WithDefaults().Profile
+
+	origin := sim.DurationOf(10 * time.Millisecond)
+	window := sim.DurationOf(240 * time.Millisecond)
+	rt := NewRuntime(p, origin, window)
+	wantScale := float64(24*time.Hour) / float64(240*time.Millisecond)
+	if math.Abs(rt.TimeScale()-wantScale)/wantScale > 1e-9 {
+		t.Fatalf("auto TimeScale = %g, want %g", rt.TimeScale(), wantScale)
+	}
+	// Warmup holds at the day's start.
+	if got := rt.PhaseIndexAt(0); got != 0 {
+		t.Fatalf("phase before origin = %d", got)
+	}
+	if m := rt.Multiplier(origin + window/2); m != 1 {
+		t.Fatalf("mid-window multiplier = %g, want 1 (day phase)", m)
+	}
+	if m := rt.Multiplier(origin + window - 1); m != 1.5 {
+		t.Fatalf("end-of-window multiplier = %g, want 1.5 (peak phase)", m)
+	}
+	// Phase windows tile the measurement window.
+	horizon := origin + window
+	var covered sim.Time
+	for i := 0; i < rt.NumPhases(); i++ {
+		s, e := rt.PhaseSimWindow(i, horizon)
+		covered += e - s
+	}
+	if covered != window {
+		t.Fatalf("phase windows cover %v of %v", covered, window)
+	}
+}
+
+func TestRuntimeDiurnalCurve(t *testing.T) {
+	p := Spec{
+		Classes: []Class{{}},
+		Profile: Profile{DiurnalAmplitude: 0.5, DiurnalPeak: 0.5},
+	}.WithDefaults().Profile
+	rt := NewRuntime(p, 0, sim.DurationOf(100*time.Millisecond))
+	peak := rt.Multiplier(sim.DurationOf(50 * time.Millisecond))
+	trough := rt.Multiplier(1)
+	if math.Abs(peak-1.5) > 1e-6 || math.Abs(trough-0.5) > 1e-3 {
+		t.Fatalf("diurnal peak/trough = %g/%g, want 1.5/0.5", peak, trough)
+	}
+	if rt.Multiplier(sim.DurationOf(25*time.Millisecond)) >= peak {
+		t.Fatal("quarter-day multiplier should sit below the peak")
+	}
+}
+
+func TestRuntimeExplicitTimeScale(t *testing.T) {
+	p := Spec{Classes: []Class{{}}, Profile: Profile{TimeScale: 24}}.WithDefaults().Profile
+	rt := NewRuntime(p, 0, sim.DurationOf(time.Hour))
+	if rt.TimeScale() != 24 {
+		t.Fatalf("TimeScale = %g, want 24 (explicit wins over auto)", rt.TimeScale())
+	}
+	// One simulated hour at 24x covers the whole modeled day.
+	if got := rt.ProfileTime(sim.DurationOf(30 * time.Minute)); got != sim.DurationOf(12*time.Hour) {
+		t.Fatalf("profile time after 30min = %v, want 12h", got)
+	}
+}

@@ -1,0 +1,119 @@
+package loadgen
+
+import (
+	"math"
+
+	"es2/internal/sim"
+)
+
+// Runtime resolves a (defaulted) Profile against the run's clock: it
+// anchors modeled time 0 at the end of warmup and converts between
+// simulated and modeled time through the compression factor, so a 24h
+// day replays inside a milliseconds-long measurement window.
+type Runtime struct {
+	prof   Profile
+	origin sim.Time // sim instant of modeled time 0 (warmup end)
+	day    sim.Time // modeled day length
+	scale  float64  // modeled ns per simulated ns
+}
+
+// NewRuntime anchors profile p (already defaulted) at origin — the end
+// of warmup — over a measurement window. TimeScale 0 auto-fits the day
+// onto the window.
+func NewRuntime(p Profile, origin, window sim.Time) *Runtime {
+	scale := p.TimeScale
+	if scale <= 0 {
+		if window > 0 {
+			scale = float64(p.Day) / float64(window)
+		} else {
+			scale = 1
+		}
+	}
+	return &Runtime{prof: p, origin: origin, day: sim.DurationOf(p.Day), scale: scale}
+}
+
+// TimeScale is the resolved compression factor.
+func (rt *Runtime) TimeScale() float64 { return rt.scale }
+
+// ProfileTime maps a simulated instant to modeled time in [0, Day).
+// Warmup (before the origin) is held at the day's start, so the system
+// warms under the first phase's load.
+func (rt *Runtime) ProfileTime(now sim.Time) sim.Time {
+	if now <= rt.origin {
+		return 0
+	}
+	pt := sim.Time(float64(now-rt.origin) * rt.scale)
+	if pt >= rt.day {
+		pt %= rt.day
+	}
+	return pt
+}
+
+// PhaseIndexAt locates the phase in effect at a simulated instant.
+func (rt *Runtime) PhaseIndexAt(now sim.Time) int {
+	pt := rt.ProfileTime(now)
+	idx := 0
+	for i, ph := range rt.prof.Phases {
+		if sim.DurationOf(ph.Start) <= pt {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// NumPhases is the phase count.
+func (rt *Runtime) NumPhases() int { return len(rt.prof.Phases) }
+
+// PhaseName names phase i.
+func (rt *Runtime) PhaseName(i int) string { return rt.prof.Phases[i].Name }
+
+// PhaseMultiplier is phase i's declared rate multiplier (before the
+// diurnal curve).
+func (rt *Runtime) PhaseMultiplier(i int) float64 { return rt.prof.Phases[i].Multiplier }
+
+// Multiplier is the effective rate multiplier at a simulated instant:
+// the active phase's multiplier scaled by the diurnal curve.
+func (rt *Runtime) Multiplier(now sim.Time) float64 {
+	m := rt.prof.Phases[rt.PhaseIndexAt(now)].Multiplier
+	if a := rt.prof.DiurnalAmplitude; a > 0 && rt.day > 0 {
+		frac := float64(rt.ProfileTime(now)) / float64(rt.day)
+		m *= 1 + a*math.Cos(2*math.Pi*(frac-rt.prof.DiurnalPeak))
+	}
+	return m
+}
+
+// DormantTick is the re-poll interval a stream sleeps while its
+// effective multiplier is zero: about a thousandth of the compressed
+// day, clamped so dormancy never spins the event loop nor overshoots a
+// phase boundary by much.
+func (rt *Runtime) DormantTick() sim.Time {
+	simDay := sim.Time(float64(rt.day) / rt.scale)
+	tick := simDay / 1024
+	if tick < sim.Microsecond {
+		tick = sim.Microsecond
+	}
+	if tick > sim.Millisecond {
+		tick = sim.Millisecond
+	}
+	return tick
+}
+
+// PhaseSimWindow is phase i's simulated-time window over the first
+// modeled day, clipped to [origin, horizon). Phases scheduled past the
+// horizon come back empty (start == end).
+func (rt *Runtime) PhaseSimWindow(i int, horizon sim.Time) (start, end sim.Time) {
+	startM := sim.DurationOf(rt.prof.Phases[i].Start)
+	endM := rt.day
+	if i+1 < len(rt.prof.Phases) {
+		endM = sim.DurationOf(rt.prof.Phases[i+1].Start)
+	}
+	start = rt.origin + sim.Time(float64(startM)/rt.scale)
+	end = rt.origin + sim.Time(float64(endM)/rt.scale)
+	if end > horizon {
+		end = horizon
+	}
+	if start > end {
+		start = end
+	}
+	return start, end
+}

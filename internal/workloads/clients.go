@@ -192,7 +192,12 @@ func (w *abWorker) PeerReceive(p *netsim.Packet) {
 
 // Httperf reproduces the Fig. 9 experiment: connections initiated
 // open-loop at a fixed rate; the connection time (SYN to SYN/ACK,
-// including any retransmission delays) is the metric.
+// including any retransmission delays) is the metric. Only the
+// connection train is open-loop — each established connection then
+// runs one closed-loop request like the other clients here. Sustained
+// open-loop request load (arrivals armed on the clock regardless of
+// completions, bursty processes, day-shaped profiles) is OpenLoopPeer
+// and OpenLoopClient in openloop.go, driven by internal/loadgen.
 type Httperf struct {
 	peer *Peer
 

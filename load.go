@@ -1,0 +1,192 @@
+package es2
+
+import (
+	"time"
+
+	"es2/internal/loadgen"
+	"es2/internal/metrics"
+	"es2/internal/sim"
+)
+
+// LoadSpec declares an open-loop load profile for a run (see
+// internal/loadgen for the knob semantics): heterogeneous client
+// classes with Zipf-skewed per-stream rates, deterministic arrival
+// processes (Poisson, Gamma, Weibull burst trains), fan-out patterns,
+// and a day-shaped profile of named phases with diurnal scaling and
+// time compression. The zero value disables open-loop load and keeps
+// the closed-loop workload. Arrivals never observe the system under
+// test, so the offered sequence is a pure function of spec and seed —
+// identical across configurations, which is what makes "Full ES2
+// sustains more of the same offered load" a fair comparison.
+type LoadSpec = loadgen.Spec
+
+// LoadClass is one client population of a LoadSpec.
+type LoadClass = loadgen.Class
+
+// LoadProfile is the day shape of a LoadSpec: named phases, diurnal
+// curve, time compression.
+type LoadProfile = loadgen.Profile
+
+// LoadPhase is one named phase of a LoadProfile.
+type LoadPhase = loadgen.Phase
+
+// loadSeedSalt decorrelates the load generator's RNG root from the
+// engine's: arrival draws come from sim.NewRand(seed ^ loadSeedSalt),
+// forked per stream in build order, never from the engine stream the
+// system under test consumes.
+const loadSeedSalt = 0x6f70656e6c6f6f70 // "openloop"
+
+// kneeSustainRatio is the delivery-ratio floor a phase must hold for
+// its offered rate to count as sustained (the collapse-knee metric).
+const kneeSustainRatio = 0.95
+
+// LoadPhaseReport is one profile phase's measured window: offered
+// versus completed load and the latency spectrum of requests that
+// arrived during the phase.
+type LoadPhaseReport struct {
+	Name       string  `json:"name"`
+	Multiplier float64 `json:"multiplier"`
+	// Offered/Shed/Completed count requests billed to the phase (by
+	// arrival instant; completions may land in a later phase's wall
+	// time but are attributed to their arrival's phase).
+	Offered   uint64 `json:"offered"`
+	Shed      uint64 `json:"shed"`
+	Completed uint64 `json:"completed"`
+	// OfferedPerSec and CompletedPerSec divide by the phase's simulated
+	// window length.
+	OfferedPerSec   float64 `json:"offered_per_sec"`
+	CompletedPerSec float64 `json:"completed_per_sec"`
+	// DeliveryRatio is Completed/Offered (0 when nothing was offered).
+	DeliveryRatio float64 `json:"delivery_ratio"`
+	// P50/P99 summarize the phase's completion latency.
+	P50Latency time.Duration `json:"p50_latency_ns"`
+	P99Latency time.Duration `json:"p99_latency_ns"`
+}
+
+// LoadReport is the open-loop outcome of a run: offered-vs-completed
+// totals, shed and backlog counts, per-phase windows, and the collapse
+// knee — the highest per-phase offered rate the system sustained at a
+// delivery ratio of at least 0.95. Part of the deterministic JSON
+// surface.
+type LoadReport struct {
+	// TimeScale is the resolved compression factor (modeled seconds per
+	// simulated second).
+	TimeScale float64 `json:"time_scale"`
+	// Streams is the total stream count across classes.
+	Streams int `json:"streams"`
+
+	// Arrivals sums the per-stream arrival counters. It is accumulated
+	// independently of Offered (streams count their own arrivals, the
+	// client counts offered load) and always equals it exactly — the
+	// reconciliation invariant tests pin down.
+	Arrivals uint64 `json:"arrivals"`
+	// Offered counts arrivals in the window; Admitted those that
+	// entered the system; Shed those dropped at a full outstanding cap;
+	// Completed logical requests finished in the window.
+	Offered   uint64 `json:"offered"`
+	Admitted  uint64 `json:"admitted"`
+	Shed      uint64 `json:"shed"`
+	Completed uint64 `json:"completed"`
+	// BacklogEnd is the number of requests still in flight at the
+	// horizon — the queue an overloaded system never drained.
+	BacklogEnd int `json:"backlog_end"`
+
+	OfferedPerSec   float64 `json:"offered_per_sec"`
+	CompletedPerSec float64 `json:"completed_per_sec"`
+	// DeliveryRatio is Completed/Offered over the whole window.
+	DeliveryRatio float64 `json:"delivery_ratio"`
+
+	// KneeOfferedPerSec is the highest phase offered rate with a
+	// delivery ratio of at least 0.95 — where the run's collapse knee
+	// sits. Zero when no phase was sustained.
+	KneeOfferedPerSec float64 `json:"knee_offered_per_sec"`
+
+	// Phases lists the per-phase windows in profile order.
+	Phases []LoadPhaseReport `json:"phases"`
+}
+
+// loadStream is one expanded stream of a LoadSpec: its class, the
+// class's (defaulted) parameters and its Zipf-weighted share of the
+// class rate.
+type loadStream struct {
+	class int
+	cls   LoadClass
+	rate  float64
+}
+
+// expandLoadStreams flattens a defaulted LoadSpec into per-stream
+// parameters in deterministic (class, stream) order — the order RNG
+// forks and flow ids are assigned in.
+func expandLoadStreams(s LoadSpec) []loadStream {
+	var out []loadStream
+	for ci, cls := range s.Classes {
+		w := loadgen.ZipfWeights(cls.Streams, cls.ZipfS)
+		classRate := cls.RatePerSec * float64(cls.Streams)
+		for si := 0; si < cls.Streams; si++ {
+			out = append(out, loadStream{class: ci, cls: cls, rate: classRate * w[si]})
+		}
+	}
+	return out
+}
+
+// newLoadSampler builds stream i's arrival sampler on a fork of the
+// load RNG root (callers fork in expandLoadStreams order).
+func newLoadSampler(cls LoadClass, rng *sim.Rand) *loadgen.Sampler {
+	proc, _ := loadgen.ParseProcess(cls.Process)
+	return loadgen.NewSampler(proc, cls.Shape, rng)
+}
+
+// loadTotals are the window counters a runner accumulates for the
+// report (summed over clients in the cluster case).
+type loadTotals struct {
+	arrivals                           uint64
+	offered, admitted, shed, completed uint64
+	phaseOffered                       []uint64
+	phaseShed                          []uint64
+	phaseCompleted                     []uint64
+	backlog                            int
+}
+
+// buildLoadReport assembles the LoadReport from the window counters,
+// the per-phase latency spectra and the resolved profile runtime.
+func buildLoadReport(rt *loadgen.Runtime, t loadTotals, phaseHists []*metrics.LogHistogram, streams int, window, horizon sim.Time) *LoadReport {
+	rep := &LoadReport{
+		TimeScale: rt.TimeScale(),
+		Streams:   streams,
+		Arrivals:  t.arrivals,
+		Offered:   t.offered, Admitted: t.admitted,
+		Shed: t.shed, Completed: t.completed,
+		BacklogEnd:      t.backlog,
+		OfferedPerSec:   rate(t.offered, window),
+		CompletedPerSec: rate(t.completed, window),
+	}
+	if t.offered > 0 {
+		rep.DeliveryRatio = float64(t.completed) / float64(t.offered)
+	}
+	for i := 0; i < rt.NumPhases(); i++ {
+		start, end := rt.PhaseSimWindow(i, horizon)
+		pr := LoadPhaseReport{
+			Name:       rt.PhaseName(i),
+			Multiplier: rt.PhaseMultiplier(i),
+		}
+		if i < len(t.phaseOffered) {
+			pr.Offered, pr.Shed, pr.Completed = t.phaseOffered[i], t.phaseShed[i], t.phaseCompleted[i]
+		}
+		if span := end - start; span > 0 {
+			pr.OfferedPerSec = rate(pr.Offered, span)
+			pr.CompletedPerSec = rate(pr.Completed, span)
+		}
+		if pr.Offered > 0 {
+			pr.DeliveryRatio = float64(pr.Completed) / float64(pr.Offered)
+			if pr.DeliveryRatio >= kneeSustainRatio && pr.OfferedPerSec > rep.KneeOfferedPerSec {
+				rep.KneeOfferedPerSec = pr.OfferedPerSec
+			}
+		}
+		if i < len(phaseHists) && phaseHists[i] != nil && phaseHists[i].Count() > 0 {
+			pr.P50Latency = time.Duration(phaseHists[i].Quantile(0.50))
+			pr.P99Latency = time.Duration(phaseHists[i].Quantile(0.99))
+		}
+		rep.Phases = append(rep.Phases, pr)
+	}
+	return rep
+}

@@ -1,0 +1,361 @@
+package es2
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+)
+
+// loadTestSpec is a fast three-host rack driven by a small open-loop
+// load exercising all three fan-out patterns and both burst-train
+// arrival processes across a three-phase profile with a diurnal curve.
+func loadTestSpec(cfg Config) ClusterSpec {
+	return ClusterSpec{
+		Name:        "load-smoke",
+		Seed:        11,
+		Config:      cfg,
+		Hosts:       3,
+		ClientHosts: 1,
+		VMsPerHost:  2,
+		Workload: ClusterWorkloadSpec{Load: LoadSpec{
+			Classes: []LoadClass{
+				{Name: "web", Streams: 4, RatePerSec: 3000, ZipfS: 0.8,
+					Process: "weibull", Shape: 0.7, MaxOutstanding: 64},
+				{Name: "scatter", Streams: 2, RatePerSec: 800,
+					Process: "gamma", Shape: 0.5,
+					FanOut: "scatter", FanWidth: 2, MaxOutstanding: 32},
+				{Name: "incast", Streams: 2, RatePerSec: 800,
+					FanOut: "incast", MaxOutstanding: 32},
+			},
+			Profile: LoadProfile{
+				Phases: []LoadPhase{
+					{Name: "low", Start: 0, Multiplier: 0.5},
+					{Name: "high", Start: 8 * time.Hour, Multiplier: 1},
+					{Name: "burst", Start: 16 * time.Hour, Multiplier: 1.5},
+				},
+				DiurnalAmplitude: 0.2,
+				DiurnalPeak:      0.5,
+			},
+		}},
+		Warmup:   10 * time.Millisecond,
+		Duration: 40 * time.Millisecond,
+	}
+}
+
+// checkLoadInvariants asserts the counter arithmetic every load report
+// must satisfy, including the offered-rate reconciliation: the
+// independently-accumulated per-stream arrival count equals Offered
+// exactly.
+func checkLoadInvariants(t *testing.T, l *LoadReport) {
+	t.Helper()
+	if l == nil {
+		t.Fatal("load spec set but result carries no LoadReport")
+	}
+	if l.Arrivals != l.Offered {
+		t.Errorf("per-stream arrivals %d != offered %d; the open-loop counters must reconcile exactly",
+			l.Arrivals, l.Offered)
+	}
+	if l.Offered != l.Admitted+l.Shed {
+		t.Errorf("offered %d != admitted %d + shed %d", l.Offered, l.Admitted, l.Shed)
+	}
+	if l.Completed > l.Admitted {
+		t.Errorf("completed %d exceeds admitted %d", l.Completed, l.Admitted)
+	}
+	var po, ps, pc uint64
+	for _, p := range l.Phases {
+		po += p.Offered
+		ps += p.Shed
+		pc += p.Completed
+		if p.Completed > p.Offered {
+			t.Errorf("phase %s completed %d > offered %d (completions are billed to their arrival's phase)",
+				p.Name, p.Completed, p.Offered)
+		}
+	}
+	if po != l.Offered || ps != l.Shed || pc != l.Completed {
+		t.Errorf("phase sums (%d/%d/%d) != totals (%d/%d/%d)",
+			po, ps, pc, l.Offered, l.Shed, l.Completed)
+	}
+}
+
+func TestClusterLoadSmoke(t *testing.T) {
+	res, err := RunCluster(loadTestSpec(Full(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := res.Load
+	checkLoadInvariants(t, l)
+	if l.Completed == 0 {
+		t.Fatal("open-loop load completed nothing")
+	}
+	if l.Streams != 8 {
+		t.Errorf("Streams = %d, want 8", l.Streams)
+	}
+	// Fan-out legs: 4 web singles + 2 scatter pairs + 2 incast singles.
+	if res.Flows != 4+2*2+2 {
+		t.Errorf("Flows = %d, want 10 fan-out legs", res.Flows)
+	}
+	if len(l.Phases) != 3 {
+		t.Fatalf("Phases = %d, want 3", len(l.Phases))
+	}
+	// TimeScale auto-fits the default 24h day onto the 40ms window.
+	if want := (24 * time.Hour).Seconds() / (40 * time.Millisecond).Seconds(); l.TimeScale != want {
+		t.Errorf("TimeScale = %g, want auto-fit %g", l.TimeScale, want)
+	}
+	// The ramp must actually ramp: each phase offers more per second
+	// than the one before (multipliers 0.5 -> 1 -> 1.5).
+	for i := 1; i < len(l.Phases); i++ {
+		if l.Phases[i].OfferedPerSec <= l.Phases[i-1].OfferedPerSec {
+			t.Errorf("phase %s offered %.0f/s, not above %s's %.0f/s",
+				l.Phases[i].Name, l.Phases[i].OfferedPerSec,
+				l.Phases[i-1].Name, l.Phases[i-1].OfferedPerSec)
+		}
+	}
+	if res.Aggregate.OpsPerSec <= 0 || res.Aggregate.P99Latency <= 0 {
+		t.Error("aggregate RPC rate and latency spectrum should be populated under load")
+	}
+}
+
+// TestClusterLoadOfferedIdentical is the fairness contract behind every
+// open-loop comparison: arrivals never observe the system under test,
+// so two configurations at the same seed face the exact same offered
+// sequence — equal arrival counts, totals and per-phase splits.
+func TestClusterLoadOfferedIdentical(t *testing.T) {
+	rb, err := RunCluster(loadTestSpec(Baseline()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := RunCluster(loadTestSpec(Full(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, lf := rb.Load, rf.Load
+	checkLoadInvariants(t, lb)
+	checkLoadInvariants(t, lf)
+	if lb.Offered != lf.Offered || lb.Arrivals != lf.Arrivals {
+		t.Fatalf("offered load differs across configs: baseline %d/%d vs full %d/%d",
+			lb.Arrivals, lb.Offered, lf.Arrivals, lf.Offered)
+	}
+	for i := range lb.Phases {
+		if lb.Phases[i].Offered != lf.Phases[i].Offered {
+			t.Errorf("phase %s offered differs across configs: %d vs %d",
+				lb.Phases[i].Name, lb.Phases[i].Offered, lf.Phases[i].Offered)
+		}
+	}
+}
+
+// TestClusterLoadDeterministicReplay is the open-loop replay guarantee:
+// a daycycle-style run with telemetry, critical-path analysis, SLO
+// evaluation and the invariant checker all enabled produces
+// byte-identical JSON, OpenMetrics and SLO event-log output when run
+// twice.
+func TestClusterLoadDeterministicReplay(t *testing.T) {
+	spec := loadTestSpec(Full(4))
+	spec.Name = "load-replay"
+	spec.Telemetry = true
+	spec.TelemetryWindow = 5 * time.Millisecond
+	spec.CritPath = true
+	spec.Check = true
+	spec.SLO = SLOSpec{Objectives: []SLOObjective{
+		{Name: "availability", Kind: SLOAvailability, Target: 0.9},
+		{Name: "tail-latency", Kind: SLOLatency, Target: 0.99, Threshold: 50 * time.Millisecond},
+		{Name: "goodput-floor", Kind: SLOGoodput, Target: 0.9, MinOpsPerSec: 100},
+	}}
+	run := func() ([]byte, []byte, []byte) {
+		res, err := RunCluster(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkLoadInvariants(t, res.Load)
+		if res.InvariantChecks == 0 {
+			t.Fatal("invariant checker never ran")
+		}
+		if res.SLO == nil || res.SLO.Ticks == 0 {
+			t.Fatal("SLO evaluator never ticked")
+		}
+		if res.CriticalPath == nil || res.CriticalPath.Requests == 0 {
+			t.Fatal("critical-path analyzer saw no requests")
+		}
+		rj, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var om, lg bytes.Buffer
+		if err := res.TelemetryRecorder.WriteOpenMetrics(&om); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteEventLog(&lg, res.SLO, res.Recovery); err != nil {
+			t.Fatal(err)
+		}
+		for _, series := range []string{
+			"es2_loadgen_offered_total", "es2_loadgen_admitted_total",
+			"es2_loadgen_shed_total", "es2_loadgen_completed_total",
+			"es2_loadgen_backlog", "es2_loadgen_multiplier", "es2_loadgen_phase",
+		} {
+			if !bytes.Contains(om.Bytes(), []byte(series)) {
+				t.Errorf("OpenMetrics export missing load series %s", series)
+			}
+		}
+		return rj, om.Bytes(), lg.Bytes()
+	}
+	r1, o1, l1 := run()
+	r2, o2, l2 := run()
+	if !bytes.Equal(r1, r2) {
+		t.Errorf("JSON results differ between identical load runs:\n%s\n---\n%s", r1, r2)
+	}
+	if !bytes.Equal(o1, o2) {
+		t.Error("OpenMetrics exports differ between identical load runs")
+	}
+	if !bytes.Equal(l1, l2) {
+		t.Error("SLO event logs differ between identical load runs")
+	}
+}
+
+// TestClusterDirectAssign: SR-IOV hosts run with exit-less doorbells,
+// so a direct host's I/O exit rate collapses while everything still
+// completes; DirectHosts mixes assignment per host.
+func TestClusterDirectAssign(t *testing.T) {
+	base := smallCluster(Baseline())
+	rn, err := RunCluster(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := base
+	all.DirectAssign = true
+	ra, err := RunCluster(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := base
+	mixed.DirectHosts = []bool{true, false, false}
+	rm, err := RunCluster(mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rn.PerHost {
+		if rn.PerHost[i].IOExitRate <= 0 {
+			t.Fatalf("baseline host %d shows no I/O exits; doorbells should exit", i)
+		}
+		if ra.PerHost[i].IOExitRate != 0 {
+			t.Errorf("direct-assigned host %d still shows %.0f I/O exits/s",
+				i, ra.PerHost[i].IOExitRate)
+		}
+	}
+	if ra.Aggregate.OpsPerSec <= 0 {
+		t.Fatal("direct-assigned rack completed no RPCs")
+	}
+	if rm.PerHost[0].IOExitRate != 0 {
+		t.Errorf("DirectHosts[0] host still shows %.0f I/O exits/s", rm.PerHost[0].IOExitRate)
+	}
+	for i := 1; i < 3; i++ {
+		if rm.PerHost[i].IOExitRate <= 0 {
+			t.Errorf("non-direct host %d shows no I/O exits under mixed assignment", i)
+		}
+	}
+}
+
+// TestClusterLoadValidation covers the spec-surface rules the open-loop
+// generator adds at cluster scope.
+func TestClusterLoadValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*ClusterSpec)
+	}{
+		{"chaos and load are exclusive", func(s *ClusterSpec) {
+			s.Chaos = ChaosSpec{HostCrashes: 1, CrashDown: 5 * time.Millisecond,
+				MinGap: time.Millisecond, MaxGap: 2 * time.Millisecond}
+		}},
+		{"request timeouts and load are exclusive", func(s *ClusterSpec) {
+			s.Workload.RequestTimeout = time.Millisecond
+		}},
+		{"DirectHosts must match host count", func(s *ClusterSpec) {
+			s.DirectHosts = []bool{true}
+		}},
+		{"unknown fan-out", func(s *ClusterSpec) {
+			s.Workload.Load.Classes[0].FanOut = "broadcast"
+		}},
+		{"unknown arrival process", func(s *ClusterSpec) {
+			s.Workload.Load.Classes[0].Process = "pareto"
+		}},
+		{"unsorted phases", func(s *ClusterSpec) {
+			s.Workload.Load.Profile.Phases[2].Start = time.Hour
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := loadTestSpec(Full(4))
+			tc.mutate(&spec)
+			_, err := RunCluster(spec)
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("RunCluster = %v, want *SpecError", err)
+			}
+			if spec.Validate() == nil {
+				t.Fatal("Validate accepted what RunCluster rejected")
+			}
+		})
+	}
+}
+
+// TestSingleHostLoad: the memcached workload under a LoadSpec swaps the
+// closed-loop memaslap for the open-loop peer generator, reports the
+// same load surface as the cluster runner, and replays byte-identically.
+func TestSingleHostLoad(t *testing.T) {
+	spec := ScenarioSpec{
+		Name: "single-load", Seed: 5, Config: Full(4),
+		Workload: WorkloadSpec{Kind: Memcached},
+		VMs:      1, VCPUs: 2,
+		Load: LoadSpec{
+			Classes: []LoadClass{
+				{Name: "web", Streams: 6, RatePerSec: 2000, ZipfS: 1.0,
+					Process: "weibull", Shape: 0.7, MaxOutstanding: 32},
+			},
+			Profile: LoadProfile{
+				Phases: []LoadPhase{
+					{Name: "low", Start: 0, Multiplier: 0.5},
+					{Name: "high", Start: 12 * time.Hour, Multiplier: 1.5},
+				},
+			},
+		},
+		Warmup:   5 * time.Millisecond,
+		Duration: 30 * time.Millisecond,
+	}
+	run := func() []byte {
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkLoadInvariants(t, res.Load)
+		if res.Load.Completed == 0 {
+			t.Fatal("open-loop peer completed nothing")
+		}
+		if res.OpsPerSec <= 0 || res.P99Latency <= 0 {
+			t.Error("ops rate and latency spectrum should be populated under load")
+		}
+		if len(res.Load.Phases) != 2 {
+			t.Fatalf("Phases = %d, want 2", len(res.Load.Phases))
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if r1, r2 := run(), run(); !bytes.Equal(r1, r2) {
+		t.Errorf("single-host load results differ between identical runs:\n%s\n---\n%s", r1, r2)
+	}
+
+	bad := spec
+	bad.Workload.Kind = Ping
+	if _, err := Run(bad); err == nil {
+		t.Error("open-loop load should require the memcached workload on a single host")
+	}
+	bad = spec
+	bad.Load.Classes = append([]LoadClass{}, spec.Load.Classes...)
+	bad.Load.Classes[0].FanOut = "scatter"
+	bad.Load.Classes[0].FanWidth = 2
+	if _, err := Run(bad); err == nil {
+		t.Error("single-host load should reject scatter fan-out")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"es2/internal/enginestats"
 	"es2/internal/faults"
 	"es2/internal/guest"
+	"es2/internal/loadgen"
 	"es2/internal/metrics"
 	"es2/internal/netsim"
 	"es2/internal/profile"
@@ -119,6 +120,9 @@ func (s ScenarioSpec) withDefaults() ScenarioSpec {
 		s.EngineStatsSampleN = enginestats.DefaultSampleN
 	}
 	s.SLO = s.SLO.WithDefaults()
+	if s.Load.Enabled() {
+		s.Load = s.Load.WithDefaults()
+	}
 	// The paper selects quota 4 for TCP streams and 8 for UDP streams
 	// (Section VI-B); default accordingly when hybrid is on.
 	if s.Config.Hybrid && s.Config.Quota <= 0 {
@@ -917,6 +921,46 @@ func (tb *testbed) startWorkload() (collector, error) {
 		cfg := workloads.DefaultServerConfig()
 		cfg.ServiceCost = sim.DurationOf(w.ServiceCost)
 		workloads.StartServer(kern, cfg)
+		if spec.Load.Enabled() {
+			// Open-loop load replaces the closed-loop memaslap: the peer
+			// arms arrivals on the sim clock from a private RNG root, so
+			// the offered sequence is a pure function of spec and seed.
+			warmup := sim.DurationOf(spec.Warmup)
+			window := sim.DurationOf(spec.Duration)
+			rt := loadgen.NewRuntime(spec.Load.Profile, warmup, window)
+			ol := workloads.NewOpenLoopPeer(peer, rt)
+			ol.Causal = tb.crit.Probe(0)
+			loadRng := sim.NewRand(spec.Seed ^ loadSeedSalt)
+			streams := expandLoadStreams(spec.Load)
+			spread := sim.DurationOf(2 * time.Millisecond)
+			for gs, st := range streams {
+				rng := loadRng.Fork()
+				ol.AddStream(workloads.StreamConfig{
+					Flows: []int{tb.ids.Next()}, RatePerSec: st.rate,
+					Sampler:  newLoadSampler(st.cls, rng),
+					ReqBytes: st.cls.ReqBytes, RespBytes: st.cls.RespBytes,
+					MaxOutstanding: st.cls.MaxOutstanding,
+					Start:          spread * sim.Time(gs) / sim.Time(len(streams)),
+				})
+			}
+			return collector{
+				sloLat:      ol.Lat,
+				sloOps:      func() float64 { return float64(ol.Completed) },
+				onWarmupEnd: ol.ResetStats,
+				fill: func(r *Result, win sim.Time) {
+					r.OpsPerSec = rate(ol.Completed, win)
+					fillLatency(r, ol.Lat)
+					t := loadTotals{
+						arrivals: ol.Arrivals(),
+						offered:  ol.Offered, admitted: ol.Admitted,
+						shed: ol.Shed, completed: ol.Completed,
+						phaseOffered: ol.PhaseOffered, phaseShed: ol.PhaseShed,
+						phaseCompleted: ol.PhaseCompleted, backlog: ol.Backlog(),
+					}
+					r.Load = buildLoadReport(rt, t, ol.PhaseLat, len(streams), win, warmup+win)
+				},
+			}, nil
+		}
 		m := workloads.StartMemaslap(peer, &tb.ids, w.Conns, w.Concurrency)
 		// The initial burst (issued inside StartMemaslap) goes
 		// unchained; the closed loop picks chains up on reissue, well

@@ -109,6 +109,31 @@ func ParseSLOSpec(r io.Reader) (SLOSpec, error) {
 	return s.WithDefaults(), nil
 }
 
+// ParseLoadSpec reads one JSON LoadSpec from r and validates it
+// standalone — workload compatibility (memcached-only and fan-out
+// restrictions on a single host, flow budgets on a cluster) is checked
+// when the spec is attached to a ScenarioSpec or ClusterSpec.
+func ParseLoadSpec(r io.Reader) (LoadSpec, error) {
+	var s LoadSpec
+	if err := decodeSpec(r, &s); err != nil {
+		return s, fmt.Errorf("es2: parse load spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return s, &SpecError{Field: "Load", Reason: err.Error()}
+	}
+	return s.WithDefaults(), nil
+}
+
+// LoadLoadSpec reads and validates a JSON LoadSpec file.
+func LoadLoadSpec(path string) (LoadSpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return LoadSpec{}, err
+	}
+	defer f.Close()
+	return ParseLoadSpec(f)
+}
+
 // LoadSLOSpec reads and validates a JSON SLOSpec file.
 func LoadSLOSpec(path string) (SLOSpec, error) {
 	f, err := os.Open(path)

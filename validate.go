@@ -167,6 +167,25 @@ func (s ScenarioSpec) validate() error {
 			}
 		}
 	}
+	if err := s.Load.Validate(); err != nil {
+		return &SpecError{Field: "Load", Reason: err.Error()}
+	}
+	if s.Load.Enabled() {
+		// The open-loop generator replaces Memcached's closed-loop
+		// memaslap; other workloads keep their own generators. Fan-out
+		// needs multiple server VMs — there is one host under test.
+		if w.Kind != Memcached {
+			return specErr("Load", "open-loop load requires the memcached workload, got %v", w.Kind)
+		}
+		for i, cls := range s.Load.Classes {
+			if cls.FanOut != "" && cls.FanOut != "single" {
+				return specErr("Load", "Classes[%d]: fan-out %q needs a cluster of server VMs; single-host runs support \"single\" only", i, cls.FanOut)
+			}
+		}
+		if s.Load.TotalStreams() > maxCount {
+			return specErr("Load", "total stream count %d exceeds the supported maximum %d", s.Load.TotalStreams(), maxCount)
+		}
+	}
 	if err := s.Faults.Validate(); err != nil {
 		return &SpecError{Field: "Faults", Reason: err.Error()}
 	}
